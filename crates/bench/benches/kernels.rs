@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the dense substrate kernels on the host:
+//! `gemm` (serial and parallel), `trsm`, and the two panel factorization
+//! kernels whose speed gap drives Tables 3-4 (`getf2` vs `rgetf2`).
+
+use calu_matrix::blas3::{gemm, par_gemm, trsm};
+use calu_matrix::lapack::{getf2, rgetf2};
+use calu_matrix::{gen, Diag, Matrix, NoObs, Side, Uplo};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[128usize, 256] {
+        let a = gen::randn(&mut rng, n, n);
+        let b = gen::randn(&mut rng, n, n);
+        let c0 = Matrix::zeros(n, n);
+        g.bench_function(format!("serial_{n}"), |bench| {
+            bench.iter_batched(
+                || c0.clone(),
+                |mut cc| gemm(1.0, a.view(), b.view(), 0.0, cc.view_mut()),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("rayon_{n}"), |bench| {
+            bench.iter_batched(
+                || c0.clone(),
+                |mut cc| par_gemm(1.0, a.view(), b.view(), 0.0, cc.view_mut()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 192;
+    let mut l = gen::randn(&mut rng, n, n);
+    for i in 0..n {
+        l[(i, i)] = 1.0;
+    }
+    let b0 = gen::randn(&mut rng, n, n);
+    g.bench_function("left_lower_unit_192", |bench| {
+        bench.iter_batched(
+            || b0.clone(),
+            |mut bb| trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l.view(), bb.view_mut()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_panel_kernels(c: &mut Criterion) {
+    // The Rec-vs-Cl comparison of Tables 3-4 at host scale: a tall panel.
+    let mut g = c.benchmark_group("panel_kernel");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (m, b) = (2048, 64);
+    let a0 = gen::randn(&mut rng, m, b);
+    g.bench_function("getf2_classic_2048x64", |bench| {
+        bench.iter_batched(
+            || a0.clone(),
+            |mut a| {
+                let mut ipiv = vec![0usize; b];
+                getf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("rgetf2_recursive_2048x64", |bench| {
+        bench.iter_batched(
+            || a0.clone(),
+            |mut a| {
+                let mut ipiv = vec![0usize; b];
+                rgetf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap();
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_trsm, bench_panel_kernels);
+criterion_main!(benches);

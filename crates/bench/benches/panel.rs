@@ -1,0 +1,49 @@
+//! Criterion benchmark for the panel factorization (the wall-clock
+//! analogue of Tables 3-4): sequential TSLU (tournament + unpivoted LU)
+//! versus a classic GEPP panel on tall-skinny matrices.
+
+use calu_core::tslu::{gepp_panel, tslu_factor, LocalLu};
+use calu_matrix::{gen, NoObs};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_panel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("panel_factorization");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(11);
+    for &(m, b) in &[(4096usize, 32usize), (8192, 64)] {
+        let a0 = gen::randn(&mut rng, m, b);
+        g.bench_function(format!("tslu_p4_rec_{m}x{b}"), |bench| {
+            bench.iter_batched(
+                || a0.clone(),
+                |mut a| {
+                    tslu_factor(a.view_mut(), 4, LocalLu::Recursive, &mut NoObs).unwrap();
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("tslu_p4_cl_{m}x{b}"), |bench| {
+            bench.iter_batched(
+                || a0.clone(),
+                |mut a| {
+                    tslu_factor(a.view_mut(), 4, LocalLu::Classic, &mut NoObs).unwrap();
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("gepp_panel_{m}x{b}"), |bench| {
+            bench.iter_batched(
+                || a0.clone(),
+                |mut a| {
+                    gepp_panel(a.view_mut(), &mut NoObs).unwrap();
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_panel);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for the tournament reduction operator (the redundant
+//! work CALU pays for its latency savings): one `2b x b` GEPP per tree node
+//! plus candidate bookkeeping.
+
+use calu_core::{reduce_pair, tournament, Candidates};
+use calu_matrix::gen;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_candidates(rng: &mut StdRng, b: usize, base: usize) -> Candidates {
+    let block = gen::randn(rng, b, b);
+    Candidates::from_block_row(&block, &(base..base + b).collect::<Vec<_>>())
+}
+
+fn bench_tournament(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tournament");
+    let mut rng = StdRng::seed_from_u64(31);
+    for &b in &[32usize, 64, 128] {
+        let c0 = make_candidates(&mut rng, b, 0);
+        let c1 = make_candidates(&mut rng, b, b);
+        g.bench_function(format!("reduce_pair_b{b}"), |bench| {
+            bench.iter(|| reduce_pair(&c0, &c1))
+        });
+    }
+    // Whole tournament at p = 16, b = 64 (one panel's preprocessing tree).
+    let b = 64;
+    let blocks: Vec<Candidates> =
+        (0..16).map(|i| make_candidates(&mut rng, b, i * b)).collect();
+    g.bench_function("tree_p16_b64", |bench| {
+        bench.iter(|| tournament(blocks.clone()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tournament);
+criterion_main!(benches);

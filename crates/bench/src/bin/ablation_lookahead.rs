@@ -1,0 +1,74 @@
+//! Look-ahead ablation (Section 4: CALU "can incorporate techniques which
+//! allow some overlap between computation and communication as the
+//! so-called look-ahead technique used in HPL"): plain CALU skeleton vs
+//! the depth-1 look-ahead skeleton on both machine models, across the
+//! paper's full-factorization sweep.
+//!
+//! Usage: `ablation_lookahead [--csv]`
+
+use calu_bench::calu_table::cell_valid;
+use calu_bench::{f2, paper_grids, Cli, Table};
+use calu_core::dist::{skeleton_calu, skeleton_calu_lookahead, RowSwapScheme, SkelCfg};
+use calu_core::LocalLu;
+use calu_netsim::{MachineConfig, TimeBreakdown};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Look-ahead ablation: T_CALU / T_CALU+lookahead (simulated)");
+    println!("# The gain is the panel critical path hidden behind the trailing gemm;");
+    println!("# it is largest where the panel (latency) share is largest.\n");
+
+    for mch in [MachineConfig::power5(), MachineConfig::xt4()] {
+        println!("## {}", mch.name);
+        let mut t = Table::new(&[
+            "m=n",
+            "b",
+            "P=16 gain",
+            "P=64 gain",
+            "P=64 idle% plain",
+            "P=64 idle% lookahead",
+        ]);
+        for &m in &[1_000usize, 5_000, 10_000] {
+            for &b in &[50usize, 100] {
+                let mut cells: Vec<String> = vec![format!("{m}"), format!("{b}")];
+                let mut idles: Vec<String> = Vec::new();
+                for (p, pr, pc) in paper_grids() {
+                    if p != 16 && p != 64 {
+                        continue;
+                    }
+                    if !cell_valid(m, b, pr, pc) {
+                        cells.push("-".into());
+                        if p == 64 {
+                            idles = vec!["-".into(), "-".into()];
+                        }
+                        continue;
+                    }
+                    let cfg = SkelCfg {
+                        m,
+                        n: m,
+                        b,
+                        pr,
+                        pc,
+                        local: LocalLu::Recursive,
+                        swap: RowSwapScheme::ReduceBcast,
+                    };
+                    let plain = skeleton_calu(cfg, mch.clone());
+                    let la = skeleton_calu_lookahead(cfg, mch.clone());
+                    cells.push(f2(plain.makespan() / la.makespan()));
+                    if p == 64 {
+                        let bp = TimeBreakdown::from_report(&plain);
+                        let bl = TimeBreakdown::from_report(&la);
+                        idles = vec![
+                            format!("{:.1}", 100.0 * bp.idle),
+                            format!("{:.1}", 100.0 * bl.idle),
+                        ];
+                    }
+                }
+                cells.extend(idles);
+                t.row(cells);
+            }
+        }
+        t.print(cli.csv);
+        println!();
+    }
+}

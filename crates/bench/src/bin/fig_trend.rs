@@ -1,0 +1,57 @@
+//! Technology-trend figure (extension of the introduction's claim):
+//! evolve the POWER5 under the canonical component rates — arithmetic
+//! 59%/yr, bandwidth 26%/yr, latency 15%/yr — and plot the modeled
+//! CALU-vs-PDGETRF speedup and PDGETRF's latency share over 15 years,
+//! plus the crossover matrix size below which CALU pays.
+//!
+//! Usage: `fig_trend [--csv]`
+
+use calu_bench::{f2, Cli, Table};
+use calu_netsim::MachineConfig;
+use calu_perfmodel::{evolve, gain_crossover_size, speedup_trend, TechTrend};
+
+fn main() {
+    let cli = Cli::parse();
+    let trend = TechTrend::default();
+    let base = MachineConfig::power5();
+    let years: Vec<f64> = (0..=15).step_by(3).map(|y| y as f64).collect();
+
+    println!("# Future architectures (Introduction): \"arithmetic will continue to improve");
+    println!("# exponentially faster than bandwidth, and bandwidth exponentially faster than");
+    println!("# latency. So CALU is well suited for future parallel architectures.\"");
+    println!("# Model: Equations (2)/(3) on POWER5 evolved at flops x{}/yr,", trend.flops_per_year);
+    println!(
+        "#        bandwidth x{}/yr, latency x{}/yr.\n",
+        trend.bandwidth_per_year, trend.latency_per_year
+    );
+
+    let mut t = Table::new(&[
+        "years",
+        "speedup n=1e3",
+        "speedup n=5e3",
+        "speedup n=1e4",
+        "PDGETRF lat% (5e3)",
+        "CALU lat% (5e3)",
+        "crossover n (gain<5%)",
+    ]);
+    let grids = (8usize, 8usize);
+    for &y in &years {
+        let mch = evolve(&base, y, &trend);
+        let s1 = speedup_trend(&base, 1_000, 50, grids.0, grids.1, &[y], &trend)[0];
+        let s5 = speedup_trend(&base, 5_000, 50, grids.0, grids.1, &[y], &trend)[0];
+        let s10 = speedup_trend(&base, 10_000, 50, grids.0, grids.1, &[y], &trend)[0];
+        let cross = gain_crossover_size(&mch, 50, grids.0, grids.1, 1.05, 16_000_000)
+            .map(|c| format!("{c}"))
+            .unwrap_or_else(|| ">16M".into());
+        t.row(vec![
+            format!("{y:.0}"),
+            f2(s1.speedup),
+            f2(s5.speedup),
+            f2(s10.speedup),
+            format!("{:.1}", 100.0 * s5.pdgetrf_latency_fraction),
+            format!("{:.1}", 100.0 * s5.calu_latency_fraction),
+            cross,
+        ]);
+    }
+    t.print(cli.csv);
+}

@@ -1,0 +1,131 @@
+//! Cross-validation of the paper's closed-form models (Equations 1-3)
+//! against the discrete-event simulator, plus the row-swap ablation
+//! (`PDLASWP` per-row messages vs the paper's reduce+broadcast) called out
+//! in Section 4.
+//!
+//! The closed forms use a single flop rate γ; the simulator distinguishes
+//! BLAS-1/2/3 rates. Agreement is therefore expected on *communication*
+//! terms (message schedules are identical) and within a small factor on
+//! compute-dominated cells.
+//!
+//! Usage: `model_check [--csv]`
+
+use calu_bench::{f2, Cli, Table};
+use calu_core::dist::{
+    skeleton_calu, skeleton_pdgetrf, skeleton_tslu, skeleton_tslu_tree, RowSwapScheme, SkelCfg,
+    TsluTree,
+};
+use calu_core::LocalLu;
+use calu_netsim::MachineConfig;
+use calu_perfmodel::equations::{t_calu, t_pdgetrf, t_tslu};
+
+fn main() {
+    let cli = Cli::parse();
+    let mch = MachineConfig::power5();
+
+    println!("# Model check: Equations (1)-(3) vs discrete-event simulation (POWER5 model)\n");
+
+    // ---- Eq. (1) vs skeleton TSLU.
+    let mut t1 = Table::new(&["m", "b", "P", "sim (s)", "Eq.1 (s)", "sim/eq"]);
+    for &(m, b, p) in &[
+        (10_000usize, 50usize, 4usize),
+        (100_000, 100, 16),
+        (1_000_000, 150, 64),
+        (1_000, 50, 16),
+    ] {
+        let sim = skeleton_tslu(m, b, p, LocalLu::Recursive, mch.clone()).makespan();
+        let eq = t_tslu(&mch, m, b, p).total();
+        t1.row(vec![
+            m.to_string(),
+            b.to_string(),
+            p.to_string(),
+            format!("{sim:.3e}"),
+            format!("{eq:.3e}"),
+            f2(sim / eq),
+        ]);
+    }
+    println!("## TSLU (Eq. 1)");
+    t1.print(cli.csv);
+
+    // ---- Eq. (2)/(3) vs 2D skeletons.
+    let mut t2 = Table::new(&[
+        "m", "b", "grid", "alg", "sim (s)", "Eq (s)", "sim/eq",
+    ]);
+    for &(m, b, pr, pc) in
+        &[(1_000usize, 50usize, 4usize, 4usize), (5_000, 100, 4, 8), (10_000, 50, 8, 8)]
+    {
+        let cfg = SkelCfg {
+            m,
+            n: m,
+            b,
+            pr,
+            pc,
+            local: LocalLu::Recursive,
+            swap: RowSwapScheme::ReduceBcast,
+        };
+        let sim_c = skeleton_calu(cfg, mch.clone()).makespan();
+        let eq_c = t_calu(&mch, m, m, b, pr, pc).total();
+        t2.row(vec![
+            m.to_string(),
+            b.to_string(),
+            format!("{pr}x{pc}"),
+            "CALU".into(),
+            format!("{sim_c:.3e}"),
+            format!("{eq_c:.3e}"),
+            f2(sim_c / eq_c),
+        ]);
+        let cfg_p = SkelCfg { local: LocalLu::Classic, swap: RowSwapScheme::PdLaswp, ..cfg };
+        let sim_p = skeleton_pdgetrf(cfg_p, mch.clone()).makespan();
+        let eq_p = t_pdgetrf(&mch, m, m, b, pr, pc).total();
+        t2.row(vec![
+            m.to_string(),
+            b.to_string(),
+            format!("{pr}x{pc}"),
+            "PDGETRF".into(),
+            format!("{sim_p:.3e}"),
+            format!("{eq_p:.3e}"),
+            f2(sim_p / eq_p),
+        ]);
+    }
+    println!("\n## CALU / PDGETRF (Eqs. 2-3)");
+    t2.print(cli.csv);
+
+    // ---- Ablation: row-swap scheme inside CALU (Section 4 discussion).
+    let mut t3 = Table::new(&["m", "b", "grid", "reduce+bcast (s)", "pdlaswp (s)", "laswp/rb"]);
+    for &(m, b, pr, pc) in
+        &[(1_000usize, 50usize, 8usize, 8usize), (5_000, 50, 8, 8), (10_000, 100, 8, 8)]
+    {
+        let base = SkelCfg { m, n: m, b, pr, pc, local: LocalLu::Recursive, swap: RowSwapScheme::ReduceBcast };
+        let rb = skeleton_calu(base, mch.clone()).makespan();
+        let lw = skeleton_calu(SkelCfg { swap: RowSwapScheme::PdLaswp, ..base }, mch.clone())
+            .makespan();
+        t3.row(vec![
+            m.to_string(),
+            b.to_string(),
+            format!("{pr}x{pc}"),
+            format!("{rb:.3e}"),
+            format!("{lw:.3e}"),
+            f2(lw / rb),
+        ]);
+    }
+    println!("\n## Ablation: CALU row-swap scheme (paper Section 4)");
+    t3.print(cli.csv);
+
+    // ---- Ablation: tournament reduction-tree shape.
+    let mut t4 = Table::new(&["m", "b", "P", "butterfly (s)", "reduce+bcast (s)", "flat (s)"]);
+    for &(m, b, p) in &[(1_000usize, 50usize, 16usize), (10_000, 50, 32), (100_000, 150, 64)] {
+        let run = |tree| {
+            skeleton_tslu_tree(m, b, p, LocalLu::Recursive, tree, mch.clone()).makespan()
+        };
+        t4.row(vec![
+            m.to_string(),
+            b.to_string(),
+            p.to_string(),
+            format!("{:.3e}", run(TsluTree::Butterfly)),
+            format!("{:.3e}", run(TsluTree::ReduceBcast)),
+            format!("{:.3e}", run(TsluTree::Flat)),
+        ]);
+    }
+    println!("\n## Ablation: TSLU reduction-tree shape");
+    t4.print(cli.csv);
+}

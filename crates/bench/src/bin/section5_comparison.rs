@@ -1,0 +1,40 @@
+//! Section 5's term-by-term CALU vs PDGETRF comparison, priced on both
+//! machine models: where the factor-`b` message reduction shows up, what
+//! the redundant panel work costs, and why everything else ties.
+//!
+//! Usage: `section5_comparison [--csv]`
+
+use calu_bench::{f2, sci, Cli, Table};
+use calu_netsim::MachineConfig;
+use calu_perfmodel::section5::{compare, latency_advantage, price};
+
+const CLASSES: [&str; 6] =
+    ["mul/add flops", "divides", "col latency", "col bandwidth", "row latency", "row bandwidth"];
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Section 5: term-by-term runtime comparison (Equations (2) vs (3))");
+    println!("# paper: CALU adds b(mn-n^2/2)/Pr flops and n*log2(Pr) divides, wins");
+    println!("# col latency by ~b(1 + 1/log2 Pr), ties col bandwidth and row costs\n");
+
+    for mch in [MachineConfig::power5(), MachineConfig::xt4()] {
+        for &(n, b, pr, pc) in &[(1_000usize, 50usize, 8usize, 8usize), (10_000, 50, 8, 8)] {
+            let s = compare(n, n, b, pr, pc);
+            let priced = price(&s, &mch);
+            println!("## {} — n={n}, b={b}, grid {pr}x{pc}", mch.name);
+            let mut t = Table::new(&["term", "CALU (s)", "PDGETRF (s)", "PDGETRF/CALU"]);
+            for (name, (c, p)) in CLASSES.iter().zip(priced) {
+                let ratio = if c == 0.0 { "-".into() } else { f2(p / c) };
+                t.row(vec![(*name).into(), sci(c), sci(p), ratio]);
+            }
+            let tot_c: f64 = priced.iter().map(|(c, _)| c).sum();
+            let tot_p: f64 = priced.iter().map(|(_, p)| p).sum();
+            t.row(vec!["TOTAL".into(), sci(tot_c), sci(tot_p), f2(tot_p / tot_c)]);
+            t.print(cli.csv);
+            let (measured, law) = latency_advantage(n, b, pr);
+            println!(
+                "   col-message reduction: {measured:.0}x  (paper law b(1+1/log2 Pr) ~ {law:.0}x)\n"
+            );
+        }
+    }
+}

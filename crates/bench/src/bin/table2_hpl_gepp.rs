@@ -1,0 +1,14 @@
+//! Table 2 regenerator: the GEPP control for Table 1 — growth factor,
+//! componentwise backward error, and HPL residuals at the same orders.
+//!
+//! Usage: `table2_hpl_gepp [--full] [--csv]`
+
+use calu_bench::stability_table::gepp_table;
+use calu_bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table 2: HPL accuracy tests for LU with partial pivoting (randn)");
+    println!("# paper: same orders of magnitude as CALU (Table 1)\n");
+    gepp_table(&cli).print(cli.csv);
+}

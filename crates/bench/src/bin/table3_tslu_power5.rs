@@ -1,0 +1,21 @@
+//! Table 3 regenerator: time ratio of `PDGETF2` to TSLU on the IBM POWER5
+//! machine model, for recursive (`Rec`) and classic (`Cl`) local LU.
+//!
+//! Usage: `table3_tslu_power5 [--csv]` (skeleton simulation — always runs
+//! the paper-scale sweep; it takes seconds).
+
+use calu_bench::tslu_table::{build, tslu_gflops};
+use calu_bench::Cli;
+use calu_core::LocalLu;
+use calu_netsim::MachineConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let mch = MachineConfig::power5();
+    println!("# Table 3: PDGETF2 / TSLU time ratio, IBM POWER5 model");
+    println!("# paper headline: best 4.37 (m=10^6, n=150, P=16); TSLU 215 GFLOP/s on 64 procs\n");
+    build(&mch).print(cli.csv);
+    let g = tslu_gflops(&mch, 1_000_000, 150, 64, LocalLu::Recursive);
+    let pct = 100.0 * g / (64.0 * mch.peak_flops() / 1e9);
+    println!("\nTSLU m=10^6 n=150 P=64: {g:.0} GFLOP/s ({pct:.0}% of 64-proc peak; paper: 215, 44%)");
+}

@@ -1,0 +1,20 @@
+//! Table 4 regenerator: time ratio of `PDGETF2` to TSLU on the Cray XT4
+//! machine model, recursive vs classic local LU.
+//!
+//! Usage: `table4_tslu_xt4 [--csv]`
+
+use calu_bench::tslu_table::{build, tslu_gflops};
+use calu_bench::Cli;
+use calu_core::LocalLu;
+use calu_netsim::MachineConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let mch = MachineConfig::xt4();
+    println!("# Table 4: PDGETF2 / TSLU time ratio, Cray XT4 model");
+    println!("# paper headline: best 5.58 (m=10^6, n=150, P=4); TSLU 240 GFLOP/s on 64 procs\n");
+    build(&mch).print(cli.csv);
+    let g = tslu_gflops(&mch, 1_000_000, 150, 64, LocalLu::Recursive);
+    let pct = 100.0 * g / (64.0 * mch.peak_flops() / 1e9);
+    println!("\nTSLU m=10^6 n=150 P=64: {g:.0} GFLOP/s ({pct:.0}% of 64-proc peak; paper: 240, 36%)");
+}

@@ -1,0 +1,15 @@
+//! Table 6 regenerator: time ratio of `PDGETRF` to CALU (Impvt) and CALU
+//! GFLOP/s on the Cray XT4 machine model.
+//!
+//! Usage: `table6_calu_xt4 [--csv]`
+
+use calu_bench::calu_table::build;
+use calu_bench::Cli;
+use calu_netsim::MachineConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table 6: PDGETRF / CALU time ratio + CALU GFLOP/s, Cray XT4 model");
+    println!("# paper headline: best 1.81 (m=10^3, b=100, P=64); smaller gains than POWER5\n");
+    build(&MachineConfig::xt4()).print(cli.csv);
+}

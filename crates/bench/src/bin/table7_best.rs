@@ -1,0 +1,46 @@
+//! Table 7 regenerator: "for a given problem size and processor budget,
+//! best CALU vs best PDGETRF" — the speedup a user actually gets, plus the
+//! winning configurations and percent of theoretical peak, for both
+//! machine models. Also prints the closed-form (Eq. 2/3) version for
+//! comparison.
+//!
+//! Usage: `table7_best [--csv]`
+
+use calu_bench::calu_table::best_vs_best;
+use calu_bench::{f2, Cli, Table};
+use calu_netsim::MachineConfig;
+use calu_perfmodel::sweep::best_vs_best_speedup;
+
+fn run(mch: &MachineConfig, cli: &Cli) {
+    println!("\n## {}", mch.name);
+    let mut t = Table::new(&[
+        "m", "speedup", "CALU GFlops", "CALU P", "CALU b", "Prcnt", "PDGETRF GFlops",
+        "PDGETRF P", "PDGETRF b", "Eq-model speedup",
+    ]);
+    for &m in &[1_000usize, 5_000, 10_000] {
+        let (s, c, p) = best_vs_best(mch, m);
+        let peak64 = c.p as f64 * mch.peak_flops() / 1e9;
+        let (s_eq, _, _) = best_vs_best_speedup(mch, m, 64);
+        t.row(vec![
+            m.to_string(),
+            f2(s),
+            format!("{:.1}", c.gflops),
+            c.p.to_string(),
+            c.b.to_string(),
+            format!("{:.1}", 100.0 * c.gflops / peak64),
+            format!("{:.1}", p.gflops),
+            p.p.to_string(),
+            p.b.to_string(),
+            f2(s_eq),
+        ]);
+    }
+    t.print(cli.csv);
+}
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table 7: best-CALU vs best-PDGETRF speedup (P <= 64, b in {{50,100,150}})");
+    println!("# paper: POWER5 1.59 / 1.69 / 1.34 and XT4 1.53 / 1.26 / 1.31 for m = 10^3 / 5*10^3 / 10^4");
+    run(&MachineConfig::power5(), &cli);
+    run(&MachineConfig::xt4(), &cli);
+}

@@ -1,0 +1,165 @@
+//! # calu-bench — the paper's evaluation harness
+//!
+//! One regenerator binary per table/figure of the paper (see
+//! `DESIGN.md`'s per-experiment index and `EXPERIMENTS.md` for recorded
+//! results):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig2_growth` | Figure 2: growth factor + minimum threshold |
+//! | `table1_hpl_calu` | Table 1: HPL accuracy tests for ca-pivoting |
+//! | `table2_hpl_gepp` | Table 2: HPL accuracy tests for GEPP |
+//! | `table3_tslu_power5` | Table 3: PDGETF2/TSLU ratios, IBM POWER5 |
+//! | `table4_tslu_xt4` | Table 4: PDGETF2/TSLU ratios, Cray XT4 |
+//! | `table5_calu_power5` | Table 5: PDGETRF/CALU ratios + GFLOP/s, POWER5 |
+//! | `table6_calu_xt4` | Table 6: PDGETRF/CALU ratios + GFLOP/s, XT4 |
+//! | `table7_best` | Table 7: best-vs-best speedups |
+//! | `model_check` | Eqs. 1-3 vs simulator + row-swap ablation |
+//! | `table_ensembles` | Section 6.1 remark: five-ensemble stability sweep |
+//! | `fig_trend` | Introduction: future-architecture speedup trend |
+//! | `ablation_lookahead` | Section 4: HPL-style look-ahead gain |
+//! | `ablation_tree_stability` | tournament tree shape vs pivot quality |
+//! | `fig_scaling` | strong/weak scaling curves, incl. a modern cluster |
+//! | `section5_comparison` | Section 5's term-by-term cost comparison |
+//!
+//! Numerics binaries accept `--full` (paper-scale sizes; slow) and default
+//! to a reduced sweep; all accept `--csv`.
+//!
+//! The `benches/` directory holds criterion microbenchmarks of the real
+//! (wall-clock) kernels on the host machine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calu_table;
+pub mod stability_table;
+pub mod tslu_table;
+
+/// Command-line options shared by the regenerator binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cli {
+    /// Run the paper-scale sweep (hours) instead of the reduced one.
+    pub full: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `--full` / `--csv` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--full" => cli.full = true,
+                "--csv" => cli.csv = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --full (paper-scale sweep), --csv");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+}
+
+/// A simple aligned-text / CSV table writer.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders to stdout, aligned text or CSV.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            println!("{}", self.headers.join(","));
+            for r in &self.rows {
+                println!("{}", r.join(","));
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{:>width$}  ", c, width = w));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("{}", "-".repeat(total));
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+/// Formats a ratio with two decimals (the paper's table style).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats in scientific notation with two significant decimals
+/// (the paper's `4.22e-14` style).
+pub fn sci(x: f64) -> String {
+    format!("{x:.2e}")
+}
+
+/// The paper's processor-count-to-grid mapping used in every table.
+pub fn paper_grids() -> Vec<(usize, usize, usize)> {
+    vec![(4, 2, 2), (8, 2, 4), (16, 4, 4), (32, 4, 8), (64, 8, 8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.239), "1.24");
+        assert_eq!(sci(4.22e-14), "4.22e-14");
+    }
+
+    #[test]
+    fn grids_match_paper() {
+        let g = paper_grids();
+        assert_eq!(g[0], (4, 2, 2));
+        assert_eq!(g[4], (64, 8, 8));
+    }
+}

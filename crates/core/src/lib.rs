@@ -1,0 +1,45 @@
+//! # calu-core — CALU and TSLU with tournament pivoting
+//!
+//! The paper's primary contribution, in three execution flavors sharing one
+//! set of numerics:
+//!
+//! * **Sequential reference** ([`calu`], [`tslu`], [`tournament`]) — defines
+//!   the algorithm: per panel, each of `p` block-rows elects `b` candidate
+//!   pivot rows by GEPP, a binary tournament elects the `b` winners, the
+//!   winners are swapped on top and the panel is factored *without*
+//!   pivoting; then the usual `trsm`/`gemm` trailing update.
+//! * **Shared-memory parallel** ([`par`], [`tiled`]) — rayon across
+//!   block-rows and in the update, plus a depth-1 lookahead tiled variant
+//!   that overlaps the next panel's TSLU with the bulk trailing update
+//!   (the paper's "multicore" future-work direction and HPL's look-ahead
+//!   technique, Section 4); bitwise identical factors.
+//! * **Simulated-distributed** ([`dist`]) — the paper's actual setting: the
+//!   2D block-cyclic layout on a `Pr x Pc` grid over `calu-netsim`, with
+//!   TSLU as a butterfly all-reduce, plus the ScaLAPACK `PDGETRF`/`PDGETF2`
+//!   baseline models, in both real-data and cost-skeleton modes.
+//!
+//! [`instrument::PivotStats`] plugs into any of them to collect the growth
+//! factor, pivot thresholds, and `|L|` bounds of the stability study
+//! (Section 6.1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod calu;
+pub mod dist;
+pub mod gepp;
+pub mod instrument;
+pub mod par;
+pub mod solve;
+pub mod tiled;
+pub mod tournament;
+pub mod tslu;
+
+pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
+pub use gepp::{gepp_factor, gepp_inplace};
+pub use instrument::PivotStats;
+pub use par::{par_calu_factor, par_calu_inplace};
+pub use solve::RefineInfo;
+pub use tiled::{tiled_calu_factor, tiled_calu_inplace};
+pub use tournament::{reduce_pair, tournament, tournament_flat, Candidates};
+pub use tslu::{tslu_factor, tslu_pivots, LocalLu, TsluResult};

@@ -1,0 +1,235 @@
+//! Tiled shared-memory CALU with depth-1 lookahead.
+//!
+//! The paper's future-work section (Section 7) asks about "the suitability
+//! of the new ca-pivoting strategy for parallel LU on multicore
+//! architectures"; the HPL benchmark it wants to adopt ca-pivoting uses a
+//! *look-ahead* schedule. This module combines both: while the bulk of the
+//! trailing matrix is still being updated for panel `k`, the *next* panel's
+//! slice is updated first and its TSLU runs concurrently, so the panel
+//! factorization — the critical path of right-looking LU (paper Section 7)
+//! — is hidden behind the `gemm`.
+//!
+//! Correctness hinges on one commutation: panel `k+1` elects and applies
+//! its pivots *before* the rest of the trailing matrix has them applied;
+//! applying the row swaps to a block after its update is identical to
+//! updating the permuted block, because the update `A22 -= L21·U12`
+//! touches rows independently. The factors are **bitwise identical** to
+//! sequential CALU (same tournament tree, same per-column accumulation
+//! order), which the tests assert.
+
+use crate::calu::{CaluOpts, LuFactors};
+use crate::tslu::{tslu_factor, TsluResult};
+use calu_matrix::blas3::{gemm, par_gemm, trsm};
+use calu_matrix::perm::apply_ipiv;
+use calu_matrix::{Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Side, Uplo};
+
+/// Factors a copy of `a` with lookahead-tiled CALU.
+///
+/// # Errors
+/// Singular pivot (exact zero) at the reported absolute step.
+pub fn tiled_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
+    let mut lu = a.clone();
+    let ipiv = tiled_calu_inplace(lu.view_mut(), opts, &mut NoObs)?;
+    Ok(LuFactors { lu, ipiv })
+}
+
+fn shift_step(k: usize) -> impl Fn(Error) -> Error {
+    move |e| match e {
+        Error::SingularPivot { step } => Error::SingularPivot { step: step + k },
+        other => other,
+    }
+}
+
+/// In-place lookahead-tiled CALU; same contract as
+/// [`calu_inplace`](crate::calu::calu_inplace) (the observer's recorded
+/// statistics are identical, though events for panel `k+1` may precede the
+/// `on_stage` for panel `k`'s bulk update — [`crate::instrument::PivotStats`]
+/// is order-free).
+///
+/// # Errors
+/// [`Error::SingularPivot`] with the absolute elimination step.
+pub fn tiled_calu_inplace<O: PivotObserver + Send>(
+    mut a: MatViewMut<'_>,
+    opts: CaluOpts,
+    obs: &mut O,
+) -> Result<Vec<usize>> {
+    let (m, n) = (a.rows(), a.cols());
+    let kn = m.min(n);
+    assert!(opts.block > 0 && opts.p > 0, "block and p must be positive");
+    let nb = opts.block;
+    let mut ipiv = vec![0usize; kn];
+
+    // Panel factored ahead during the previous iteration's join.
+    let mut pending: Option<TsluResult> = None;
+
+    let mut k = 0;
+    while k < kn {
+        let jb = nb.min(kn - k);
+
+        // --- 1. Panel k: either looked-ahead already, or factor now.
+        let r = match pending.take() {
+            Some(r) => r,
+            None => {
+                let panel = a.submatrix_mut(k, k, m - k, jb);
+                tslu_factor(panel, opts.p, opts.local, obs).map_err(shift_step(k))?
+            }
+        };
+        ipiv[k..k + jb].copy_from_slice(&r.ipiv);
+
+        // --- 2. Apply the panel's swaps to every other column. All of them
+        // are fully updated through panel k-1 at this point (the previous
+        // join completed), so the deferred application is exact.
+        let local = r.ipiv;
+        if k > 0 {
+            apply_ipiv(a.submatrix_mut(k, 0, m - k, k), &local);
+        }
+        if k + jb < n {
+            apply_ipiv(a.submatrix_mut(k, k + jb, m - k, n - k - jb), &local);
+        }
+        for p in ipiv[k..k + jb].iter_mut() {
+            *p += k;
+        }
+
+        // --- 3. U12 row + trailing update, with the next panel's slice
+        // updated first and its TSLU overlapped with the bulk gemm.
+        if k + jb < n {
+            let (left, right) = a.rb_mut().split_at_col_mut(k + jb);
+            let right = right.into_submatrix(k, 0, m - k, n - k - jb);
+            let (mut u12, mut a22) = right.split_at_row_mut(jb);
+            let l11 = left.submatrix(k, k, jb, jb);
+            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
+
+            if k + jb < m {
+                let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
+                let u12v = u12.as_view();
+
+                // Width of panel k+1 (0 when this is the last panel).
+                let next_jb = if k + jb < kn { nb.min(kn - k - jb) } else { 0 };
+                let lookahead = next_jb > 0 && a22.cols() > next_jb;
+
+                if lookahead {
+                    let (next_u, rest_u) = u12v.split_at_col(next_jb);
+                    let (mut next_c, mut rest_c) = a22.rb_mut().split_at_col_mut(next_jb);
+                    let next_k = k + jb;
+                    let (ahead, ()) = rayon::join(
+                        || -> Result<TsluResult> {
+                            // Critical path: bring panel k+1 up to date,
+                            // observe the stage, factor it.
+                            gemm(-1.0, l21, next_u, 1.0, next_c.rb_mut());
+                            obs.on_stage(&next_c.as_view());
+                            tslu_factor(next_c.rb_mut(), opts.p, opts.local, obs)
+                                .map_err(shift_step(next_k))
+                        },
+                        || par_gemm(-1.0, l21, rest_u, 1.0, rest_c.rb_mut()),
+                    );
+                    obs.on_stage(&rest_c.as_view());
+                    pending = Some(ahead?);
+                } else {
+                    // Last panel or no "rest": plain update.
+                    if opts.parallel_update {
+                        par_gemm(-1.0, l21, u12v, 1.0, a22.rb_mut());
+                    } else {
+                        gemm(-1.0, l21, u12v, 1.0, a22.rb_mut());
+                    }
+                    obs.on_stage(&a22.as_view());
+                }
+            }
+        }
+        k += jb;
+    }
+    Ok(ipiv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::calu_factor;
+    use crate::instrument::PivotStats;
+    use crate::tslu::LocalLu;
+    use calu_matrix::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiled_matches_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(131);
+        for &(m, n, b, p) in &[
+            (96usize, 96usize, 16usize, 4usize),
+            (130, 130, 32, 8),
+            (64, 64, 64, 4), // single panel: no lookahead at all
+            (100, 60, 16, 4),
+            (60, 100, 16, 4),
+            (97, 97, 16, 3), // ragged tiles
+        ] {
+            let a0 = gen::randn(&mut rng, m, n);
+            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let seq = calu_factor(&a0, opts).unwrap();
+            let tiled = tiled_calu_factor(&a0, opts).unwrap();
+            assert_eq!(seq.ipiv, tiled.ipiv, "{m}x{n} b={b} p={p}");
+            assert_eq!(
+                seq.lu.max_abs_diff(&tiled.lu),
+                0.0,
+                "{m}x{n} b={b} p={p}: factors must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_observer_stats_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(132);
+        let a0 = gen::randn(&mut rng, 120, 120);
+        let opts = CaluOpts { block: 24, p: 4, ..Default::default() };
+
+        let mut s_seq = PivotStats::new(a0.max_abs());
+        let mut w = a0.clone();
+        crate::calu::calu_inplace(w.view_mut(), opts, &mut s_seq).unwrap();
+
+        let mut s_tiled = PivotStats::new(a0.max_abs());
+        let mut w2 = a0.clone();
+        tiled_calu_inplace(w2.view_mut(), opts, &mut s_tiled).unwrap();
+
+        assert_eq!(s_seq.steps(), s_tiled.steps());
+        assert_eq!(s_seq.tau_min(), s_tiled.tau_min(), "order-free stats must agree exactly");
+        assert_eq!(s_seq.max_elem, s_tiled.max_elem);
+        assert_eq!(s_seq.max_l, s_tiled.max_l);
+    }
+
+    #[test]
+    fn tiled_solves_correctly() {
+        let mut rng = StdRng::seed_from_u64(133);
+        let n = 150;
+        let a = gen::randn(&mut rng, n, n);
+        let xt: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let b = gen::rhs_for_solution(&a, &xt);
+        let f = tiled_calu_factor(&a, CaluOpts { block: 32, p: 4, ..Default::default() }).unwrap();
+        let x = f.solve(&b);
+        for (got, want) in x.iter().zip(&xt) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tiled_singular_reports_absolute_step() {
+        // Rank-1 matrix: the second elimination step must fail whether it
+        // is discovered in the looked-ahead panel or the first one.
+        let n = 32;
+        let a = Matrix::from_fn(n, n, |i, j| ((i + 1) * (j + 1)) as f64);
+        let err =
+            tiled_calu_factor(&a, CaluOpts { block: 8, p: 4, ..Default::default() }).unwrap_err();
+        match err {
+            Error::SingularPivot { step } => assert!(step >= 1 && step < n, "step {step}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiled_block_bigger_than_matrix() {
+        let mut rng = StdRng::seed_from_u64(134);
+        let a0 = gen::randn(&mut rng, 40, 40);
+        let opts = CaluOpts { block: 64, p: 4, ..Default::default() };
+        let seq = calu_factor(&a0, opts).unwrap();
+        let tiled = tiled_calu_factor(&a0, opts).unwrap();
+        assert_eq!(seq.ipiv, tiled.ipiv);
+        assert_eq!(seq.lu.max_abs_diff(&tiled.lu), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Level-1 kernels (vector-vector), matching BLAS semantics where a BLAS
+//! routine of the same name exists.
+
+/// Index of the first element of maximum absolute value (BLAS `IDAMAX`
+/// semantics: ties resolve to the smallest index; NaNs are ignored unless
+/// every entry is NaN, in which case 0 is returned).
+///
+/// # Panics
+/// If `x` is empty.
+pub fn iamax(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "iamax of empty vector");
+    let mut best_i = 0;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        let a = v.abs();
+        if a > best {
+            best = a;
+            best_i = i;
+        }
+    }
+    best_i
+}
+
+/// `y += alpha * x` (BLAS `DAXPY`).
+///
+/// # Panics
+/// If lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` (BLAS `DSCAL`).
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product (BLAS `DDOT`).
+///
+/// # Panics
+/// If lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// Euclidean norm (BLAS `DNRM2`), with scaling to avoid overflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mx = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if mx == 0.0 || !mx.is_finite() {
+        return mx;
+    }
+    let s: f64 = x.iter().map(|&v| (v / mx) * (v / mx)).sum();
+    mx * s.sqrt()
+}
+
+/// Sum of absolute values (BLAS `DASUM`).
+#[inline]
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Maximum absolute value of a vector (the `inf`-norm); 0 when empty.
+#[inline]
+pub fn amax(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// Swap two vectors elementwise (BLAS `DSWAP`).
+///
+/// # Panics
+/// If lengths differ.
+#[inline]
+pub fn swap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "swap length mismatch");
+    x.swap_with_slice(y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iamax_first_max_wins() {
+        assert_eq!(iamax(&[1.0, -3.0, 3.0, 2.0]), 1);
+        assert_eq!(iamax(&[0.0]), 0);
+        assert_eq!(iamax(&[-1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn iamax_ignores_nan_unless_all_nan() {
+        assert_eq!(iamax(&[f64::NAN, 2.0, 1.0]), 1);
+        assert_eq!(iamax(&[f64::NAN, f64::NAN]), 0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn nrm2_is_scale_safe() {
+        let big = 1e200;
+        let x = [3.0 * big, 4.0 * big];
+        assert!((nrm2(&x) - 5.0 * big).abs() < 1e186);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_scal_asum_amax_basic() {
+        let mut x = vec![1.0, -2.0, 3.0];
+        assert_eq!(dot(&x, &[2.0, 1.0, 0.0]), 0.0);
+        assert_eq!(asum(&x), 6.0);
+        assert_eq!(amax(&x), 3.0);
+        scal(-1.0, &mut x);
+        assert_eq!(x, vec![-1.0, 2.0, -3.0]);
+    }
+}

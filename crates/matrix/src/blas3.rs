@@ -1,0 +1,400 @@
+//! Level-3 kernels: cache-blocked `gemm` (serial and rayon-parallel) and the
+//! four no-transpose `trsm` cases LU factorization needs.
+//!
+//! The `gemm` here follows the usual three-level blocking (NC/KC/MC) with a
+//! rank-4-update inner kernel over contiguous columns, which the LLVM
+//! auto-vectorizer handles well. It is not a tuned micro-kernel BLAS — the
+//! paper's absolute GFLOP/s are reproduced under a machine model, not on the
+//! host — but it keeps the laptop-scale stability experiments fast.
+
+use crate::blas1::axpy;
+use crate::view::{MatView, MatViewMut};
+use crate::{Diag, Side, Uplo};
+
+/// Column-block width processed per parallel task / outer loop step.
+const NC: usize = 128;
+/// K-block depth kept in cache between C updates.
+const KC: usize = 256;
+/// Row-block height of the packed A panel equivalent.
+const MC: usize = 256;
+
+/// `C = alpha * A * B + beta * C` (BLAS `DGEMM`, no transposes), serial.
+///
+/// Shapes: `A: m x k`, `B: k x n`, `C: m x n`.
+///
+/// # Panics
+/// On dimension mismatch.
+pub fn gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm: inner dimension mismatch");
+    assert_eq!(c.rows(), m, "gemm: C rows mismatch");
+    assert_eq!(c.cols(), n, "gemm: C cols mismatch");
+
+    scale(beta, c.rb_mut());
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                let a_blk = a.submatrix(ic, pc, mb, kb);
+                let b_blk = b.submatrix(pc, jc, kb, nb);
+                let c_blk = c.submatrix_mut(ic, jc, mb, nb);
+                block_kernel(alpha, a_blk, b_blk, c_blk);
+                ic += mb;
+            }
+            pc += kb;
+        }
+        jc += nb;
+    }
+}
+
+/// `C = alpha * A * B + beta * C`, splitting columns of `C` across the rayon
+/// thread pool. Falls back to the serial path for small problems.
+pub fn par_gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatViewMut<'_>) {
+    let n = b.cols();
+    let work = (a.rows() as u64) * (a.cols() as u64) * (n as u64);
+    // Below ~8 Mflop the spawn overhead dominates on small core counts.
+    if work < 4_000_000 || n < 2 * NC {
+        gemm(alpha, a, b, beta, c);
+        return;
+    }
+    par_gemm_cols(alpha, a, b, beta, c);
+}
+
+fn par_gemm_cols(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatViewMut<'_>) {
+    let n = c.cols();
+    if n <= NC {
+        gemm(alpha, a, b, beta, c);
+        return;
+    }
+    let half = (n / 2 / NC).max(1) * NC;
+    let (b_l, b_r) = b.split_at_col(half.min(n));
+    let (c_l, c_r) = c.split_at_col_mut(half.min(n));
+    rayon::join(
+        || par_gemm_cols(alpha, a, b_l, beta, c_l),
+        || par_gemm_cols(alpha, a, b_r, beta, c_r),
+    );
+}
+
+/// Inner blocked kernel: `C += alpha * A * B` over one cache block, rank-4
+/// updates down contiguous columns.
+fn block_kernel(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
+    let kb = a.cols();
+    let k4 = kb - kb % 4;
+    for j in 0..b.cols() {
+        let bcol = b.col(j);
+        let ccol = c.col_mut(j);
+        let mut l = 0;
+        while l < k4 {
+            let (b0, b1, b2, b3) = (
+                alpha * bcol[l],
+                alpha * bcol[l + 1],
+                alpha * bcol[l + 2],
+                alpha * bcol[l + 3],
+            );
+            let a0 = a.col(l);
+            let a1 = a.col(l + 1);
+            let a2 = a.col(l + 2);
+            let a3 = a.col(l + 3);
+            for (i, cv) in ccol.iter_mut().enumerate() {
+                *cv += a0[i] * b0 + a1[i] * b1 + a2[i] * b2 + a3[i] * b3;
+            }
+            l += 4;
+        }
+        while l < kb {
+            axpy(alpha * bcol[l], a.col(l), ccol);
+            l += 1;
+        }
+    }
+}
+
+fn scale(beta: f64, mut c: MatViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..c.cols() {
+        if beta == 0.0 {
+            c.col_mut(j).fill(0.0);
+        } else {
+            crate::blas1::scal(beta, c.col_mut(j));
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides (BLAS `DTRSM`, no
+/// transpose): overwrites `B` with `alpha * op(A)^{-1} B` (`side == Left`)
+/// or `alpha * B * op(A)^{-1}` (`side == Right`).
+///
+/// The four `side x uplo` combinations cover everything LU needs:
+/// * `Left/Lower/Unit` — compute `U12 = L11^{-1} A12` in the trailing update;
+/// * `Left/Upper/NonUnit` — back-substitution in solves;
+/// * `Right/Upper/NonUnit` — TSLU step 6, `L_i = A_i U^{-1}`;
+/// * `Right/Lower/Unit` — completes the API (used in tests).
+///
+/// # Panics
+/// If `A` is not square or shapes mismatch.
+pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut b: MatViewMut<'_>) {
+    let n_tri = a.rows();
+    assert_eq!(a.cols(), n_tri, "trsm: A must be square");
+    match side {
+        Side::Left => assert_eq!(b.rows(), n_tri, "trsm: B rows != A order"),
+        Side::Right => assert_eq!(b.cols(), n_tri, "trsm: B cols != A order"),
+    }
+    if alpha != 1.0 {
+        scale(alpha, b.rb_mut());
+    }
+    if b.is_empty() {
+        return;
+    }
+    match (side, uplo) {
+        (Side::Left, Uplo::Lower) => {
+            // Forward substitution, column by column of B.
+            let m = b.rows();
+            for j in 0..b.cols() {
+                let bcol = b.col_mut(j);
+                for k in 0..m {
+                    if let Diag::NonUnit = diag {
+                        bcol[k] /= a.get(k, k);
+                    }
+                    let bk = bcol[k];
+                    if bk != 0.0 {
+                        let acol = a.col(k);
+                        for i in k + 1..m {
+                            bcol[i] -= acol[i] * bk;
+                        }
+                    }
+                }
+            }
+        }
+        (Side::Left, Uplo::Upper) => {
+            let m = b.rows();
+            for j in 0..b.cols() {
+                let bcol = b.col_mut(j);
+                for k in (0..m).rev() {
+                    if let Diag::NonUnit = diag {
+                        bcol[k] /= a.get(k, k);
+                    }
+                    let bk = bcol[k];
+                    if bk != 0.0 {
+                        let acol = a.col(k);
+                        for (i, bi) in bcol.iter_mut().enumerate().take(k) {
+                            *bi -= acol[i] * bk;
+                        }
+                    }
+                }
+            }
+        }
+        (Side::Right, Uplo::Upper) => {
+            // X U = B: columns left to right; x_j = (b_j - X[:, :j] u[:j, j]) / u_jj.
+            let n = b.cols();
+            for j in 0..n {
+                for k in 0..j {
+                    let u_kj = a.get(k, j);
+                    if u_kj != 0.0 {
+                        let (xk, xj) = b.two_cols_mut(k, j);
+                        axpy(-u_kj, xk, xj);
+                    }
+                }
+                if let Diag::NonUnit = diag {
+                    let inv = 1.0 / a.get(j, j);
+                    crate::blas1::scal(inv, b.col_mut(j));
+                }
+            }
+        }
+        (Side::Right, Uplo::Lower) => {
+            // X L = B: columns right to left.
+            let n = b.cols();
+            for j in (0..n).rev() {
+                for k in j + 1..n {
+                    let l_kj = a.get(k, j);
+                    if l_kj != 0.0 {
+                        let (xj, xk) = b.two_cols_mut(j, k);
+                        axpy(-l_kj, xk, xj);
+                    }
+                }
+                if let Diag::NonUnit = diag {
+                    let inv = 1.0 / a.get(j, j);
+                    crate::blas1::scal(inv, b.col_mut(j));
+                }
+            }
+        }
+    }
+}
+
+/// Reference `gemm` as a naive triple loop; used by tests and property checks
+/// to validate the blocked kernel.
+pub fn gemm_naive(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k);
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a.get(i, l) * b.get(l, j);
+            }
+            let cur = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        let d = a.max_abs_diff(b);
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (37, 19, 23), (64, 64, 64), (129, 65, 140), (300, 17, 260)] {
+            let a = gen::randn(&mut rng, m, k);
+            let b = gen::randn(&mut rng, k, n);
+            let c0 = gen::randn(&mut rng, m, n);
+            let mut c1 = c0.clone();
+            let mut c2 = c0.clone();
+            gemm(1.5, a.view(), b.view(), -0.5, c1.view_mut());
+            gemm_naive(1.5, a.view(), b.view(), -0.5, c2.view_mut());
+            assert_close(&c1, &c2, 1e-10 * (k as f64));
+        }
+    }
+
+    #[test]
+    fn par_gemm_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, k, n) = (150, 90, 310);
+        let a = gen::randn(&mut rng, m, k);
+        let b = gen::randn(&mut rng, k, n);
+        let c0 = gen::randn(&mut rng, m, n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        gemm(1.0, a.view(), b.view(), 1.0, c1.view_mut());
+        par_gemm(1.0, a.view(), b.view(), 1.0, c2.view_mut());
+        assert_close(&c1, &c2, 1e-11 * (k as f64));
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan() {
+        // beta = 0 must overwrite even NaN garbage in C.
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_fn(2, 2, |_, _| f64::NAN);
+        gemm(1.0, a.view(), b.view(), 0.0, c.view_mut());
+        assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    fn gemm_empty_k_scales_only() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::from_fn(3, 2, |_, _| 2.0);
+        gemm(1.0, a.view(), b.view(), 0.5, c.view_mut());
+        assert_eq!(c, Matrix::from_fn(3, 2, |_, _| 1.0));
+    }
+
+    fn random_lower_unit(rng: &mut StdRng, n: usize) -> Matrix {
+        let mut l = gen::randn(rng, n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if j > i {
+                    l[(i, j)] = 0.0;
+                } else if j == i {
+                    l[(i, j)] = 1.0;
+                } else {
+                    l[(i, j)] *= 0.3; // keep well-conditioned
+                }
+            }
+        }
+        l
+    }
+
+    fn random_upper(rng: &mut StdRng, n: usize) -> Matrix {
+        let mut u = gen::randn(rng, n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if j < i {
+                    u[(i, j)] = 0.0;
+                } else if j == i {
+                    u[(i, j)] = 2.0 + u[(i, j)].abs();
+                }
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn trsm_left_lower_unit_round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = random_lower_unit(&mut rng, 17);
+        let b0 = gen::randn(&mut rng, 17, 9);
+        let mut x = b0.clone();
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l.view(), x.view_mut());
+        let mut back = Matrix::zeros(17, 9);
+        gemm(1.0, l.view(), x.view(), 0.0, back.view_mut());
+        assert_close(&back, &b0, 1e-10);
+    }
+
+    #[test]
+    fn trsm_left_upper_nonunit_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let u = random_upper(&mut rng, 13);
+        let b0 = gen::randn(&mut rng, 13, 5);
+        let mut x = b0.clone();
+        trsm(Side::Left, Uplo::Upper, Diag::NonUnit, 1.0, u.view(), x.view_mut());
+        let mut back = Matrix::zeros(13, 5);
+        gemm(1.0, u.view(), x.view(), 0.0, back.view_mut());
+        assert_close(&back, &b0, 1e-9);
+    }
+
+    #[test]
+    fn trsm_right_upper_nonunit_round_trip() {
+        // TSLU step 6: L = A U^{-1}  =>  L U = A.
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = random_upper(&mut rng, 8);
+        let a0 = gen::randn(&mut rng, 20, 8);
+        let mut l = a0.clone();
+        trsm(Side::Right, Uplo::Upper, Diag::NonUnit, 1.0, u.view(), l.view_mut());
+        let mut back = Matrix::zeros(20, 8);
+        gemm(1.0, l.view(), u.view(), 0.0, back.view_mut());
+        assert_close(&back, &a0, 1e-9);
+    }
+
+    #[test]
+    fn trsm_right_lower_unit_round_trip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let l_tri = random_lower_unit(&mut rng, 7);
+        let b0 = gen::randn(&mut rng, 11, 7);
+        let mut x = b0.clone();
+        trsm(Side::Right, Uplo::Lower, Diag::Unit, 1.0, l_tri.view(), x.view_mut());
+        let mut back = Matrix::zeros(11, 7);
+        gemm(1.0, x.view(), l_tri.view(), 0.0, back.view_mut());
+        assert_close(&back, &b0, 1e-10);
+    }
+
+    #[test]
+    fn trsm_alpha_scales_rhs() {
+        let l = Matrix::identity(3);
+        let mut b = Matrix::from_fn(3, 2, |_, _| 1.0);
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, 2.0, l.view(), b.view_mut());
+        assert_eq!(b, Matrix::from_fn(3, 2, |_, _| 2.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Row/column equilibration (`DGEEQU` + `DLAQGE`): diagonal scalings that
+//! bring every row and column's largest entry near 1.
+//!
+//! Badly scaled inputs inflate the growth factor artificially; HPL-style
+//! drivers equilibrate first so the pivoting study measures the algorithm,
+//! not the units the user happened to pick.
+
+use crate::error::{Error, Result};
+use crate::view::{MatView, MatViewMut};
+
+/// Equilibration scalings for a matrix: `diag(r) * A * diag(c)` has rows
+/// and columns with unit max-entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibration {
+    /// Row scale factors `r` (length `m`).
+    pub r: Vec<f64>,
+    /// Column scale factors `c` (length `n`).
+    pub c: Vec<f64>,
+    /// `min_i max_j |a_ij| r_i` over `max_i ...` — LAPACK's `ROWCND`;
+    /// near 1 means rows were already balanced.
+    pub rowcnd: f64,
+    /// Same for columns (`COLCND`).
+    pub colcnd: f64,
+    /// `max |a_ij|` of the input.
+    pub amax: f64,
+}
+
+impl Equilibration {
+    /// LAPACK's heuristic for whether row scaling is worth applying
+    /// (`ROWCND < 0.1` in `DGESVX`).
+    pub fn rows_need_scaling(&self) -> bool {
+        self.rowcnd < 0.1
+    }
+
+    /// Same heuristic for columns.
+    pub fn cols_need_scaling(&self) -> bool {
+        self.colcnd < 0.1
+    }
+}
+
+/// Computes equilibration scalings (`DGEEQU`).
+///
+/// # Errors
+/// [`Error::SingularPivot`] naming the first identically-zero row or
+/// column (such a matrix is exactly singular; LAPACK reports it in `INFO`).
+pub fn geequ(a: MatView<'_>) -> Result<Equilibration> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut r = vec![0.0_f64; m];
+    let mut c = vec![0.0_f64; n];
+    let mut amax = 0.0_f64;
+
+    for j in 0..n {
+        for (i, &v) in a.col(j).iter().enumerate() {
+            let av = v.abs();
+            if av > r[i] {
+                r[i] = av;
+            }
+            if av > amax {
+                amax = av;
+            }
+        }
+    }
+    let (mut rmin, mut rmax) = (f64::INFINITY, 0.0_f64);
+    for (i, ri) in r.iter_mut().enumerate() {
+        if *ri == 0.0 {
+            return Err(Error::SingularPivot { step: i });
+        }
+        rmin = rmin.min(*ri);
+        rmax = rmax.max(*ri);
+        *ri = 1.0 / *ri;
+    }
+    let rowcnd = rmin / rmax;
+
+    for (j, cj) in c.iter_mut().enumerate() {
+        let mut best = 0.0_f64;
+        for (i, &v) in a.col(j).iter().enumerate() {
+            let scaled = v.abs() * r[i];
+            if scaled > best {
+                best = scaled;
+            }
+        }
+        if best == 0.0 {
+            return Err(Error::SingularPivot { step: j });
+        }
+        *cj = 1.0 / best;
+    }
+    let cmin = c.iter().copied().fold(f64::INFINITY, f64::min);
+    let cmax = c.iter().copied().fold(0.0_f64, f64::max);
+    // c holds reciprocals, so COLCND = min(1/c) / max(1/c) = cmin/cmax
+    // inverted: min over max of the *scaled column maxima*.
+    let colcnd = (1.0 / cmax) / (1.0 / cmin);
+
+    Ok(Equilibration { r, c, rowcnd, colcnd, amax })
+}
+
+/// Applies the scalings in place: `A := diag(r) * A * diag(c)` (`DLAQGE`,
+/// unconditional form).
+///
+/// # Panics
+/// If the scale vectors don't match `A`'s shape.
+pub fn laqge(mut a: MatViewMut<'_>, eq: &Equilibration) {
+    assert_eq!(eq.r.len(), a.rows(), "laqge: row scale length");
+    assert_eq!(eq.c.len(), a.cols(), "laqge: col scale length");
+    for j in 0..a.cols() {
+        let cj = eq.c[j];
+        for (v, &ri) in a.col_mut(j).iter_mut().zip(&eq.r) {
+            *v *= ri * cj;
+        }
+    }
+}
+
+/// Undoes equilibration on a solution vector: if `(diag(r) A diag(c)) y =
+/// diag(r) b` was solved, then `x = diag(c) y` solves `A x = b`.
+pub fn unscale_solution(x: &mut [f64], eq: &Equilibration) {
+    assert_eq!(x.len(), eq.c.len(), "unscale: length mismatch");
+    for (xi, &ci) in x.iter_mut().zip(&eq.c) {
+        *xi *= ci;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::lapack::{getrf, getrs, GetrfOpts};
+    use crate::{Matrix, NoObs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equilibrated_matrix_has_unit_row_and_col_maxima() {
+        let mut rng = StdRng::seed_from_u64(251);
+        // Wildly scaled: row i multiplied by 10^(i-3), col j by 10^(2j).
+        let mut a = gen::randn(&mut rng, 6, 5);
+        for i in 0..6 {
+            for j in 0..5 {
+                a[(i, j)] *= 10.0_f64.powi(i as i32 - 3) * 10.0_f64.powi(2 * j as i32);
+            }
+        }
+        let eq = geequ(a.view()).unwrap();
+        let mut s = a.clone();
+        laqge(s.view_mut(), &eq);
+        // Every row max and column max is in (0, 1].
+        for j in 0..5 {
+            let cmax = s.col(j).iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            assert!(cmax <= 1.0 + 1e-12 && cmax > 0.0, "col {j} max {cmax}");
+        }
+        for i in 0..6 {
+            let rmax = (0..5).map(|j| s[(i, j)].abs()).fold(0.0_f64, f64::max);
+            assert!(rmax <= 1.0 + 1e-12 && rmax > 0.1, "row {i} max {rmax}");
+        }
+    }
+
+    #[test]
+    fn balanced_matrix_reports_good_cnd() {
+        let mut rng = StdRng::seed_from_u64(252);
+        let a = gen::uniform(&mut rng, 20, 20, 0.5, 2.0);
+        let eq = geequ(a.view()).unwrap();
+        assert!(eq.rowcnd > 0.1, "rowcnd {}", eq.rowcnd);
+        assert!(eq.colcnd > 0.1, "colcnd {}", eq.colcnd);
+        assert!(!eq.rows_need_scaling());
+        assert!(!eq.cols_need_scaling());
+    }
+
+    #[test]
+    fn skewed_matrix_reports_bad_cnd() {
+        let mut a = Matrix::identity(4);
+        a[(0, 0)] = 1e8;
+        let eq = geequ(a.view()).unwrap();
+        assert!(eq.rows_need_scaling());
+        assert!((eq.amax - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_row_is_an_error() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = 0.0;
+        let err = geequ(a.view()).unwrap_err();
+        assert_eq!(err, Error::SingularPivot { step: 1 });
+    }
+
+    #[test]
+    fn scaled_solve_recovers_unscaled_solution() {
+        let mut rng = StdRng::seed_from_u64(253);
+        let n = 24;
+        let mut a = gen::diag_dominant(&mut rng, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] *= 10.0_f64.powi((i % 5) as i32 - 2);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b = gen::rhs_for_solution(&a, &x_true);
+
+        let eq = geequ(a.view()).unwrap();
+        let mut s = a.clone();
+        laqge(s.view_mut(), &eq);
+        // Scale the rhs by r, solve, unscale by c.
+        let mut bs: Vec<f64> = b.iter().zip(&eq.r).map(|(bi, ri)| bi * ri).collect();
+        let mut ipiv = vec![0usize; n];
+        getrf(s.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+        getrs(s.view(), &ipiv, &mut bs);
+        unscale_solution(&mut bs, &eq);
+        for (got, want) in bs.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+}

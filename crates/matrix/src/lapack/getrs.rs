@@ -1,0 +1,114 @@
+//! Solves from packed LU factors (`DGETRS`, both transpose modes).
+
+use crate::blas2::{trsv, trsv_t};
+use crate::blas3::trsm;
+use crate::perm::{apply_ipiv, apply_ipiv_vec};
+use crate::view::{MatView, MatViewMut};
+use crate::{Diag, Side, Uplo};
+
+/// Solves `A x = b` in place given the packed factors and pivots of
+/// `A = P L U` (as produced by `getf2`/`rgetf2`/`getrf`).
+///
+/// # Panics
+/// If shapes mismatch.
+pub fn getrs(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
+    let n = lu.rows();
+    assert_eq!(lu.cols(), n, "getrs: factors must be square");
+    assert_eq!(b.len(), n, "getrs: rhs length mismatch");
+    apply_ipiv_vec(b, ipiv);
+    trsv(Uplo::Lower, Diag::Unit, lu, b);
+    trsv(Uplo::Upper, Diag::NonUnit, lu, b);
+}
+
+/// Solves the transposed system `A^T x = b` in place from the same factors:
+/// `A^T = U^T L^T P^T`, so forward-solve with `U^T`, back-solve with `L^T`,
+/// then undo the row interchanges (`DGETRS` with `TRANS = 'T'`; the
+/// condition estimator needs this direction).
+///
+/// # Panics
+/// If shapes mismatch.
+pub fn getrs_t(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
+    let n = lu.rows();
+    assert_eq!(lu.cols(), n, "getrs_t: factors must be square");
+    assert_eq!(b.len(), n, "getrs_t: rhs length mismatch");
+    trsv_t(Uplo::Upper, Diag::NonUnit, lu, b);
+    trsv_t(Uplo::Lower, Diag::Unit, lu, b);
+    // x = P^T z: apply the swap sequence in reverse.
+    for j in (0..ipiv.len()).rev() {
+        if ipiv[j] != j {
+            b.swap(j, ipiv[j]);
+        }
+    }
+}
+
+/// Multi-RHS version of [`getrs`]: solves `A X = B` in place.
+///
+/// # Panics
+/// If shapes mismatch.
+pub fn getrs_mat(lu: MatView<'_>, ipiv: &[usize], mut b: MatViewMut<'_>) {
+    let n = lu.rows();
+    assert_eq!(lu.cols(), n, "getrs_mat: factors must be square");
+    assert_eq!(b.rows(), n, "getrs_mat: rhs rows mismatch");
+    apply_ipiv(b.rb_mut(), ipiv);
+    trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, lu, b.rb_mut());
+    trsm(Side::Left, Uplo::Upper, Diag::NonUnit, 1.0, lu, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::lapack::{getrf, GetrfOpts};
+    use crate::{Matrix, NoObs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 60;
+        let a0 = gen::randn(&mut rng, n, n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 - 30.0) / 7.0).collect();
+        let mut b = gen::rhs_for_solution(&a0, &x_true);
+
+        let mut lu = a0.clone();
+        let mut ipiv = vec![0; n];
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+        getrs(lu.view(), &ipiv, &mut b);
+
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_single() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 24;
+        let a0 = gen::randn(&mut rng, n, n);
+        let mut lu = a0.clone();
+        let mut ipiv = vec![0; n];
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs).unwrap();
+
+        let b0 = gen::randn(&mut rng, n, 3);
+        let mut bm = b0.clone();
+        getrs_mat(lu.view(), &ipiv, bm.view_mut());
+        for j in 0..3 {
+            let mut bv = b0.col(j).to_vec();
+            getrs(lu.view(), &ipiv, &mut bv);
+            for (a, b) in bv.iter().zip(bm.col(j)) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let lu = Matrix::identity(5);
+        let ipiv = vec![0, 1, 2, 3, 4];
+        let mut b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b0 = b.clone();
+        getrs(lu.view(), &ipiv, &mut b);
+        assert_eq!(b, b0);
+    }
+}

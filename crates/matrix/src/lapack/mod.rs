@@ -1,0 +1,37 @@
+//! LAPACK-style dense factorizations.
+//!
+//! * [`getf2`] — classic unblocked LU with partial pivoting (the paper's
+//!   `DGETF2`; BLAS-2 bound).
+//! * [`rgetf2`] — recursive LU (the paper's `RGETF2`, Gustavson 1997 /
+//!   Toledo 1997; BLAS-3 rich). Tables 3-4 compare TSLU built on each.
+//! * [`getrf`] — blocked right-looking LU with partial pivoting; the GEPP
+//!   baseline whose parallel analogue is ScaLAPACK's `PDGETRF`.
+//! * [`lu_nopiv`] — LU with **no** pivoting; CALU applies it to the panel
+//!   after tournament pivoting has permuted the winners on top.
+//! * [`getrs`] / [`getrs_t`] — triangular solves from the packed factors.
+//! * [`getri`] — explicit inverse from the packed factors.
+//! * [`gecon`] — Hager-Higham reciprocal condition estimate.
+//! * [`geequ`] / [`laqge`] — row/column equilibration.
+//!
+//! All factorizations overwrite their input with the packed `L\U` factors
+//! (unit lower triangle implicit) and accept a
+//! [`PivotObserver`](crate::observer::PivotObserver) for the stability
+//! instrumentation.
+
+mod gecon;
+mod geequ;
+mod getf2;
+mod getrf;
+mod getri;
+mod getrs;
+mod lu_nopiv;
+mod rgetf2;
+
+pub use gecon::{gecon, inv_norm1_est};
+pub use geequ::{geequ, laqge, unscale_solution, Equilibration};
+pub use getf2::{getf2, getf2_info};
+pub use getrf::{getrf, GetrfOpts, PanelAlg};
+pub use getri::{getri, trtri_upper};
+pub use getrs::{getrs, getrs_mat, getrs_t};
+pub use lu_nopiv::{lu_nopiv, lu_nopiv_blocked};
+pub use rgetf2::{rgetf2, rgetf2_info};

@@ -1,0 +1,77 @@
+//! # calu-matrix — dense column-major matrix substrate
+//!
+//! From-scratch dense linear-algebra kernels backing the reproduction of
+//! *Communication Avoiding Gaussian Elimination* (Grigori, Demmel, Xiang,
+//! 2008). The paper's implementation sits on ESSL/libGoto BLAS and
+//! LAPACK/ScaLAPACK; this crate provides the equivalent sequential substrate:
+//!
+//! * [`Matrix`] — owned, column-major storage; [`MatView`]/[`MatViewMut`] —
+//!   borrowed, leading-dimension strided views so every kernel operates on
+//!   sub-blocks without copying (the shape ScaLAPACK-style algorithms need).
+//! * BLAS level 1/2/3: [`blas1`], [`blas2`], [`blas3`] (`iamax`, `axpy`,
+//!   `ger`, `gemv`, blocked `gemm`, the four no-transpose `trsm` cases used
+//!   by LU, with optional rayon-parallel `gemm`).
+//! * LAPACK-style factorizations in [`lapack`]: `getf2` (classic partial
+//!   pivoting, the paper's `DGETF2`), `rgetf2` (recursive, the paper's
+//!   `RGETF2` from Gustavson/Toledo), blocked `getrf` (GEPP baseline),
+//!   `lu_nopiv` (panel factorization after tournament pivoting), `laswp`,
+//!   and triangular solves `getrs`.
+//! * [`gen`] — seeded matrix ensembles used by the paper's experiments
+//!   (normal, uniform, Toeplitz, plus worst-case growth matrices).
+//! * [`perm`] — pivot-vector (`ipiv`) and permutation algebra.
+//! * [`observer`] — a zero-cost instrumentation hook that the stability
+//!   experiments use to track element growth and pivot thresholds at every
+//!   elimination stage.
+//!
+//! All kernels are written for clarity-first correctness with cache-blocked
+//! hot loops; absolute speed is not the point of the reproduction (the
+//! performance tables are regenerated under a machine model, see
+//! `calu-netsim`), but `gemm` is blocked and vectorizer-friendly so the
+//! laptop-scale experiments finish quickly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod error;
+pub mod gen;
+pub mod lapack;
+pub mod mat;
+pub mod norms;
+pub mod observer;
+pub mod perm;
+pub mod view;
+
+pub use error::{Error, Result};
+pub use mat::Matrix;
+pub use observer::{NoObs, PivotObserver};
+pub use view::{MatView, MatViewMut};
+
+/// Side on which a triangular matrix multiplies in [`blas3::trsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A) * X = B` (A on the left).
+    Left,
+    /// Solve `X * op(A) = B` (A on the right).
+    Right,
+}
+
+/// Which triangle of the matrix argument a triangular kernel reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// Lower triangle.
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+/// Whether the diagonal of a triangular matrix is assumed to be all ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are implicitly 1 and are not read.
+    Unit,
+    /// Diagonal entries are read from the matrix.
+    NonUnit,
+}

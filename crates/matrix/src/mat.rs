@@ -1,0 +1,273 @@
+//! Owned column-major matrix storage.
+
+use crate::view::{MatView, MatViewMut};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Owned dense matrix in column-major order (`ld == rows`).
+///
+/// `Matrix` is deliberately minimal: algorithms operate on
+/// [`MatView`]/[`MatViewMut`] obtained via [`Matrix::view`] /
+/// [`Matrix::view_mut`], so that the exact same kernels run on owned
+/// matrices, panels, and block-cyclic local storage.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Allocates an `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wraps an existing column-major buffer (`data.len() == rows*cols`).
+    ///
+    /// # Panics
+    /// If the length does not match the shape.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length != rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row-major nested slices (convenient in tests and
+    /// examples; the paper's Figure 1 matrix is written row by row).
+    ///
+    /// # Panics
+    /// If rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+        }
+        Self::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when either dimension is zero.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Immutable view of the whole matrix.
+    #[inline(always)]
+    pub fn view(&self) -> MatView<'_> {
+        MatView::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Mutable view of the whole matrix.
+    #[inline(always)]
+    pub fn view_mut(&mut self) -> MatViewMut<'_> {
+        MatViewMut::from_slice(&mut self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline(always)]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Underlying column-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Underlying column-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Extracts row `i` as a `Vec`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x.abs()).collect() }
+    }
+
+    /// Maximum absolute entry (0 for empty).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius-style elementwise comparison: max |a_ij - b_ij|.
+    ///
+    /// # Panics
+    /// If the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// The strictly-lower-triangular part with unit diagonal (the `L` factor
+    /// stored in a packed LU), as an `m x min(m,n)` matrix.
+    pub fn unit_lower(&self) -> Matrix {
+        let k = self.rows.min(self.cols);
+        Matrix::from_fn(self.rows, k, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// The upper-triangular part (the `U` factor stored in a packed LU), as
+    /// a `min(m,n) x n` matrix.
+    pub fn upper(&self) -> Matrix {
+        let k = self.rows.min(self.cols);
+        Matrix::from_fn(k, self.cols, |i, j| if j >= i { self[(i, j)] } else { 0.0 })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            if show_cols < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_is_column_major() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i + 10 * j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], 6.0);
+        assert_eq!(m.row(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 31 + j * 7) as f64);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn unit_lower_and_upper_extract_lu_factors() {
+        let m = Matrix::from_rows(&[&[2.0, 3.0], &[0.5, 4.0], &[0.25, 0.5]]);
+        let l = m.unit_lower();
+        let u = m.upper();
+        assert_eq!(l.rows(), 3);
+        assert_eq!(l.cols(), 2);
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(l[(1, 0)], 0.5);
+        assert_eq!(l[(1, 1)], 1.0);
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(u.rows(), 2);
+        assert_eq!(u[(0, 1)], 3.0);
+        assert_eq!(u[(1, 0)], 0.0);
+        assert_eq!(u[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i3 = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(i3[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+}

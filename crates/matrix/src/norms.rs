@@ -1,0 +1,90 @@
+//! Matrix and vector norms used by the HPL accuracy tests.
+//!
+//! HPL's residual checks (paper Section 6.1) need `||A||_1`, `||A||_inf`,
+//! `||x||_1`, `||x||_inf` and `||r||_inf`; the growth-factor study needs
+//! max-abs scans.
+
+use crate::view::MatView;
+
+/// `||A||_1` — maximum absolute column sum.
+pub fn mat_norm_1(a: MatView<'_>) -> f64 {
+    let mut best = 0.0_f64;
+    for j in 0..a.cols() {
+        let s: f64 = a.col(j).iter().map(|v| v.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// `||A||_inf` — maximum absolute row sum.
+pub fn mat_norm_inf(a: MatView<'_>) -> f64 {
+    let mut row_sums = vec![0.0_f64; a.rows()];
+    for j in 0..a.cols() {
+        for (rs, &v) in row_sums.iter_mut().zip(a.col(j)) {
+            *rs += v.abs();
+        }
+    }
+    row_sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Frobenius norm, with scaling to avoid overflow.
+pub fn mat_norm_fro(a: MatView<'_>) -> f64 {
+    let mx = a.max_abs();
+    if mx == 0.0 || !mx.is_finite() {
+        return mx;
+    }
+    let mut s = 0.0_f64;
+    for j in 0..a.cols() {
+        for &v in a.col(j) {
+            let t = v / mx;
+            s += t * t;
+        }
+    }
+    mx * s.sqrt()
+}
+
+/// `||x||_1`.
+pub fn vec_norm_1(x: &[f64]) -> f64 {
+    crate::blas1::asum(x)
+}
+
+/// `||x||_inf`.
+pub fn vec_norm_inf(x: &[f64]) -> f64 {
+    crate::blas1::amax(x)
+}
+
+/// `||x||_2`.
+pub fn vec_norm_2(x: &[f64]) -> f64 {
+    crate::blas1::nrm2(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn norms_of_known_matrix() {
+        // A = [1 -2; 3 4]: ||A||_1 = max(4, 6) = 6; ||A||_inf = max(3, 7) = 7.
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(mat_norm_1(a.view()), 6.0);
+        assert_eq!(mat_norm_inf(a.view()), 7.0);
+        let fro = mat_norm_fro(a.view());
+        assert!((fro - (30.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inf_norm_of_transpose_equals_one_norm() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 3 + j * 11) % 13) as f64 - 6.0);
+        let at = a.transposed();
+        assert!((mat_norm_1(a.view()) - mat_norm_inf(at.view())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(vec_norm_1(&x), 7.0);
+        assert_eq!(vec_norm_inf(&x), 4.0);
+        assert!((vec_norm_2(&x) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Pivot-vector (`ipiv`) and permutation algebra.
+//!
+//! LAPACK expresses row pivoting as a sequence of transpositions: `ipiv[i]`
+//! says "row `i` was swapped with row `ipiv[i]`" (applied in increasing `i`).
+//! CALU composes several such sequences (one per panel, plus the tournament's
+//! own permutations), so we also provide explicit permutation vectors:
+//! `perm[i] = p` means row `i` of the permuted matrix is row `p` of the
+//! original (`(P A)[i, :] = A[perm[i], :]`).
+
+use crate::view::MatViewMut;
+
+/// Applies the transposition sequence `ipiv` to the rows of `a`
+/// (LAPACK `DLASWP` with increment +1): for `i` in order, swap rows
+/// `i` and `ipiv[i]`.
+pub fn apply_ipiv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
+    for (i, &p) in ipiv.iter().enumerate() {
+        if p != i {
+            a.swap_rows(i, p);
+        }
+    }
+}
+
+/// Applies the inverse of the transposition sequence (LAPACK `DLASWP` with
+/// increment -1): for `i` in reverse order, swap rows `i` and `ipiv[i]`.
+pub fn apply_ipiv_inv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
+    for (i, &p) in ipiv.iter().enumerate().rev() {
+        if p != i {
+            a.swap_rows(i, p);
+        }
+    }
+}
+
+/// Applies the transposition sequence to a vector.
+pub fn apply_ipiv_vec(x: &mut [f64], ipiv: &[usize]) {
+    for (i, &p) in ipiv.iter().enumerate() {
+        if p != i {
+            x.swap(i, p);
+        }
+    }
+}
+
+/// Converts a transposition sequence over `m` rows into an explicit
+/// permutation vector `perm` with `(P A)[i, :] = A[perm[i], :]`.
+pub fn ipiv_to_perm(ipiv: &[usize], m: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..m).collect();
+    for (i, &p) in ipiv.iter().enumerate() {
+        perm.swap(i, p);
+    }
+    perm
+}
+
+/// Inverts a permutation vector: `inv[perm[i]] = i`.
+///
+/// # Panics
+/// If `perm` is not a permutation of `0..len`.
+pub fn invert_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < perm.len() && inv[p] == usize::MAX, "not a permutation");
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Composes permutations: returns `q ∘ p`, the permutation that first
+/// applies `p` then `q` (as row selections: `result[i] = p[q[i]]`).
+///
+/// # Panics
+/// If lengths differ.
+pub fn compose(q: &[usize], p: &[usize]) -> Vec<usize> {
+    assert_eq!(q.len(), p.len());
+    q.iter().map(|&qi| p[qi]).collect()
+}
+
+/// `true` iff `perm` is a permutation of `0..perm.len()`.
+pub fn is_permutation(perm: &[usize]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Gathers rows of `src` according to `perm` into a new matrix:
+/// `out[i, :] = src[perm[i], :]`.
+///
+/// # Panics
+/// If `perm.len() != src.rows()` or `perm` indexes out of range.
+pub fn permute_rows(src: &crate::Matrix, perm: &[usize]) -> crate::Matrix {
+    assert_eq!(perm.len(), src.rows());
+    crate::Matrix::from_fn(src.rows(), src.cols(), |i, j| src[(perm[i], j)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn ipiv_round_trip() {
+        let mut a = Matrix::from_fn(4, 2, |i, _| i as f64);
+        let orig = a.clone();
+        let ipiv = vec![2, 3, 2, 3];
+        apply_ipiv(a.view_mut(), &ipiv);
+        assert_ne!(a, orig);
+        apply_ipiv_inv(a.view_mut(), &ipiv);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ipiv_to_perm_matches_apply() {
+        let ipiv = vec![2, 3, 2, 3];
+        let m = 5;
+        let perm = ipiv_to_perm(&ipiv, m);
+        assert!(is_permutation(&perm));
+        let a = Matrix::from_fn(m, 3, |i, j| (10 * i + j) as f64);
+        let mut b = a.clone();
+        apply_ipiv(b.view_mut(), &ipiv);
+        let c = permute_rows(&a, &perm);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn invert_then_compose_is_identity() {
+        let perm = vec![3, 0, 4, 1, 2];
+        let inv = invert_perm(&perm);
+        let id = compose(&inv, &perm);
+        assert_eq!(id, vec![0, 1, 2, 3, 4]);
+        let id2 = compose(&perm, &inv);
+        assert_eq!(id2, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn is_permutation_detects_bad_vectors() {
+        assert!(is_permutation(&[0, 1, 2]));
+        assert!(!is_permutation(&[0, 0, 2]));
+        assert!(!is_permutation(&[0, 1, 3]));
+        assert!(is_permutation(&[]));
+    }
+
+    #[test]
+    fn apply_ipiv_vec_matches_matrix_apply() {
+        let ipiv = vec![1, 2, 2];
+        let mut x = vec![10.0, 20.0, 30.0];
+        apply_ipiv_vec(&mut x, &ipiv);
+        let mut a = Matrix::from_fn(3, 1, |i, _| (10 * (i + 1)) as f64);
+        apply_ipiv(a.view_mut(), &ipiv);
+        assert_eq!(x, a.col(0));
+    }
+}

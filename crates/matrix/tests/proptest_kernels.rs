@@ -1,0 +1,295 @@
+//! Property-based tests on the kernel substrate: factorization identities,
+//! triangular-solve round trips, pivot-kernel equivalences, and norm
+//! inequalities over randomized shapes.
+
+use calu_matrix::blas2::{gemv, gemv_t, trmv, trsv_t};
+use calu_matrix::blas3::{gemm, trsm};
+use calu_matrix::lapack::{
+    gecon, geequ, getf2, getf2_info, getrf, getri, getrs, getrs_t, laqge, lu_nopiv, rgetf2,
+    rgetf2_info, GetrfOpts, PanelAlg,
+};
+use calu_matrix::norms::{mat_norm_1, mat_norm_fro, mat_norm_inf};
+use calu_matrix::perm::{apply_ipiv, apply_ipiv_inv, ipiv_to_perm, permute_rows};
+use calu_matrix::{gen, Diag, Matrix, NoObs, Side, Uplo};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn randn_mat(seed: u64, m: usize, n: usize) -> Matrix {
+    gen::randn(&mut StdRng::seed_from_u64(seed), m, n)
+}
+
+fn plu_error(orig: &Matrix, lu: &Matrix, ipiv: &[usize]) -> f64 {
+    let perm = ipiv_to_perm(ipiv, orig.rows());
+    let pa = permute_rows(orig, &perm);
+    let l = lu.unit_lower();
+    let u = lu.upper();
+    let mut prod = Matrix::zeros(orig.rows(), orig.cols());
+    gemm(1.0, l.view(), u.view(), 0.0, prod.view_mut());
+    pa.max_abs_diff(&prod) / orig.max_abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_getf2_and_rgetf2_identical(seed in 0u64..1_000_000, m in 1usize..80, nw in 1usize..40) {
+        let n = nw.min(m); // rgetf2 requires tall
+        let a0 = randn_mat(seed, m, n);
+        let mut ac = a0.clone();
+        let mut ar = a0.clone();
+        let mut ic = vec![0usize; n];
+        let mut ir = vec![0usize; n];
+        getf2(ac.view_mut(), &mut ic, &mut NoObs).unwrap();
+        rgetf2(ar.view_mut(), &mut ir, &mut NoObs).unwrap();
+        prop_assert_eq!(&ic, &ir);
+        prop_assert!(ac.max_abs_diff(&ar) < 1e-9, "factors differ");
+        prop_assert!(plu_error(&a0, &ac, &ic) < 1e-9);
+    }
+
+    #[test]
+    fn prop_getrf_any_block_size(seed in 0u64..1_000_000, n in 1usize..64, nb in 1usize..20) {
+        let a0 = randn_mat(seed, n, n);
+        let mut a = a0.clone();
+        let mut ipiv = vec![0usize; n];
+        getrf(a.view_mut(), &mut ipiv, GetrfOpts { block: nb, ..Default::default() }, &mut NoObs).unwrap();
+        prop_assert!(plu_error(&a0, &a, &ipiv) < 1e-9);
+    }
+
+    #[test]
+    fn prop_recursive_panel_getrf_matches_classic(
+        seed in 0u64..1_000_000, n in 4usize..56, nb in 2usize..16,
+    ) {
+        let a0 = randn_mat(seed, n, n);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let mut i1 = vec![0usize; n];
+        let mut i2 = vec![0usize; n];
+        getrf(a1.view_mut(), &mut i1, GetrfOpts { block: nb, panel: PanelAlg::Classic, parallel: false }, &mut NoObs).unwrap();
+        getrf(a2.view_mut(), &mut i2, GetrfOpts { block: nb, panel: PanelAlg::Recursive, parallel: false }, &mut NoObs).unwrap();
+        prop_assert_eq!(i1, i2);
+        prop_assert!(a1.max_abs_diff(&a2) < 1e-9);
+    }
+
+    #[test]
+    fn prop_trsm_round_trips(seed in 0u64..1_000_000, n in 1usize..32, k in 1usize..24) {
+        // Left-lower-unit: L X = B, then multiply back.
+        let mut l = randn_mat(seed, n, n);
+        for i in 0..n {
+            l[(i, i)] = 1.0;
+            for j in i + 1..n {
+                l[(i, j)] = 0.0;
+            }
+            for j in 0..i {
+                l[(i, j)] *= 0.5; // keep conditioning sane
+            }
+        }
+        let b0 = randn_mat(seed ^ 77, n, k);
+        let mut x = b0.clone();
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l.view(), x.view_mut());
+        let mut back = Matrix::zeros(n, k);
+        gemm(1.0, l.view(), x.view(), 0.0, back.view_mut());
+        prop_assert!(back.max_abs_diff(&b0) < 1e-8 * (n as f64 + 1.0));
+    }
+
+    #[test]
+    fn prop_solve_inverts_matvec(seed in 0u64..1_000_000, n in 1usize..48) {
+        let a0 = randn_mat(seed, n, n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let mut b = gen::rhs_for_solution(&a0, &x_true);
+        let mut lu = a0.clone();
+        let mut ipiv = vec![0usize; n];
+        getf2(lu.view_mut(), &mut ipiv, &mut NoObs).unwrap();
+        getrs(lu.view(), &ipiv, &mut b);
+        for (xi, ti) in b.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn prop_ipiv_apply_unapply(seed in 0u64..1_000_000, m in 1usize..40, n in 1usize..10) {
+        let a0 = randn_mat(seed, m, n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        use rand::Rng;
+        let k = m.min(8);
+        let ipiv: Vec<usize> = (0..k).map(|i| rng.gen_range(i..m)).collect();
+        let mut a = a0.clone();
+        apply_ipiv(a.view_mut(), &ipiv);
+        apply_ipiv_inv(a.view_mut(), &ipiv);
+        prop_assert_eq!(a, a0);
+    }
+
+    #[test]
+    fn prop_norm_inequalities(seed in 0u64..1_000_000, m in 1usize..30, n in 1usize..30) {
+        // ||A||_1 <= sqrt(n) * ||A||_F and ||A||_F <= sqrt(rank bound) etc:
+        // use the standard equivalence ||A||_1 <= n^0.5 * ... keep simple:
+        // max_abs <= every norm; fro <= sqrt(m n) max_abs.
+        let a = randn_mat(seed, m, n);
+        let mx = a.max_abs();
+        let fro = mat_norm_fro(a.view());
+        prop_assert!(mat_norm_1(a.view()) + 1e-12 >= mx);
+        prop_assert!(mat_norm_inf(a.view()) + 1e-12 >= mx);
+        prop_assert!(fro + 1e-12 >= mx);
+        prop_assert!(fro <= ((m * n) as f64).sqrt() * mx + 1e-12);
+    }
+
+    #[test]
+    fn prop_lu_nopiv_on_dominant(seed in 0u64..1_000_000, n in 1usize..40) {
+        let a0 = gen::diag_dominant(&mut StdRng::seed_from_u64(seed), n);
+        let mut a = a0.clone();
+        lu_nopiv(a.view_mut(), &mut NoObs).unwrap();
+        let l = a.unit_lower();
+        let u = a.upper();
+        let mut prod = Matrix::zeros(n, n);
+        gemm(1.0, l.view(), u.view(), 0.0, prod.view_mut());
+        prop_assert!(prod.max_abs_diff(&a0) / a0.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn prop_getri_inverse_identity(seed in 0u64..1_000_000, n in 1usize..40) {
+        let a0 = randn_mat(seed, n, n);
+        let mut inv = a0.clone();
+        let mut ipiv = vec![0usize; n];
+        getrf(inv.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+        getri(inv.view_mut(), &ipiv).unwrap();
+        let mut prod = Matrix::zeros(n, n);
+        gemm(1.0, a0.view(), inv.view(), 0.0, prod.view_mut());
+        let d = prod.max_abs_diff(&Matrix::identity(n));
+        // Random normal matrices can be moderately ill-conditioned; scale
+        // the tolerance by the inverse magnitude (forward-error theory).
+        let tol = 1e-11 * (n.max(2) as f64) * inv.max_abs().max(1.0);
+        prop_assert!(d < tol, "||A A^-1 - I|| = {d} > {tol}");
+    }
+
+    #[test]
+    fn prop_getrs_t_solves_transpose(seed in 0u64..1_000_000, n in 1usize..40) {
+        let a0 = randn_mat(seed, n, n);
+        let mut lu = a0.clone();
+        let mut ipiv = vec![0usize; n];
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        let mut x = b.clone();
+        getrs_t(lu.view(), &ipiv, &mut x);
+        // A^T x must reproduce b: check via gemv_t on the original.
+        let mut back = vec![0.0; n];
+        gemv_t(1.0, a0.view(), &x, 0.0, &mut back);
+        let scale = a0.max_abs().max(1.0) * x.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for (want, got) in b.iter().zip(&back) {
+            prop_assert!((want - got).abs() < 1e-10 * (n as f64) * scale, "{want} vs {got}");
+        }
+    }
+
+    #[test]
+    fn prop_gecon_is_lower_bound_of_true_condition(seed in 0u64..1_000_000, n in 2usize..32) {
+        let a = randn_mat(seed, n, n);
+        let anorm = mat_norm_1(a.view());
+        let mut lu = a.clone();
+        let mut ipiv = vec![0usize; n];
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+        // True inverse norm via getri.
+        let mut inv = a.clone();
+        let mut ip2 = vec![0usize; n];
+        getrf(inv.view_mut(), &mut ip2, GetrfOpts::default(), &mut NoObs).unwrap();
+        getri(inv.view_mut(), &ip2).unwrap();
+        let kappa_true = anorm * mat_norm_1(inv.view());
+        let rcond = gecon(lu.view(), &ipiv, anorm);
+        let kappa_est = 1.0 / rcond;
+        prop_assert!(kappa_est <= kappa_true * (1.0 + 1e-8), "estimate must be a lower bound");
+        prop_assert!(kappa_est >= kappa_true / 4.0, "Hager stays within a small factor");
+    }
+
+    #[test]
+    fn prop_geequ_produces_unit_maxima(seed in 0u64..1_000_000, m in 1usize..24, n in 1usize..24) {
+        let mut a = randn_mat(seed, m, n);
+        // Skew scales hard: rows by 10^(i%7-3), cols by 10^(2*(j%4)).
+        for i in 0..m {
+            for j in 0..n {
+                a[(i, j)] *= 10.0_f64.powi((i % 7) as i32 - 3) * 10.0_f64.powi(2 * (j % 4) as i32);
+                if a[(i, j)] == 0.0 {
+                    a[(i, j)] = 1e-3; // keep rows/cols nonzero
+                }
+            }
+        }
+        let eq = geequ(a.view()).unwrap();
+        let mut s = a.clone();
+        laqge(s.view_mut(), &eq);
+        for j in 0..n {
+            let cmax = s.col(j).iter().fold(0.0_f64, |mx, v| mx.max(v.abs()));
+            prop_assert!(cmax <= 1.0 + 1e-12 && cmax > 1e-8, "col {j}: {cmax}");
+        }
+        for i in 0..m {
+            let rmax = (0..n).map(|j| s[(i, j)].abs()).fold(0.0_f64, f64::max);
+            prop_assert!(rmax <= 1.0 + 1e-12, "row {i}: {rmax}");
+        }
+    }
+
+    #[test]
+    fn prop_trmv_matches_gemv_on_triangles(seed in 0u64..1_000_000, n in 1usize..24) {
+        let a = randn_mat(seed, n, n);
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let tri = match uplo {
+                Uplo::Upper => a.upper(),
+                Uplo::Lower => {
+                    let mut l = a.clone();
+                    for j in 0..n {
+                        for i in 0..j {
+                            l[(i, j)] = 0.0;
+                        }
+                    }
+                    l
+                }
+            };
+            let mut x = x0.clone();
+            trmv(uplo, Diag::NonUnit, tri.view(), &mut x);
+            let mut want = vec![0.0; n];
+            gemv(1.0, tri.view(), &x0, 0.0, &mut want);
+            for (got, w) in x.iter().zip(&want) {
+                prop_assert!((got - w).abs() < 1e-10 * (n as f64 + 1.0), "{uplo:?}: {got} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_trsv_t_round_trips(seed in 0u64..1_000_000, n in 1usize..24) {
+        let mut u = randn_mat(seed, n, n).upper();
+        for i in 0..n {
+            u[(i, i)] = u[(i, i)].abs() + 1.0; // well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut x = b.clone();
+        trsv_t(Uplo::Upper, Diag::NonUnit, u.view(), &mut x);
+        let mut back = vec![0.0; n];
+        gemv_t(1.0, u.view(), &x, 0.0, &mut back);
+        for (want, got) in b.iter().zip(&back) {
+            prop_assert!((want - got).abs() < 1e-9 * (n as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn prop_info_variants_complete_on_rank_deficient(
+        seed in 0u64..1_000_000, m in 2usize..32, r in 1usize..8,
+    ) {
+        // An m x m matrix whose trailing m - r columns are exactly zero:
+        // the info variants must complete (no panic, no error), report the
+        // first *exactly* zero pivot at step r, and agree with each other.
+        // (A floating-point low-rank product would leave ~1e-17 residues
+        // and legitimately factor "successfully" — exact zeros are the
+        // case DGETF2's INFO path is for.)
+        let r = r.min(m - 1);
+        let b = randn_mat(seed, m, r);
+        let a = Matrix::from_fn(m, m, |i, j| if j < r { b[(i, j)] } else { 0.0 });
+
+        let mut w1 = a.clone();
+        let mut ip1 = vec![0usize; m];
+        let info1 = getf2_info(w1.view_mut(), &mut ip1, &mut NoObs);
+        prop_assert_eq!(info1, Some(r), "first zero pivot is exactly step r");
+
+        let mut w2 = a.clone();
+        let mut ip2 = vec![0usize; m];
+        let info2 = rgetf2_info(w2.view_mut(), &mut ip2, &mut NoObs);
+        prop_assert_eq!(info1, info2, "classic and recursive agree on the singular step");
+        // The leading r columns still factor exactly: reconstruct them.
+        prop_assert!(plu_error(&a, &w1, &ip1) < 1e-9, "completed factors must reconstruct");
+    }
+}

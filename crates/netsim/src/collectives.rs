@@ -1,0 +1,675 @@
+//! Collectives built from point-to-point messages: binomial broadcast and
+//! reduce, butterfly all-reduce (the communication pattern of TSLU), and a
+//! barrier.
+//!
+//! A [`Group`] names a subset of ranks (a grid row, a grid column, or the
+//! world), the link class its traffic uses, and a tag namespace. Every rank
+//! of the group constructs an identical `Group` value, and collective calls
+//! must be made in the same order by all members (MPI semantics).
+//!
+//! The reduction `op` always combines `(low, high)` — the accumulator for
+//! the lower-indexed side first — so that the combination *tree* is
+//! deterministic: the butterfly all-reduce produces exactly the pairwise
+//! halving tree over member indices, which is what the paper's TSLU
+//! tournament prescribes and what `calu-core`'s sequential tournament
+//! mirrors.
+
+use crate::comm::{Payload, SimComm};
+use crate::machine::Link;
+use std::cell::Cell;
+
+/// A communicator subset with its own tag namespace and link class.
+#[derive(Debug)]
+pub struct Group {
+    /// Global ranks of the members, in index order.
+    ranks: Vec<usize>,
+    /// My index within `ranks`.
+    me: usize,
+    /// Link class used for this group's traffic.
+    link: Link,
+    base_tag: u64,
+    seq: Cell<u64>,
+}
+
+impl Group {
+    /// Creates a group descriptor. `my_rank` must appear in `ranks`;
+    /// `base_tag` must be non-zero and unique per distinct group within one
+    /// simulation (tag namespaces must not collide).
+    ///
+    /// # Panics
+    /// If `my_rank` is not a member or `base_tag == 0`.
+    pub fn new(ranks: Vec<usize>, my_rank: usize, link: Link, base_tag: u64) -> Self {
+        assert!(base_tag != 0, "base_tag 0 is reserved for point-to-point traffic");
+        let me = ranks
+            .iter()
+            .position(|&r| r == my_rank)
+            .unwrap_or_else(|| panic!("rank {my_rank} not in group {ranks:?}"));
+        Self { ranks, me, link, base_tag, seq: Cell::new(0) }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// My index within the group.
+    pub fn my_index(&self) -> usize {
+        self.me
+    }
+
+    /// Global rank of member `idx`.
+    pub fn rank_at(&self, idx: usize) -> usize {
+        self.ranks[idx]
+    }
+
+    /// The link class used by this group's messages.
+    pub fn link(&self) -> Link {
+        self.link
+    }
+
+    fn next_op_tag(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        (self.base_tag << 32) | (s << 8)
+    }
+
+    /// Binomial-tree broadcast from member index `root`. Every member calls
+    /// this; the root passes the payload, others pass `Payload::Empty` and
+    /// receive the data. Returns the broadcast payload on every member.
+    ///
+    /// Critical-path cost: `ceil(log2 p)` message steps of `words` each.
+    pub fn bcast(&self, cm: &mut SimComm, root: usize, payload: Payload, words: usize) -> Payload {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        if p == 1 {
+            return payload;
+        }
+        let rel = (self.me + p - root) % p;
+        let mut have = if rel == 0 { payload } else { Payload::Empty };
+
+        // Receive phase: my parent is rel minus my lowest set bit.
+        let mut mask = 1usize;
+        if rel != 0 {
+            while mask < p {
+                if rel & mask != 0 {
+                    let src_rel = rel - mask;
+                    let src = self.ranks[(src_rel + root) % p];
+                    let (pl, _w) = cm.recv(src, tag);
+                    have = pl;
+                    break;
+                }
+                mask <<= 1;
+            }
+        } else {
+            while mask < p {
+                mask <<= 1;
+            }
+        }
+        // Forward phase: halve the mask and send to rel + mask.
+        mask >>= 1;
+        while mask >= 1 {
+            if rel & (mask - 1) == rel % mask && rel & mask == 0 && rel + mask < p {
+                let dst = self.ranks[(rel + mask + root) % p];
+                cm.send(dst, tag, words, have.clone(), self.link);
+            }
+            if mask == 1 {
+                break;
+            }
+            mask >>= 1;
+        }
+        have
+    }
+
+    /// Binomial-tree reduce to member index 0. `op(cm, low, high)` combines
+    /// the accumulator of the lower-indexed subtree with the higher-indexed
+    /// one (and may charge compute time on `cm`). Returns `Some(result)` at
+    /// index 0, `None` elsewhere.
+    ///
+    /// Critical-path cost: `ceil(log2 p)` message steps of `words` each.
+    pub fn reduce<F>(
+        &self,
+        cm: &mut SimComm,
+        mine: Payload,
+        words: usize,
+        mut op: F,
+    ) -> Option<Payload>
+    where
+        F: FnMut(&mut SimComm, Payload, Payload) -> Payload,
+    {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        let r = self.me;
+        let mut acc = mine;
+        let mut mask = 1usize;
+        while mask < p {
+            if r & mask == 0 {
+                let peer = r | mask;
+                if peer < p {
+                    let (theirs, _w) = cm.recv(self.ranks[peer], tag);
+                    acc = op(cm, acc, theirs);
+                }
+            } else {
+                let peer = r & !mask;
+                cm.send(self.ranks[peer], tag, words, acc, self.link);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Butterfly all-reduce — the communication pattern of TSLU (paper
+    /// Section 3). Every member ends with the same combined value.
+    ///
+    /// For non-power-of-two groups the extra members fold their value into
+    /// a partner first and receive the final result afterwards (a standard
+    /// pre/post step; the paper assumes powers of two).
+    ///
+    /// Critical-path cost: `floor(log2 p)` exchange steps of `words` each
+    /// (+2 steps when `p` is not a power of two), with the combining `op`
+    /// executed redundantly by both partners, exactly as TSLU prescribes.
+    pub fn allreduce<F>(&self, cm: &mut SimComm, mine: Payload, words: usize, mut op: F) -> Payload
+    where
+        F: FnMut(&mut SimComm, Payload, Payload) -> Payload,
+    {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        if p == 1 {
+            return mine;
+        }
+        let p2 = prev_pow2(p);
+        let extra = p - p2;
+        let r = self.me;
+
+        let mut acc = mine;
+        // Fold-in: high ranks donate to their low partner.
+        if r >= p2 {
+            cm.send(self.ranks[r - p2], tag | 1, words, acc, self.link);
+            let (result, _w) = cm.recv(self.ranks[r - p2], tag | 2);
+            return result;
+        }
+        if r < extra {
+            let (theirs, _w) = cm.recv(self.ranks[r + p2], tag | 1);
+            acc = op(cm, acc, theirs);
+        }
+
+        // Butterfly over the power-of-two core.
+        let mut level = 0u64;
+        let mut mask = 1usize;
+        while mask < p2 {
+            let partner = r ^ mask;
+            let (theirs, _w) =
+                cm.sendrecv(self.ranks[partner], tag | (8 + level), words, acc.clone(), self.link);
+            acc = if r < partner { op(cm, acc, theirs) } else { op(cm, theirs, acc) };
+            mask <<= 1;
+            level += 1;
+        }
+
+        // Fold-out.
+        if r < extra {
+            cm.send(self.ranks[r + p2], tag | 2, words, acc.clone(), self.link);
+        }
+        acc
+    }
+
+    /// Barrier: an all-reduce of empty payloads.
+    pub fn barrier(&self, cm: &mut SimComm) {
+        self.allreduce(cm, Payload::Empty, 0, |_cm, _a, _b| Payload::Empty);
+    }
+
+    /// Flat gather to member index `root`: every other member sends its
+    /// payload straight to the root. Returns `Some(items)` at the root
+    /// (indexed by member), `None` elsewhere.
+    ///
+    /// Under the postal model, senders serialize their own injections but
+    /// the root only waits for the latest arrival; a flat gather's `O(p)`
+    /// pain therefore shows up in whatever serial *combine* the root does
+    /// next (as in the flat-tournament strawman), not in the wire time.
+    pub fn gather(
+        &self,
+        cm: &mut SimComm,
+        root: usize,
+        mine: Payload,
+        words: usize,
+    ) -> Option<Vec<Payload>> {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        if self.me == root {
+            let mut items: Vec<Payload> = Vec::with_capacity(p);
+            for idx in 0..p {
+                if idx == root {
+                    items.push(mine.clone());
+                } else {
+                    let (pl, _w) = cm.recv(self.ranks[idx], tag);
+                    items.push(pl);
+                }
+            }
+            Some(items)
+        } else {
+            cm.send(self.ranks[root], tag, words, mine, self.link);
+            None
+        }
+    }
+
+    /// Flat scatter from member index `root`: the root sends `items[idx]`
+    /// to each member `idx` (its own slot is returned directly). Non-roots
+    /// pass `None` and receive their slot.
+    ///
+    /// # Panics
+    /// At the root if `items` is missing or not `p` long.
+    pub fn scatter(
+        &self,
+        cm: &mut SimComm,
+        root: usize,
+        items: Option<Vec<Payload>>,
+        words: usize,
+    ) -> Payload {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        if self.me == root {
+            let items = items.expect("root must supply items");
+            assert_eq!(items.len(), p, "one item per member");
+            let mut mine = Payload::Empty;
+            for (idx, item) in items.into_iter().enumerate() {
+                if idx == root {
+                    mine = item;
+                } else {
+                    cm.send(self.ranks[idx], tag, words, item, self.link);
+                }
+            }
+            mine
+        } else {
+            cm.recv(self.ranks[root], tag).0
+        }
+    }
+
+    /// Ring all-gather: in `p - 1` steps each member forwards the block it
+    /// received in the previous step to its successor, ending with every
+    /// member holding all `p` blocks indexed by origin.
+    ///
+    /// Cost: `(p-1)(α + w·β)` — latency-worse than a butterfly
+    /// (`log2 p` steps) but bandwidth-optimal and contention-free, which is
+    /// why MPI uses it for large payloads.
+    pub fn allgather(&self, cm: &mut SimComm, mine: Payload, words: usize) -> Vec<Payload> {
+        let p = self.size();
+        let tag = self.next_op_tag();
+        let mut items: Vec<Payload> = vec![Payload::Empty; p];
+        items[self.me] = mine;
+        if p == 1 {
+            return items;
+        }
+        let next = self.ranks[(self.me + 1) % p];
+        let prev = self.ranks[(self.me + p - 1) % p];
+        for s in 0..p - 1 {
+            // Block that originated at me - s (mod p) moves forward.
+            let out_idx = (self.me + p - s) % p;
+            let in_idx = (self.me + p - s - 1) % p;
+            cm.send(next, tag | (s as u64), words, items[out_idx].clone(), self.link);
+            let (pl, _w) = cm.recv(prev, tag | (s as u64));
+            items[in_idx] = pl;
+        }
+        items
+    }
+
+    /// Pipelined ring broadcast from member index `root`: the payload is cut
+    /// into `nseg` segments that stream around the ring, so the cost is
+    /// `(p - 2 + nseg)·(α + (w/nseg)·β)` instead of the binomial tree's
+    /// `log2(p)·(α + w·β)`.
+    ///
+    /// For wide panels (`w·β ≫ α`) and large `nseg` this approaches one
+    /// bandwidth term end to end — the reason ScaLAPACK's panel broadcasts
+    /// offer ring variants. For [`Payload::Data`] the segmentation is
+    /// physical; the reassembled payload is returned by every member.
+    ///
+    /// # Panics
+    /// If `nseg == 0`.
+    pub fn bcast_ring(
+        &self,
+        cm: &mut SimComm,
+        root: usize,
+        payload: Payload,
+        words: usize,
+        nseg: usize,
+    ) -> Payload {
+        assert!(nseg > 0, "need at least one segment");
+        let p = self.size();
+        let tag = self.next_op_tag();
+        if p == 1 {
+            return payload;
+        }
+        let rel = (self.me + p - root) % p;
+        let next_rel = (rel + 1) % p;
+        let next = self.ranks[(self.me + 1) % p];
+        let prev = self.ranks[(self.me + p - 1) % p];
+        let seg_words = words.div_ceil(nseg).max(1);
+
+        // Physical segmentation (by f64 count) when data is present.
+        let segments: Vec<Payload> = match (&payload, rel) {
+            (Payload::Data(v), 0) => {
+                let chunk = v.len().div_ceil(nseg).max(1);
+                (0..nseg)
+                    .map(|s| {
+                        let lo = (s * chunk).min(v.len());
+                        let hi = ((s + 1) * chunk).min(v.len());
+                        Payload::Data(v[lo..hi].to_vec())
+                    })
+                    .collect()
+            }
+            _ => vec![Payload::Empty; nseg],
+        };
+
+        let mut collected: Vec<Payload> = Vec::with_capacity(nseg);
+        for (s, seg) in segments.into_iter().enumerate() {
+            let stag = tag | (s as u64);
+            if rel == 0 {
+                cm.send(next, stag, seg_words, seg, self.link);
+            } else {
+                let (pl, _w) = cm.recv(prev, stag);
+                if next_rel != 0 {
+                    cm.send(next, stag, seg_words, pl.clone(), self.link);
+                }
+                collected.push(pl);
+            }
+        }
+        if rel == 0 {
+            return payload;
+        }
+        // Reassemble.
+        if collected.iter().all(|s| matches!(s, Payload::Empty)) {
+            Payload::Empty
+        } else {
+            let mut v = Vec::new();
+            for s in collected {
+                if let Payload::Data(mut d) = s {
+                    v.append(&mut d);
+                }
+            }
+            Payload::Data(v)
+        }
+    }
+}
+
+/// Largest power of two `<= n` (`n >= 1`).
+pub fn prev_pow2(n: usize) -> usize {
+    assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// `ceil(log2 n)` (`n >= 1`) — the number of tree levels a collective over
+/// `n` ranks traverses, i.e. the paper's `log2 P` message count per step.
+pub fn ceil_log2(n: usize) -> usize {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::runner::run_sim;
+
+    fn world(cm: &SimComm) -> Group {
+        Group::new((0..cm.size()).collect(), cm.rank(), Link::Col, 3_000_000)
+    }
+
+    fn scalar(v: f64) -> Payload {
+        Payload::Data(vec![v])
+    }
+
+    #[test]
+    fn bcast_reaches_all_ranks_any_root() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 16] {
+            for root in [0, p / 2, p - 1] {
+                let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                    let g = world(cm);
+                    let mine = if g.my_index() == root { scalar(42.0) } else { Payload::Empty };
+                    g.bcast(cm, root, mine, 1).into_data()[0]
+                });
+                assert!(results.iter().all(|&v| v == 42.0), "p={p} root={root}: {results:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                let g = world(cm);
+                let r = g.reduce(cm, scalar(cm.rank() as f64), 1, |_cm, a, b| {
+                    scalar(a.into_data()[0] + b.into_data()[0])
+                });
+                r.map(|p| p.into_data()[0])
+            });
+            let expect = (p * (p - 1) / 2) as f64;
+            assert_eq!(results[0], Some(expect), "p={p}");
+            assert!(results[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn allreduce_every_rank_gets_total() {
+        for p in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+            let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                let g = world(cm);
+                g.allreduce(cm, scalar((cm.rank() + 1) as f64), 1, |_cm, a, b| {
+                    scalar(a.into_data()[0] + b.into_data()[0])
+                })
+                .into_data()[0]
+            });
+            let expect = (p * (p + 1) / 2) as f64;
+            assert!(results.iter().all(|&v| v == expect), "p={p}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_combination_tree_is_index_ordered() {
+        // With a non-commutative op (string-like concatenation encoded as
+        // digit sequences) the result must equal the pairwise-halving tree.
+        // op(low, high) concatenates, so any ordering bug changes digits.
+        let p = 8;
+        let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+            let g = world(cm);
+            let out = g.allreduce(
+                cm,
+                Payload::Data(vec![cm.rank() as f64]),
+                1,
+                |_cm, a, b| {
+                    let mut v = a.into_data();
+                    v.extend(b.into_data());
+                    Payload::Data(v)
+                },
+            );
+            out.into_data()
+        });
+        for r in &results {
+            assert_eq!(r, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn butterfly_costs_log_p_steps() {
+        let m = MachineConfig::power5();
+        let alpha = m.alpha_col;
+        let beta = m.beta_col;
+        let words = 64usize;
+        let (report, _) = run_sim(8, m, |cm| {
+            let g = world(cm);
+            g.allreduce(cm, Payload::Empty, 64, |_cm, a, _b| a);
+        });
+        // Each of the 3 butterfly levels is one synchronized exchange step:
+        // both partners send (charging α+wβ) and the partner's message
+        // arrives at the same instant, so the level costs one message time
+        // — the paper's "log2 P identical steps" approximation.
+        let per_msg = alpha + words as f64 * beta;
+        let expect = 3.0 * per_msg;
+        let got = report.makespan();
+        assert!(
+            (got - expect).abs() < per_msg * 0.51,
+            "makespan {got} not within one step of {expect}"
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let (report, _) = run_sim(4, MachineConfig::ideal(), |cm| {
+            cm.compute(cm.rank() as f64, 0.0);
+            let g = world(cm);
+            g.barrier(cm);
+            cm.now()
+        });
+        // After the barrier every clock is at least the slowest pre-barrier
+        // clock (3.0) — with an ideal network, exactly 3.0.
+        for r in &report.per_rank {
+            assert!(r.time >= 3.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn prev_pow2_values() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(8), 8);
+        assert_eq!(prev_pow2(9), 8);
+        assert_eq!(prev_pow2(1023), 512);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn gather_collects_in_member_order() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in [0, p - 1] {
+                let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                    let g = world(cm);
+                    let items = g.gather(cm, root, scalar(cm.rank() as f64 + 1.0), 1);
+                    items.map(|v| v.into_iter().map(|pl| pl.into_data()[0]).collect::<Vec<_>>())
+                });
+                for (rank, res) in results.into_iter().enumerate() {
+                    if rank == root {
+                        let want: Vec<f64> = (0..p).map(|i| i as f64 + 1.0).collect();
+                        assert_eq!(res, Some(want), "p={p} root={root}");
+                    } else {
+                        assert_eq!(res, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_each_members_slot() {
+        for p in [1usize, 2, 4, 7] {
+            let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                let g = world(cm);
+                let items = (g.my_index() == 0)
+                    .then(|| (0..p).map(|i| scalar(100.0 + i as f64)).collect());
+                g.scatter(cm, 0, items, 1).into_data()[0]
+            });
+            let want: Vec<f64> = (0..p).map(|i| 100.0 + i as f64).collect();
+            assert_eq!(results, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn allgather_every_rank_has_all_blocks_in_origin_order() {
+        for p in [1usize, 2, 3, 6, 8] {
+            let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                let g = world(cm);
+                let items = g.allgather(cm, scalar(cm.rank() as f64), 1);
+                items.into_iter().map(|pl| pl.into_data()[0]).collect::<Vec<_>>()
+            });
+            let want: Vec<f64> = (0..p).map(|i| i as f64).collect();
+            for (rank, res) in results.into_iter().enumerate() {
+                assert_eq!(res, want, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_costs_p_minus_one_steps() {
+        let p = 8;
+        let words = 50;
+        let m = MachineConfig::power5();
+        let per_msg = m.t_msg(words, Link::Col);
+        let (report, _) = run_sim(p, m, |cm| {
+            let g = world(cm);
+            g.allgather(cm, Payload::Empty, words);
+        });
+        let expect = (p - 1) as f64 * per_msg;
+        let got = report.makespan();
+        assert!(
+            (got - expect).abs() < per_msg * 1.01,
+            "ring allgather: {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn ring_bcast_delivers_payload_to_all() {
+        for p in [2usize, 3, 5, 8] {
+            for nseg in [1usize, 2, 4] {
+                let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
+                    let g = world(cm);
+                    let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+                    let mine =
+                        if g.my_index() == 1 % p { Payload::Data(data) } else { Payload::Empty };
+                    g.bcast_ring(cm, 1 % p, mine, 10, nseg).into_data()
+                });
+                let want: Vec<f64> = (0..10).map(|i| i as f64).collect();
+                for res in results {
+                    assert_eq!(res, want, "p={p} nseg={nseg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_beats_tree_for_fat_messages_on_big_rings() {
+        // With w·β >> α and enough segments, the ring's end-to-end time
+        // approaches one bandwidth term while the binomial tree pays
+        // log2(p) full transfers.
+        let p = 16;
+        let words = 200_000;
+        let m = MachineConfig::power5();
+        let (ring, _) = run_sim(p, m.clone(), |cm| {
+            let g = world(cm);
+            g.bcast_ring(cm, 0, Payload::Empty, words, 32);
+        });
+        let (tree, _) = run_sim(p, m, |cm| {
+            let g = world(cm);
+            g.bcast(cm, 0, Payload::Empty, words);
+        });
+        assert!(
+            ring.makespan() < 0.75 * tree.makespan(),
+            "ring {} vs tree {}",
+            ring.makespan(),
+            tree.makespan()
+        );
+    }
+
+    #[test]
+    fn tree_beats_ring_for_small_messages() {
+        // Latency-bound regime: log2(p) hops beat p-1 hops.
+        let p = 16;
+        let words = 1;
+        let m = MachineConfig::power5();
+        let (ring, _) = run_sim(p, m.clone(), |cm| {
+            let g = world(cm);
+            g.bcast_ring(cm, 0, Payload::Empty, words, 1);
+        });
+        let (tree, _) = run_sim(p, m, |cm| {
+            let g = world(cm);
+            g.bcast(cm, 0, Payload::Empty, words);
+        });
+        assert!(tree.makespan() < 0.5 * ring.makespan());
+    }
+}

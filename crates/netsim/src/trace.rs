@@ -1,0 +1,287 @@
+//! Event tracing and time attribution for simulated runs.
+//!
+//! A traced run ([`run_sim_traced`](crate::runner::run_sim_traced)) records
+//! every rank's timeline as a sequence of [`TraceEvent`] segments —
+//! compute, message injection, idle wait — in virtual time. Two consumers:
+//!
+//! * [`render_gantt`] draws the timelines as a fixed-width text chart, which
+//!   makes the paper's latency argument *visible*: under `PDGETF2` the
+//!   panel column is a picket fence of sends and idles, under TSLU it is a
+//!   handful of exchanges around solid compute.
+//! * [`TimeBreakdown`] attributes a run's makespan to compute / latency (α)
+//!   / bandwidth (β) / idle shares — the quantities the paper's Equations
+//!   (1)-(3) separate, and the evidence for "the effect is significant when
+//!   the latency time is an important factor of the overall time"
+//!   (Abstract).
+
+use crate::comm::RankStats;
+use crate::runner::SimReport;
+
+/// What a rank was doing during a trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegKind {
+    /// Modeled kernel time ([`SimComm::compute`](crate::SimComm::compute)).
+    Compute,
+    /// Message injection (`α + w·β` per message, including charged rounds).
+    Send,
+    /// Blocked waiting for an arrival.
+    Idle,
+}
+
+/// One contiguous segment of a rank's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Segment class.
+    pub kind: SegKind,
+    /// Virtual start time, seconds.
+    pub start: f64,
+    /// Virtual end time, seconds (`end > start`).
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Segment duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A whole rank's recorded timeline.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// Segments in non-decreasing start order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RankTrace {
+    /// Total traced duration per kind.
+    pub fn total(&self, kind: SegKind) -> f64 {
+        self.events.iter().filter(|e| e.kind == kind).map(TraceEvent::duration).sum()
+    }
+
+    /// End of the last segment (0 for an empty trace).
+    pub fn end(&self) -> f64 {
+        self.events.iter().fold(0.0_f64, |m, e| m.max(e.end))
+    }
+}
+
+/// Attribution of a run's time to the paper's cost classes.
+///
+/// Shares are normalized against the *sum of rank clocks* (processor-time),
+/// so they answer "where did the machine's time go" rather than "what was
+/// the single critical path doing".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Fraction of processor-time in modeled compute (γ terms).
+    pub compute: f64,
+    /// Fraction in message latency (α terms) — what ca-pivoting reduces.
+    pub latency: f64,
+    /// Fraction in message volume (β terms) — equal for CALU and `PDGETRF`
+    /// (paper Section 5: "both algorithms have the same communication
+    /// volume").
+    pub bandwidth: f64,
+    /// Fraction blocked waiting on other ranks.
+    pub idle: f64,
+}
+
+impl TimeBreakdown {
+    /// Attribution for a single rank.
+    pub fn from_stats(s: &RankStats) -> Self {
+        let total = s.time.max(f64::MIN_POSITIVE);
+        Self {
+            compute: s.compute_time / total,
+            latency: s.alpha_time / total,
+            bandwidth: s.beta_time / total,
+            idle: s.idle_time / total,
+        }
+    }
+
+    /// Attribution aggregated over all ranks of a report (processor-time
+    /// weighted).
+    pub fn from_report(r: &SimReport) -> Self {
+        let total: f64 = r.per_rank.iter().map(|s| s.time).sum::<f64>().max(f64::MIN_POSITIVE);
+        let sum = |f: fn(&RankStats) -> f64| r.per_rank.iter().map(f).sum::<f64>() / total;
+        Self {
+            compute: sum(|s| s.compute_time),
+            latency: sum(|s| s.alpha_time),
+            bandwidth: sum(|s| s.beta_time),
+            idle: sum(|s| s.idle_time),
+        }
+    }
+
+    /// Shares formatted as one line, e.g.
+    /// `compute 62.1%  latency 24.3%  bandwidth 9.0%  idle 4.6%`.
+    pub fn one_line(&self) -> String {
+        format!(
+            "compute {:5.1}%  latency {:5.1}%  bandwidth {:5.1}%  idle {:5.1}%",
+            100.0 * self.compute,
+            100.0 * self.latency,
+            100.0 * self.bandwidth,
+            100.0 * self.idle
+        )
+    }
+}
+
+/// Glyphs used by [`render_gantt`], by dominant [`SegKind`] in each cell:
+/// `#` compute, `>` send, `.` idle, ` ` nothing recorded.
+const GLYPHS: [(SegKind, char); 3] =
+    [(SegKind::Compute, '#'), (SegKind::Send, '>'), (SegKind::Idle, '.')];
+
+/// Renders per-rank timelines as a text Gantt chart `width` characters
+/// wide. Each cell shows the kind that occupied most of that cell's time
+/// span; the header carries the time scale and a legend.
+///
+/// # Panics
+/// If `width == 0`.
+pub fn render_gantt(traces: &[RankTrace], width: usize) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    let t_end = traces.iter().map(RankTrace::end).fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time 0 .. {:.3e} s   ('#' compute, '>' send, '.' idle)\n",
+        t_end
+    ));
+    if t_end <= 0.0 {
+        return out;
+    }
+    let cell = t_end / width as f64;
+    for (rank, tr) in traces.iter().enumerate() {
+        let mut occupancy = vec![[0.0_f64; 3]; width];
+        for e in &tr.events {
+            let k = GLYPHS.iter().position(|(g, _)| *g == e.kind).expect("known kind");
+            // Clip the segment onto each overlapped cell.
+            let first = ((e.start / cell) as usize).min(width - 1);
+            let last = ((e.end / cell) as usize).min(width - 1);
+            for (c, occ) in occupancy.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = (c as f64) * cell;
+                let hi = lo + cell;
+                let overlap = (e.end.min(hi) - e.start.max(lo)).max(0.0);
+                occ[k] += overlap;
+            }
+        }
+        let mut row = String::with_capacity(width);
+        for occ in &occupancy {
+            let (best, val) =
+                occ.iter().enumerate().fold((0usize, 0.0_f64), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+            row.push(if val > 0.0 { GLYPHS[best].1 } else { ' ' });
+        }
+        out.push_str(&format!("r{rank:<3} |{row}|\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Link, MachineConfig};
+    use crate::runner::run_sim_traced;
+    use crate::Payload;
+
+    #[test]
+    fn traced_run_records_all_segment_kinds() {
+        let (report, traces, _) = run_sim_traced(2, MachineConfig::power5(), |cm| {
+            if cm.rank() == 0 {
+                cm.compute(1e-3, 100.0);
+                cm.send(1, 0, 10, Payload::Empty, Link::Col);
+            } else {
+                cm.recv(0, 0); // idles ~1 ms waiting
+                cm.compute(5e-4, 50.0);
+            }
+        });
+        assert_eq!(traces.len(), 2);
+        let t0 = &traces[0];
+        let t1 = &traces[1];
+        assert!(t0.total(SegKind::Compute) > 0.0);
+        assert!(t0.total(SegKind::Send) > 0.0);
+        assert!(t1.total(SegKind::Idle) > 9e-4, "rank 1 must idle about 1 ms");
+        // Trace totals agree with the stats counters.
+        assert!((t0.total(SegKind::Compute) - report.per_rank[0].compute_time).abs() < 1e-15);
+        assert!((t1.total(SegKind::Idle) - report.per_rank[1].idle_time).abs() < 1e-15);
+    }
+
+    #[test]
+    fn segments_are_ordered_and_positive() {
+        let (_r, traces, _) = run_sim_traced(2, MachineConfig::power5(), |cm| {
+            for i in 0..5 {
+                cm.compute(1e-6 * (i + 1) as f64, 1.0);
+                if cm.rank() == 0 {
+                    cm.send(1, i, 4, Payload::Empty, Link::Row);
+                } else {
+                    cm.recv(0, i);
+                }
+            }
+        });
+        for tr in &traces {
+            for w in tr.events.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-15, "segments must not overlap");
+            }
+            for e in &tr.events {
+                assert!(e.duration() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one_for_gapless_rank() {
+        let (report, _, _) = run_sim_traced(2, MachineConfig::power5(), |cm| {
+            if cm.rank() == 0 {
+                cm.compute(1e-3, 0.0);
+                cm.send(1, 0, 1000, Payload::Empty, Link::Col);
+            } else {
+                cm.recv(0, 0);
+            }
+        });
+        let b = TimeBreakdown::from_stats(&report.per_rank[0]);
+        let sum = b.compute + b.latency + b.bandwidth + b.idle;
+        assert!((sum - 1.0).abs() < 1e-9, "rank 0 never waits: shares sum to 1, got {sum}");
+        let agg = TimeBreakdown::from_report(&report);
+        assert!(agg.idle > 0.0, "rank 1 idles");
+    }
+
+    #[test]
+    fn gantt_renders_rows_for_all_ranks() {
+        let (_r, traces, _) = run_sim_traced(3, MachineConfig::ideal(), |cm| {
+            cm.compute(1.0, 0.0);
+        });
+        let g = render_gantt(&traces, 20);
+        assert_eq!(g.lines().count(), 4, "header + 3 ranks");
+        for rank in 0..3 {
+            assert!(g.contains(&format!("r{rank}")));
+        }
+        // The ideal machine computes the whole time: rows are all '#'.
+        assert!(g.contains("|####################|"));
+    }
+
+    #[test]
+    fn gantt_empty_trace_is_benign() {
+        let g = render_gantt(&[RankTrace::default()], 10);
+        assert!(g.starts_with("time 0"));
+    }
+
+    #[test]
+    fn alpha_beta_split_matches_message_parameters() {
+        let m = MachineConfig::power5();
+        let (alpha, beta) = (m.alpha_col, m.beta_col);
+        let (report, _) = crate::run_sim(2, m, |cm| {
+            if cm.rank() == 0 {
+                for t in 0..7 {
+                    cm.send(1, t, 100, Payload::Empty, Link::Col);
+                }
+            } else {
+                for t in 0..7 {
+                    cm.recv(0, t);
+                }
+            }
+        });
+        let s = &report.per_rank[0];
+        assert!((s.alpha_time - 7.0 * alpha).abs() < 1e-15);
+        assert!((s.beta_time - 7.0 * 100.0 * beta).abs() < 1e-15);
+        assert!((s.send_time - (s.alpha_time + s.beta_time)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,166 @@
+//! HPL accuracy tests and backward errors (paper Section 6.1).
+//!
+//! The three residuals computed by the HPL benchmark driver, which the
+//! paper uses as its accuracy gate ("the accuracy tests are passed if the
+//! values of the three quantities are smaller than 16"):
+//!
+//! ```text
+//! HPL1 = ||Ax − b||_inf / (ε ||A||_1 · N)
+//! HPL2 = ||Ax − b||_inf / (ε ||A||_1 ||x||_1)
+//! HPL3 = ||Ax − b||_inf / (ε ||A||_inf ||x||_inf · N)
+//! ```
+//!
+//! plus the componentwise backward error
+//! `wb = max_i |r_i| / (|A|·|x| + |b|)_i` (Oettli-Prager), the paper's `wb`
+//! column.
+
+use calu_matrix::blas2::gemv;
+use calu_matrix::norms::{mat_norm_1, mat_norm_inf, vec_norm_1, vec_norm_inf};
+use calu_matrix::Matrix;
+
+/// The three HPL residuals for a computed solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HplReport {
+    /// `||Ax − b||_inf / (ε ||A||_1 N)`.
+    pub hpl1: f64,
+    /// `||Ax − b||_inf / (ε ||A||_1 ||x||_1)`.
+    pub hpl2: f64,
+    /// `||Ax − b||_inf / (ε ||A||_inf ||x||_inf N)`.
+    pub hpl3: f64,
+}
+
+impl HplReport {
+    /// HPL's pass criterion: all three below 16.
+    pub fn passes(&self) -> bool {
+        self.hpl1 < 16.0 && self.hpl2 < 16.0 && self.hpl3 < 16.0
+    }
+}
+
+/// Residual vector `r = b − A x`.
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut r = b.to_vec();
+    gemv(-1.0, a.view(), x, 1.0, &mut r);
+    r
+}
+
+/// The three HPL residual tests.
+///
+/// # Panics
+/// On dimension mismatch.
+pub fn hpl_tests(a: &Matrix, x: &[f64], b: &[f64]) -> HplReport {
+    let n = a.rows() as f64;
+    let r = residual(a, x, b);
+    let rn = vec_norm_inf(&r);
+    let eps = f64::EPSILON;
+    let a1 = mat_norm_1(a.view());
+    let ainf = mat_norm_inf(a.view());
+    HplReport {
+        hpl1: rn / (eps * a1 * n),
+        hpl2: rn / (eps * a1 * vec_norm_1(x)),
+        hpl3: rn / (eps * ainf * vec_norm_inf(x) * n),
+    }
+}
+
+/// Componentwise (Oettli-Prager) backward error
+/// `wb = max_i |r_i| / (|A|·|x| + |b|)_i`; entries with a zero denominator
+/// are skipped (they have a zero numerator too for consistent systems).
+pub fn componentwise_backward_error(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let r = residual(a, x, b);
+    // denom = |A| |x| + |b|.
+    let n = a.rows();
+    let mut denom = vec![0.0_f64; n];
+    for (j, xv) in x.iter().enumerate() {
+        let xj = xv.abs();
+        for (d, &v) in denom.iter_mut().zip(a.col(j)) {
+            *d += v.abs() * xj;
+        }
+    }
+    for (d, &bi) in denom.iter_mut().zip(b) {
+        *d += bi.abs();
+    }
+    let mut wb = 0.0_f64;
+    for (ri, di) in r.iter().zip(&denom) {
+        if *di > 0.0 {
+            wb = wb.max(ri.abs() / di);
+        }
+    }
+    wb
+}
+
+/// Normwise backward error `||Ax − b||_inf / (||A||_inf ||x||_inf + ||b||_inf)`.
+pub fn backward_error_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let r = residual(a, x, b);
+    let denom = mat_norm_inf(a.view()) * vec_norm_inf(x) + vec_norm_inf(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        vec_norm_inf(&r) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_core::{calu_factor, CaluOpts};
+    use calu_matrix::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_solution_has_zero_residuals() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let x = b.clone();
+        let rep = hpl_tests(&a, &x, &b);
+        assert_eq!(rep.hpl1, 0.0);
+        assert_eq!(rep.hpl2, 0.0);
+        assert_eq!(rep.hpl3, 0.0);
+        assert!(rep.passes());
+        assert_eq!(componentwise_backward_error(&a, &x, &b), 0.0);
+    }
+
+    #[test]
+    fn calu_solution_passes_hpl_gates() {
+        let mut rng = StdRng::seed_from_u64(171);
+        let n = 128;
+        let a = gen::randn(&mut rng, n, n);
+        let b = gen::hpl_rhs(&mut rng, n);
+        let f = calu_factor(&a, CaluOpts { block: 16, p: 8, ..Default::default() }).unwrap();
+        let x = f.solve(&b);
+        let rep = hpl_tests(&a, &x, &b);
+        assert!(rep.passes(), "{rep:?}");
+        let wb = componentwise_backward_error(&a, &x, &b);
+        assert!(wb < 1e-11, "wb = {wb}");
+    }
+
+    #[test]
+    fn perturbed_solution_fails_gates() {
+        let mut rng = StdRng::seed_from_u64(172);
+        let n = 64;
+        let a = gen::randn(&mut rng, n, n);
+        let b = gen::hpl_rhs(&mut rng, n);
+        let f = calu_factor(&a, CaluOpts::default()).unwrap();
+        let mut x = f.solve(&b);
+        x[0] += 1.0; // gross error
+        let rep = hpl_tests(&a, &x, &b);
+        assert!(!rep.passes(), "a grossly wrong solution must fail: {rep:?}");
+    }
+
+    #[test]
+    fn backward_error_scale_invariant() {
+        let mut rng = StdRng::seed_from_u64(173);
+        let n = 32;
+        let a = gen::randn(&mut rng, n, n);
+        let b = gen::hpl_rhs(&mut rng, n);
+        let f = calu_factor(&a, CaluOpts::default()).unwrap();
+        let x = f.solve(&b);
+        let w1 = componentwise_backward_error(&a, &x, &b);
+
+        // Scale the whole system by a power of two: every intermediate
+        // rounds identically, so wb is *exactly* unchanged.
+        let a2 = Matrix::from_fn(n, n, |i, j| 1024.0 * a[(i, j)]);
+        let b2: Vec<f64> = b.iter().map(|v| v * 1024.0).collect();
+        let w2 = componentwise_backward_error(&a2, &x, &b2);
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,53 @@
+//! The introduction's future-architectures argument as an interactive
+//! sweep: evolve the POWER5 machine model forward under the canonical
+//! technology rates and watch CALU's modeled advantage grow — then find,
+//! for each year, the matrix size below which tournament pivoting pays
+//! more than 5%.
+//!
+//! Run: `cargo run --release --example latency_trends`
+
+use calu_repro::netsim::MachineConfig;
+use calu_repro::perfmodel::{
+    evolve, gain_crossover_size, speedup_at, t_calu, t_pdgetrf, TechTrend,
+};
+
+fn main() {
+    let trend = TechTrend::default();
+    let base = MachineConfig::power5();
+    let (n, b, pr, pc) = (5_000usize, 50usize, 8usize, 8usize);
+
+    println!("CALU vs PDGETRF on an evolving machine (Equations (2)/(3), {pr}x{pc} grid)");
+    println!(
+        "rates/yr: flops x{:.2}, bandwidth x{:.2}, latency x{:.2}\n",
+        trend.flops_per_year, trend.bandwidth_per_year, trend.latency_per_year
+    );
+    println!("{:>5} {:>9} {:>22} {:>22} {:>16}", "year", "speedup", "PDGETRF lat/bw/fl (%)",
+             "CALU lat/bw/fl (%)", "crossover n");
+
+    for year in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0] {
+        let mch = evolve(&base, year, &trend);
+        let g = t_pdgetrf(&mch, n, n, b, pr, pc);
+        let c = t_calu(&mch, n, n, b, pr, pc);
+        let s = speedup_at(&mch, n, b, pr, pc);
+        let shares = |x: &calu_repro::perfmodel::CostBreakdown| {
+            let t = x.total();
+            format!(
+                "{:4.1}/{:4.1}/{:4.1}",
+                100.0 * x.latency / t,
+                100.0 * x.bandwidth / t,
+                100.0 * x.compute / t
+            )
+        };
+        let cross = gain_crossover_size(&mch, b, pr, pc, 1.05, 64_000_000)
+            .map(|c| format!("{c}"))
+            .unwrap_or_else(|| ">64M".into());
+        println!("{year:>5.0} {s:>9.2} {:>22} {:>22} {cross:>16}", shares(&g), shares(&c));
+    }
+
+    println!();
+    println!("Reading: PDGETRF's latency share explodes as flops outrun the network;");
+    println!("CALU's stays bounded because its panel sends O(n/b) messages, not O(n).");
+    println!("The crossover size — below which CALU wins by >5% — grows every year,");
+    println!("which is the introduction's claim: \"CALU is well suited for future");
+    println!("parallel architectures\".");
+}

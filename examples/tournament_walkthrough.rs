@@ -1,0 +1,88 @@
+//! Figure 1 walkthrough: the paper's 16x2 example matrix on 4 processors,
+//! printing every step of the TSLU tournament — the local GEPP candidates,
+//! each reduction match, and the final winners — then the factorization
+//! with the winners pivoted on top.
+//!
+//! Run: `cargo run --release --example tournament_walkthrough`
+
+use calu_repro::core::tournament::{reduce_pair, Candidates};
+use calu_repro::core::tslu::{tslu_factor, winners_to_ipiv, LocalLu};
+use calu_repro::matrix::{Matrix, NoObs};
+
+fn show(tag: &str, c: &Candidates) {
+    let rows: Vec<String> = (0..c.len())
+        .map(|i| {
+            let vals: Vec<String> =
+                (0..c.width()).map(|j| format!("{:>4}", c.block[(i, j)])).collect();
+            format!("row {:>2} [{}]", c.rows[i], vals.join(" "))
+        })
+        .collect();
+    println!("  {tag}: {}", rows.join("   "));
+}
+
+fn main() {
+    // The matrix of paper Section 3 / Figure 1 (written as 16 rows of 2).
+    let a = Matrix::from_rows(&[
+        &[2.0, 4.0],
+        &[0.0, 1.0],
+        &[2.0, 0.0],
+        &[0.0, 0.0],
+        &[0.0, 1.0],
+        &[1.0, 4.0],
+        &[2.0, 1.0],
+        &[0.0, 2.0],
+        &[2.0, 0.0],
+        &[1.0, 2.0],
+        &[4.0, 1.0],
+        &[1.0, 0.0],
+        &[0.0, 0.0],
+        &[0.0, 2.0],
+        &[1.0, 0.0],
+        &[4.0, 2.0],
+    ]);
+    println!("TSLU on the paper's 16x2 example, 4 processors of 4 rows each\n");
+
+    // Step 1: local GEPP per block-row.
+    let mut leaves = Vec::new();
+    for p in 0..4 {
+        let rows: Vec<usize> = (4 * p..4 * p + 4).collect();
+        let block = a.view().submatrix(4 * p, 0, 4, 2).to_matrix();
+        let cand = Candidates::from_block_row(&block, &rows);
+        show(&format!("P{p} local pivots"), &cand);
+        leaves.push(cand);
+    }
+
+    // Step 2: first tournament level (P0 vs P1, P2 vs P3).
+    println!();
+    let s01 = reduce_pair(&leaves[0], &leaves[1]);
+    let s23 = reduce_pair(&leaves[2], &leaves[3]);
+    show("level 1, P0+P1", &s01);
+    show("level 1, P2+P3", &s23);
+
+    // Step 3: root.
+    println!();
+    let root = reduce_pair(&s01, &s23);
+    show("level 2 (winners)", &root);
+
+    // Factor with the winners pivoted on top.
+    let winners = root.rows.clone();
+    let ipiv = winners_to_ipiv(&winners, 16);
+    println!("\nwinner rows: {winners:?}");
+    println!("swap sequence (LAPACK ipiv): {ipiv:?}");
+
+    let mut panel = a.clone();
+    let r = tslu_factor(panel.view_mut(), 4, LocalLu::Classic, &mut NoObs).unwrap();
+    assert_eq!(r.pivot_rows, winners);
+    println!("\npacked factors (L below diagonal, U on/above):");
+    println!("{panel:?}");
+
+    // The paper notes the winners coincide with GEPP's pivots here: the
+    // leading pivot carries the global column max |a| = 4.
+    assert_eq!(a[(winners[0], 0)].abs(), 4.0);
+    let max_l = panel
+        .unit_lower()
+        .as_slice()
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    println!("max |L| = {max_l} (ca-pivoting guarantees <= 2^(levels); observed <= 3 in practice)");
+}

@@ -1,0 +1,175 @@
+//! Failure injection: every factorization flavor must degrade *predictably*
+//! on hostile inputs — exact singularity at assorted ranks and positions,
+//! non-finite entries, and degenerate shapes. Errors, never wrong answers
+//! or panics (panics are reserved for API misuse).
+
+use calu_repro::core::{
+    calu_factor, gepp_factor, tiled_calu_factor, tslu_factor, CaluOpts, LocalLu,
+};
+use calu_repro::matrix::lapack::{getf2, getf2_info, getrf, GetrfOpts};
+use calu_repro::matrix::{gen, Error, Matrix, NoObs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Matrix with exact rank `r`: random leading r columns, zero tail columns.
+fn rank_deficient(seed: u64, n: usize, r: usize) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = gen::randn(&mut rng, n, r);
+    Matrix::from_fn(n, n, |i, j| if j < r { b[(i, j)] } else { 0.0 })
+}
+
+#[test]
+fn all_flavors_report_singularity_at_the_same_step() {
+    let n = 48;
+    for &r in &[1usize, 7, 24, 47] {
+        let a = rank_deficient(500 + r as u64, n, r);
+        let opts = CaluOpts { block: 8, p: 4, ..Default::default() };
+
+        let e_calu = calu_factor(&a, opts).unwrap_err();
+        let e_tiled = tiled_calu_factor(&a, opts).unwrap_err();
+        let e_gepp = gepp_factor(&a, 8).unwrap_err();
+
+        // Zero columns make the first dead pivot exactly step r for every
+        // pivoting strategy.
+        for (name, e) in [("calu", e_calu), ("tiled", e_tiled), ("gepp", e_gepp)] {
+            match e {
+                Error::SingularPivot { step } => {
+                    assert_eq!(step, r, "{name}: wrong singular step for rank {r}")
+                }
+                other => panic!("{name}: unexpected error {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_matrix_fails_at_step_zero() {
+    let a = Matrix::zeros(16, 16);
+    let e = calu_factor(&a, CaluOpts { block: 4, p: 2, ..Default::default() }).unwrap_err();
+    assert_eq!(e, Error::SingularPivot { step: 0 });
+}
+
+#[test]
+fn one_by_one_matrices() {
+    let a = Matrix::from_rows(&[&[3.0]]);
+    let f = calu_factor(&a, CaluOpts { block: 1, p: 1, ..Default::default() }).unwrap();
+    assert_eq!(f.lu[(0, 0)], 3.0);
+    assert_eq!(f.solve(&[6.0]), vec![2.0]);
+
+    let z = Matrix::from_rows(&[&[0.0]]);
+    let e = calu_factor(&z, CaluOpts { block: 1, p: 1, ..Default::default() }).unwrap_err();
+    assert_eq!(e, Error::SingularPivot { step: 0 });
+}
+
+#[test]
+fn nan_input_is_reported_not_propagated_silently() {
+    let mut rng = StdRng::seed_from_u64(321);
+    let mut a = gen::randn(&mut rng, 24, 24);
+    a[(10, 3)] = f64::NAN;
+    // The NaN reaches a pivot comparison within the first panel; strict
+    // kernels flag it rather than produce a NaN-filled "factorization"
+    // silently. (iamax treats NaN as non-maximal, so the chosen pivot is
+    // finite until the NaN contaminates the column — at which point the
+    // column max is NaN and getf2 errors.)
+    let mut w = a.clone();
+    let mut ipiv = vec![0usize; 24];
+    let r = getf2(w.view_mut(), &mut ipiv, &mut NoObs);
+    assert!(r.is_err(), "a NaN column maximum must be flagged");
+}
+
+#[test]
+fn inf_entry_is_flagged_by_strict_kernels() {
+    let mut rng = StdRng::seed_from_u64(322);
+    let mut a = gen::randn(&mut rng, 16, 16);
+    a[(4, 0)] = f64::INFINITY;
+    let mut ipiv = vec![0usize; 16];
+    let e = getf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap_err();
+    assert!(matches!(e, Error::SingularPivot { step: 0 }), "{e:?}");
+}
+
+#[test]
+fn getf2_info_completes_where_strict_errors() {
+    let a = rank_deficient(600, 32, 5);
+    let mut w1 = a.clone();
+    let mut ip1 = vec![0usize; 32];
+    assert!(getf2(w1.view_mut(), &mut ip1, &mut NoObs).is_err());
+
+    let mut w2 = a.clone();
+    let mut ip2 = vec![0usize; 32];
+    let info = getf2_info(w2.view_mut(), &mut ip2, &mut NoObs);
+    assert_eq!(info, Some(5));
+    // And the completed factors agree with the strict attempt's prefix.
+    assert_eq!(w1.max_abs_diff(&w2), 0.0, "both run to completion identically");
+}
+
+#[test]
+fn tslu_panel_with_singular_candidates_still_elects_winners() {
+    // A panel whose middle block-row is all zeros: the tournament must not
+    // fail — it elects winners from the live blocks (the Wilkinson
+    // regression that motivated the LAPACK-faithful info kernels).
+    let mut rng = StdRng::seed_from_u64(323);
+    let mut panel = gen::randn(&mut rng, 32, 4);
+    for i in 8..16 {
+        for j in 0..4 {
+            panel[(i, j)] = 0.0;
+        }
+    }
+    let r = tslu_factor(panel.view_mut(), 4, LocalLu::Recursive, &mut NoObs).unwrap();
+    assert_eq!(r.pivot_rows.len(), 4);
+    for &w in &r.pivot_rows {
+        assert!(!(8..16).contains(&w), "zero rows must not win the tournament");
+    }
+}
+
+#[test]
+fn wilkinson_block_rows_regression() {
+    // The original failure: Wilkinson's matrix makes every off-diagonal
+    // block-row rank 1, so local GEPPs hit exact zero pivots mid-panel.
+    // CALU must factor it and reproduce the 2^(n-1) growth.
+    let n = 24;
+    let a = gen::wilkinson(n);
+    for p in [2usize, 4, 8] {
+        let f = calu_factor(&a, CaluOpts { block: 8, p, ..Default::default() })
+            .unwrap_or_else(|e| panic!("p={p}: {e}"));
+        let umax = f.lu.upper().max_abs();
+        assert!(umax >= 2f64.powi(n as i32 - 1) * 0.99, "p={p}: growth {umax}");
+    }
+}
+
+#[test]
+fn getrf_errors_with_absolute_step_across_blocks() {
+    // Singularity in a later panel must report the absolute column.
+    let a = rank_deficient(700, 40, 25);
+    let mut w = a.clone();
+    let mut ipiv = vec![0usize; 40];
+    let e = getrf(w.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs)
+        .unwrap_err();
+    assert_eq!(e, Error::SingularPivot { step: 25 });
+}
+
+#[test]
+fn solve_with_huge_scale_variation_stays_accurate_after_equilibration() {
+    use calu_repro::matrix::lapack::{geequ, getrs, laqge, unscale_solution};
+    let mut rng = StdRng::seed_from_u64(324);
+    let n = 32;
+    let mut a = gen::diag_dominant(&mut rng, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] *= 10.0_f64.powi((i % 9) as i32 - 4);
+        }
+    }
+    let x_true: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) - 1.5).collect();
+    let b = gen::rhs_for_solution(&a, &x_true);
+
+    let eq = geequ(a.view()).unwrap();
+    let mut s = a.clone();
+    laqge(s.view_mut(), &eq);
+    let mut bs: Vec<f64> = b.iter().zip(&eq.r).map(|(bi, ri)| bi * ri).collect();
+    let mut ipiv = vec![0usize; n];
+    getrf(s.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();
+    getrs(s.view(), &ipiv, &mut bs);
+    unscale_solution(&mut bs, &eq);
+    for (got, want) in bs.iter().zip(&x_true) {
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+}

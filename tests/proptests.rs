@@ -1,0 +1,226 @@
+//! Property-based tests (proptest) on the core invariants:
+//! factorization identities, permutation algebra, tournament winners,
+//! threshold bounds, and kernel equivalences, over randomized shapes.
+
+use calu_repro::core::tournament::{reduce_pair, tournament, Candidates};
+use calu_repro::core::{calu_factor, calu_inplace, CaluOpts, PivotStats};
+use calu_repro::matrix::blas3::{gemm, gemm_naive};
+use calu_repro::matrix::perm::{compose, invert_perm, ipiv_to_perm, is_permutation, permute_rows};
+use calu_repro::matrix::{gen, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn randn_mat(seed: u64, m: usize, n: usize) -> Matrix {
+    gen::randn(&mut StdRng::seed_from_u64(seed), m, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_calu_reconstructs(
+        seed in 0u64..1_000_000,
+        n in 8usize..96,
+        b in 1usize..24,
+        p in 1usize..8,
+    ) {
+        let a = randn_mat(seed, n, n);
+        let f = calu_factor(&a, CaluOpts { block: b, p, ..Default::default() }).unwrap();
+        let perm = ipiv_to_perm(&f.ipiv, n);
+        prop_assert!(is_permutation(&perm));
+        let pa = permute_rows(&a, &perm);
+        let l = f.lu.unit_lower();
+        let u = f.lu.upper();
+        let mut prod = Matrix::zeros(n, n);
+        gemm(1.0, l.view(), u.view(), 0.0, prod.view_mut());
+        let err = pa.max_abs_diff(&prod) / a.max_abs().max(1.0);
+        prop_assert!(err < 1e-9, "reconstruction error {err} (n={n} b={b} p={p})");
+    }
+
+    #[test]
+    fn prop_thresholds_in_unit_interval(
+        seed in 0u64..1_000_000,
+        n in 8usize..64,
+        p in 1usize..6,
+    ) {
+        let a = randn_mat(seed, n, n);
+        let mut stats = PivotStats::new(a.max_abs());
+        let mut w = a.clone();
+        calu_inplace(w.view_mut(), CaluOpts { block: 8, p, ..Default::default() }, &mut stats).unwrap();
+        prop_assert_eq!(stats.steps(), n);
+        for &t in &stats.thresholds {
+            prop_assert!(t > 0.0 && t <= 1.0 + 1e-12, "tau = {t}");
+        }
+        // |L| <= 1/tau_min by construction.
+        prop_assert!(stats.max_l <= 1.0 / stats.tau_min() + 1e-6);
+    }
+
+    #[test]
+    fn prop_tournament_winners_are_valid_rows(
+        seed in 0u64..1_000_000,
+        b in 1usize..10,
+        chunks in 2usize..6,
+        rows_per in 2usize..12,
+    ) {
+        let total = chunks * rows_per.max(b);
+        let a = randn_mat(seed, total, b);
+        let blocks: Vec<Candidates> = (0..chunks)
+            .map(|i| {
+                let lo = i * total / chunks;
+                let hi = (i + 1) * total / chunks;
+                let block = a.view().submatrix(lo, 0, hi - lo, b).to_matrix();
+                Candidates::from_block_row(&block, &(lo..hi).collect::<Vec<_>>())
+            })
+            .collect();
+        let w = tournament(blocks);
+        prop_assert_eq!(w.len(), b.min(total));
+        let mut seen = std::collections::HashSet::new();
+        for (k, &r) in w.rows.iter().enumerate() {
+            prop_assert!(r < total);
+            prop_assert!(seen.insert(r), "duplicate winner {r}");
+            for j in 0..b {
+                prop_assert_eq!(w.block[(k, j)], a[(r, j)], "winner values must be original");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_reduce_pair_first_winner_maximizes_col0(
+        seed in 0u64..1_000_000,
+        b in 1usize..8,
+    ) {
+        let a = randn_mat(seed, 4 * b.max(2), b);
+        let half = a.rows() / 2;
+        let c0 = Candidates::from_block_row(
+            &a.view().submatrix(0, 0, half, b).to_matrix(),
+            &(0..half).collect::<Vec<_>>(),
+        );
+        let c1 = Candidates::from_block_row(
+            &a.view().submatrix(half, 0, a.rows() - half, b).to_matrix(),
+            &(half..a.rows()).collect::<Vec<_>>(),
+        );
+        let w = reduce_pair(&c0, &c1);
+        let best = c0.block.col(0).iter().chain(c1.block.col(0)).fold(0.0_f64, |m, &v| m.max(v.abs()));
+        prop_assert_eq!(a[(w.rows[0], 0)].abs(), best);
+    }
+
+    #[test]
+    fn prop_gemm_matches_naive(
+        seed in 0u64..1_000_000,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        let a = randn_mat(seed, m, k);
+        let b = randn_mat(seed ^ 0xABCD, k, n);
+        let c0 = randn_mat(seed ^ 0x1234, m, n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0;
+        gemm(alpha, a.view(), b.view(), beta, c1.view_mut());
+        gemm_naive(alpha, a.view(), b.view(), beta, c2.view_mut());
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-10 * (k as f64 + 1.0));
+    }
+
+    #[test]
+    fn prop_perm_algebra(perm_seed in 0u64..1_000_000, n in 1usize..64) {
+        // Build a permutation by shuffling via random ipiv.
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        use rand::Rng;
+        let ipiv: Vec<usize> = (0..n).map(|i| rng.gen_range(i..n)).collect();
+        let perm = ipiv_to_perm(&ipiv, n);
+        prop_assert!(is_permutation(&perm));
+        let inv = invert_perm(&perm);
+        let id = compose(&inv, &perm);
+        prop_assert_eq!(id, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prop_solve_residual_small(
+        seed in 0u64..1_000_000,
+        n in 4usize..80,
+        b in 1usize..16,
+        p in 1usize..6,
+    ) {
+        let a = randn_mat(seed, n, n);
+        let rhs = gen::hpl_rhs(&mut StdRng::seed_from_u64(seed ^ 0xFF), n);
+        let f = calu_factor(&a, CaluOpts { block: b, p, ..Default::default() }).unwrap();
+        let x = f.solve(&rhs);
+        let wb = calu_repro::stability::componentwise_backward_error(&a, &x, &rhs);
+        // Random normal matrices at these sizes are well conditioned with
+        // overwhelming probability; wb should be near machine epsilon.
+        prop_assert!(wb < 1e-8, "wb = {wb} (n={n} b={b} p={p})");
+    }
+
+    #[test]
+    fn prop_tiled_lookahead_equals_sequential_bitwise(
+        seed in 0u64..1_000_000,
+        m in 8usize..80,
+        n in 8usize..80,
+        b in 2usize..20,
+        p in 1usize..6,
+    ) {
+        // The lookahead schedule must be a pure reordering: identical
+        // pivots and bitwise identical factors on every shape.
+        let a = randn_mat(seed, m, n);
+        let opts = CaluOpts { block: b, p, ..Default::default() };
+        let seq = calu_factor(&a, opts).unwrap();
+        let tiled = calu_repro::core::tiled_calu_factor(&a, opts).unwrap();
+        prop_assert_eq!(&seq.ipiv, &tiled.ipiv, "pivots differ (m={} n={} b={} p={})", m, n, b, p);
+        prop_assert_eq!(seq.lu.max_abs_diff(&tiled.lu), 0.0);
+    }
+
+    #[test]
+    fn prop_dist_pdgetrf_equals_sequential_getrf(
+        seed in 0u64..1_000_000,
+        nblocks in 3usize..8,
+        b in 2usize..8,
+        pr in 1usize..4,
+        pc in 1usize..4,
+    ) {
+        use calu_repro::core::dist::{dist_pdgetrf_factor, DistPdgetrfConfig};
+        use calu_repro::matrix::lapack::{getrf, GetrfOpts};
+        use calu_repro::matrix::NoObs;
+        let n = nblocks * b;
+        let a = randn_mat(seed, n, n);
+        let (_rep, d) = dist_pdgetrf_factor(
+            &a,
+            DistPdgetrfConfig { b, pr, pc },
+            calu_repro::netsim::MachineConfig::ideal(),
+        );
+        let mut lu = a.clone();
+        let mut ipiv = vec![0usize; n];
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts { block: b, ..Default::default() }, &mut NoObs)
+            .unwrap();
+        prop_assert_eq!(&d.ipiv, &ipiv);
+        prop_assert_eq!(d.lu.max_abs_diff(&lu), 0.0, "partial pivoting is deterministic");
+    }
+
+    #[test]
+    fn prop_calu_growth_within_inverse_threshold_power(
+        seed in 0u64..1_000_000,
+        n in 16usize..64,
+        p in 2usize..6,
+    ) {
+        // Threshold-pivoting theory: with per-step thresholds tau_i, the
+        // growth is bounded by prod(1 + 1/tau_i); we check the much
+        // tighter practical statement from the paper — growth within a
+        // modest factor of GEPP's on the same matrix.
+        let a = randn_mat(seed, n, n);
+        let mut s_calu = PivotStats::new(a.max_abs());
+        let mut w = a.clone();
+        calu_inplace(w.view_mut(), CaluOpts { block: 8, p, ..Default::default() }, &mut s_calu).unwrap();
+
+        let mut s_gepp = PivotStats::new(a.max_abs());
+        let mut g = a.clone();
+        calu_inplace(g.view_mut(), CaluOpts { block: 8, p: 1, ..Default::default() }, &mut s_gepp).unwrap();
+
+        prop_assert!(
+            s_calu.max_elem <= 16.0 * s_gepp.max_elem,
+            "ca-pivoting growth {} wildly above GEPP {} (n={} p={})",
+            s_calu.max_elem, s_gepp.max_elem, n, p
+        );
+    }
+}
