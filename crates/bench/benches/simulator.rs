@@ -11,9 +11,8 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("netsim_skeletons");
     g.sample_size(10);
     g.bench_function("tslu_m1e6_b150_p64", |bench| {
-        bench.iter(|| {
-            skeleton_tslu(1_000_000, 150, 64, LocalLu::Recursive, MachineConfig::power5())
-        })
+        bench
+            .iter(|| skeleton_tslu(1_000_000, 150, 64, LocalLu::Recursive, MachineConfig::power5()))
     });
     g.bench_function("pdgetf2_m1e5_b100_p16", |bench| {
         bench.iter(|| skeleton_pdgetf2(100_000, 100, 16, MachineConfig::power5()))

@@ -19,17 +19,12 @@ fn bench_tournament(c: &mut Criterion) {
     for &b in &[32usize, 64, 128] {
         let c0 = make_candidates(&mut rng, b, 0);
         let c1 = make_candidates(&mut rng, b, b);
-        g.bench_function(format!("reduce_pair_b{b}"), |bench| {
-            bench.iter(|| reduce_pair(&c0, &c1))
-        });
+        g.bench_function(format!("reduce_pair_b{b}"), |bench| bench.iter(|| reduce_pair(&c0, &c1)));
     }
     // Whole tournament at p = 16, b = 64 (one panel's preprocessing tree).
     let b = 64;
-    let blocks: Vec<Candidates> =
-        (0..16).map(|i| make_candidates(&mut rng, b, i * b)).collect();
-    g.bench_function("tree_p16_b64", |bench| {
-        bench.iter(|| tournament(blocks.clone()))
-    });
+    let blocks: Vec<Candidates> = (0..16).map(|i| make_candidates(&mut rng, b, i * b)).collect();
+    g.bench_function("tree_p16_b64", |bench| bench.iter(|| tournament(blocks.clone())));
     g.finish();
 }
 

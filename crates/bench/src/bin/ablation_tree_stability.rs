@@ -50,8 +50,7 @@ fn main() {
     println!("# binary = the paper's reduction tree; flat = single stacked GEPP;");
     println!("# GEPP = partial pivoting reference (tau = 1 by definition)\n");
 
-    let mut t =
-        Table::new(&["P", "shape", "tau_min", "tau_ave", "max|L|", "growth vs GEPP"]);
+    let mut t = Table::new(&["P", "shape", "tau_min", "tau_ave", "max|L|", "growth vs GEPP"]);
     for &p in &[4usize, 16, 64] {
         let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
         for (shape, flat) in [("binary", false), ("flat", true)] {

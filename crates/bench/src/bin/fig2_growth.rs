@@ -14,8 +14,7 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::parse();
-    let ns: Vec<usize> =
-        if cli.full { vec![1024, 2048, 4096, 8192] } else { vec![256, 512, 1024] };
+    let ns: Vec<usize> = if cli.full { vec![1024, 2048, 4096, 8192] } else { vec![256, 512, 1024] };
     // (P, b) legend entries; the reduced sweep scales them down with n.
     let configs: Vec<(usize, usize)> = if cli.full {
         vec![(256, 32), (128, 64), (128, 32), (64, 128), (64, 32), (64, 16)]
@@ -25,7 +24,15 @@ fn main() {
     let samples = 2;
 
     let mut t = Table::new(&[
-        "n", "P", "b", "gT(ca-piv)", "tau_min", "tau_ave", "max|L|", "gT(GEPP)", "n^(2/3)",
+        "n",
+        "P",
+        "b",
+        "gT(ca-piv)",
+        "tau_min",
+        "tau_ave",
+        "max|L|",
+        "gT(GEPP)",
+        "n^(2/3)",
         "2n^(2/3)",
     ]);
     for &n in &ns {

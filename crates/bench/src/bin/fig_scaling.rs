@@ -12,34 +12,20 @@ use calu_netsim::machine::flops_lu;
 use calu_netsim::MachineConfig;
 
 fn times(mch: &MachineConfig, n: usize, b: usize, pr: usize, pc: usize) -> (f64, f64) {
-    let calu = SkelCfg {
-        m: n,
-        n,
-        b,
-        pr,
-        pc,
-        local: LocalLu::Recursive,
-        swap: RowSwapScheme::ReduceBcast,
-    };
+    let calu =
+        SkelCfg { m: n, n, b, pr, pc, local: LocalLu::Recursive, swap: RowSwapScheme::ReduceBcast };
     let pdg = SkelCfg { local: LocalLu::Classic, swap: RowSwapScheme::PdLaswp, ..calu };
     (skeleton_calu(calu, mch.clone()).makespan(), skeleton_pdgetrf(pdg, mch.clone()).makespan())
 }
 
 fn main() {
     let cli = Cli::parse();
-    let grids: Vec<(usize, usize, usize)> =
-        vec![(4, 2, 2), (16, 4, 4), (64, 8, 8), (256, 16, 16)];
+    let grids: Vec<(usize, usize, usize)> = vec![(4, 2, 2), (16, 4, 4), (64, 8, 8), (256, 16, 16)];
 
     for mch in [MachineConfig::power5(), MachineConfig::modern_cluster()] {
         println!("## Strong scaling on {}: n = 10^4, b = 50", mch.name);
-        let mut t = Table::new(&[
-            "P",
-            "grid",
-            "T_CALU (s)",
-            "T_PDGETRF (s)",
-            "speedup",
-            "CALU par-eff %",
-        ]);
+        let mut t =
+            Table::new(&["P", "grid", "T_CALU (s)", "T_PDGETRF (s)", "speedup", "CALU par-eff %"]);
         let n = 10_000;
         let mut t1 = None;
         for &(p, pr, pc) in &grids {
@@ -59,7 +45,15 @@ fn main() {
         println!();
 
         println!("## Weak scaling on {}: n = 2500 * sqrt(P), b = 50", mch.name);
-        let mut t = Table::new(&["P", "grid", "n", "T_CALU (s)", "T_PDGETRF (s)", "speedup", "CALU GF/s/rank"]);
+        let mut t = Table::new(&[
+            "P",
+            "grid",
+            "n",
+            "T_CALU (s)",
+            "T_PDGETRF (s)",
+            "speedup",
+            "CALU GF/s/rank",
+        ]);
         for &(p, pr, pc) in &grids {
             let n = 2_500 * (p as f64).sqrt() as usize;
             let (tc, tp) = times(&mch, n, 50, pr, pc);

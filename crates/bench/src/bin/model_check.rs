@@ -27,12 +27,9 @@ fn main() {
 
     // ---- Eq. (1) vs skeleton TSLU.
     let mut t1 = Table::new(&["m", "b", "P", "sim (s)", "Eq.1 (s)", "sim/eq"]);
-    for &(m, b, p) in &[
-        (10_000usize, 50usize, 4usize),
-        (100_000, 100, 16),
-        (1_000_000, 150, 64),
-        (1_000, 50, 16),
-    ] {
+    for &(m, b, p) in
+        &[(10_000usize, 50usize, 4usize), (100_000, 100, 16), (1_000_000, 150, 64), (1_000, 50, 16)]
+    {
         let sim = skeleton_tslu(m, b, p, LocalLu::Recursive, mch.clone()).makespan();
         let eq = t_tslu(&mch, m, b, p).total();
         t1.row(vec![
@@ -48,9 +45,7 @@ fn main() {
     t1.print(cli.csv);
 
     // ---- Eq. (2)/(3) vs 2D skeletons.
-    let mut t2 = Table::new(&[
-        "m", "b", "grid", "alg", "sim (s)", "Eq (s)", "sim/eq",
-    ]);
+    let mut t2 = Table::new(&["m", "b", "grid", "alg", "sim (s)", "Eq (s)", "sim/eq"]);
     for &(m, b, pr, pc) in
         &[(1_000usize, 50usize, 4usize, 4usize), (5_000, 100, 4, 8), (10_000, 50, 8, 8)]
     {
@@ -95,10 +90,18 @@ fn main() {
     for &(m, b, pr, pc) in
         &[(1_000usize, 50usize, 8usize, 8usize), (5_000, 50, 8, 8), (10_000, 100, 8, 8)]
     {
-        let base = SkelCfg { m, n: m, b, pr, pc, local: LocalLu::Recursive, swap: RowSwapScheme::ReduceBcast };
+        let base = SkelCfg {
+            m,
+            n: m,
+            b,
+            pr,
+            pc,
+            local: LocalLu::Recursive,
+            swap: RowSwapScheme::ReduceBcast,
+        };
         let rb = skeleton_calu(base, mch.clone()).makespan();
-        let lw = skeleton_calu(SkelCfg { swap: RowSwapScheme::PdLaswp, ..base }, mch.clone())
-            .makespan();
+        let lw =
+            skeleton_calu(SkelCfg { swap: RowSwapScheme::PdLaswp, ..base }, mch.clone()).makespan();
         t3.row(vec![
             m.to_string(),
             b.to_string(),
@@ -114,9 +117,8 @@ fn main() {
     // ---- Ablation: tournament reduction-tree shape.
     let mut t4 = Table::new(&["m", "b", "P", "butterfly (s)", "reduce+bcast (s)", "flat (s)"]);
     for &(m, b, p) in &[(1_000usize, 50usize, 16usize), (10_000, 50, 32), (100_000, 150, 64)] {
-        let run = |tree| {
-            skeleton_tslu_tree(m, b, p, LocalLu::Recursive, tree, mch.clone()).makespan()
-        };
+        let run =
+            |tree| skeleton_tslu_tree(m, b, p, LocalLu::Recursive, tree, mch.clone()).makespan();
         t4.row(vec![
             m.to_string(),
             b.to_string(),

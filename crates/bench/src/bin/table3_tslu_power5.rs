@@ -17,5 +17,7 @@ fn main() {
     build(&mch).print(cli.csv);
     let g = tslu_gflops(&mch, 1_000_000, 150, 64, LocalLu::Recursive);
     let pct = 100.0 * g / (64.0 * mch.peak_flops() / 1e9);
-    println!("\nTSLU m=10^6 n=150 P=64: {g:.0} GFLOP/s ({pct:.0}% of 64-proc peak; paper: 215, 44%)");
+    println!(
+        "\nTSLU m=10^6 n=150 P=64: {g:.0} GFLOP/s ({pct:.0}% of 64-proc peak; paper: 215, 44%)"
+    );
 }

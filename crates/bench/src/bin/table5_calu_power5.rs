@@ -10,6 +10,8 @@ use calu_netsim::MachineConfig;
 fn main() {
     let cli = Cli::parse();
     println!("# Table 5: PDGETRF / CALU time ratio + CALU GFLOP/s, IBM POWER5 model");
-    println!("# paper headline: best 2.29 (m=10^3, b=100, P=64); 213.9 GFLOP/s at m=10^4, b=50, P=64\n");
+    println!(
+        "# paper headline: best 2.29 (m=10^3, b=100, P=64); 213.9 GFLOP/s at m=10^4, b=50, P=64\n"
+    );
     build(&MachineConfig::power5()).print(cli.csv);
 }

@@ -14,8 +14,16 @@ use calu_perfmodel::sweep::best_vs_best_speedup;
 fn run(mch: &MachineConfig, cli: &Cli) {
     println!("\n## {}", mch.name);
     let mut t = Table::new(&[
-        "m", "speedup", "CALU GFlops", "CALU P", "CALU b", "Prcnt", "PDGETRF GFlops",
-        "PDGETRF P", "PDGETRF b", "Eq-model speedup",
+        "m",
+        "speedup",
+        "CALU GFlops",
+        "CALU P",
+        "CALU b",
+        "Prcnt",
+        "PDGETRF GFlops",
+        "PDGETRF P",
+        "PDGETRF b",
+        "Eq-model speedup",
     ]);
     for &m in &[1_000usize, 5_000, 10_000] {
         let (s, c, p) = best_vs_best(mch, m);

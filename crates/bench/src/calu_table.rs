@@ -23,15 +23,8 @@ pub fn cell_valid(m: usize, b: usize, pr: usize, pc: usize) -> bool {
 
 /// Simulated times for one cell: `(t_calu, t_pdgetrf)`.
 pub fn cell_times(machine: &MachineConfig, m: usize, b: usize, pr: usize, pc: usize) -> (f64, f64) {
-    let calu_cfg = SkelCfg {
-        m,
-        n: m,
-        b,
-        pr,
-        pc,
-        local: LocalLu::Recursive,
-        swap: RowSwapScheme::ReduceBcast,
-    };
+    let calu_cfg =
+        SkelCfg { m, n: m, b, pr, pc, local: LocalLu::Recursive, swap: RowSwapScheme::ReduceBcast };
     let pdg_cfg = SkelCfg { local: LocalLu::Classic, swap: RowSwapScheme::PdLaswp, ..calu_cfg };
     let t_calu = skeleton_calu(calu_cfg, machine.clone()).makespan();
     let t_pdg = skeleton_pdgetrf(pdg_cfg, machine.clone()).makespan();

@@ -187,10 +187,15 @@ mod tests {
         // pivoting's, so CALU == GETRF bit for bit.
         let mut rng = StdRng::seed_from_u64(92);
         let a0 = gen::randn(&mut rng, 72, 72);
-        let f = calu_factor(&a0, CaluOpts { block: 12, p: 1, local: LocalLu::Classic, parallel_update: false }).unwrap();
+        let f = calu_factor(
+            &a0,
+            CaluOpts { block: 12, p: 1, local: LocalLu::Classic, parallel_update: false },
+        )
+        .unwrap();
         let mut g = a0.clone();
         let mut ipiv = vec![0usize; 72];
-        getrf(g.view_mut(), &mut ipiv, GetrfOpts { block: 12, ..Default::default() }, &mut NoObs).unwrap();
+        getrf(g.view_mut(), &mut ipiv, GetrfOpts { block: 12, ..Default::default() }, &mut NoObs)
+            .unwrap();
         assert_eq!(f.ipiv, ipiv);
         assert!(f.lu.max_abs_diff(&g) < 1e-12);
     }
@@ -220,8 +225,12 @@ mod tests {
 
         let mut s_calu = PivotStats::new(a0.max_abs());
         let mut a1 = a0.clone();
-        calu_inplace(a1.view_mut(), CaluOpts { block: 16, p: 4, ..Default::default() }, &mut s_calu)
-            .unwrap();
+        calu_inplace(
+            a1.view_mut(),
+            CaluOpts { block: 16, p: 4, ..Default::default() },
+            &mut s_calu,
+        )
+        .unwrap();
 
         let mut s_gepp = PivotStats::new(a0.max_abs());
         let mut a2 = a0.clone();
@@ -231,20 +240,46 @@ mod tests {
 
         let g_calu = s_calu.growth_factor(1.0);
         let g_gepp = s_gepp.growth_factor(1.0);
-        assert!(
-            g_calu < 8.0 * g_gepp,
-            "CALU growth {g_calu} wildly exceeds GEPP growth {g_gepp}"
-        );
+        assert!(g_calu < 8.0 * g_gepp, "CALU growth {g_calu} wildly exceeds GEPP growth {g_gepp}");
     }
 
     #[test]
     fn parallel_update_bitwise_matches_serial() {
         let mut rng = StdRng::seed_from_u64(95);
         let a0 = gen::randn(&mut rng, 150, 150);
-        let f1 = calu_factor(&a0, CaluOpts { block: 32, p: 4, parallel_update: false, ..Default::default() }).unwrap();
-        let f2 = calu_factor(&a0, CaluOpts { block: 32, p: 4, parallel_update: true, ..Default::default() }).unwrap();
+        let f1 = calu_factor(
+            &a0,
+            CaluOpts { block: 32, p: 4, parallel_update: false, ..Default::default() },
+        )
+        .unwrap();
+        let f2 = calu_factor(
+            &a0,
+            CaluOpts { block: 32, p: 4, parallel_update: true, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(f1.ipiv, f2.ipiv);
         assert!(f1.lu.max_abs_diff(&f2.lu) < 1e-13);
+    }
+
+    #[test]
+    fn calu_ipiv_always_yields_a_valid_permutation() {
+        // The tournament's swap sequences, composed across panels, must
+        // always extend to a permutation of the rows — for square, tall,
+        // and wide shapes and every tournament height.
+        use calu_matrix::perm::is_permutation;
+        let mut rng = StdRng::seed_from_u64(97);
+        for &(m, n, b, p) in
+            &[(48usize, 48usize, 8usize, 4usize), (64, 32, 8, 8), (40, 56, 16, 2), (33, 33, 5, 3)]
+        {
+            let a0 = gen::randn(&mut rng, m, n);
+            let f = calu_factor(&a0, CaluOpts { block: b, p, ..Default::default() }).unwrap();
+            assert_eq!(f.ipiv.len(), m.min(n));
+            for (i, &pv) in f.ipiv.iter().enumerate() {
+                assert!(pv >= i && pv < m, "swap {i} <-> {pv} out of range (m={m})");
+            }
+            let perm = ipiv_to_perm(&f.ipiv, m);
+            assert!(is_permutation(&perm), "m={m} n={n} b={b} p={p}");
+        }
     }
 
     #[test]

@@ -57,12 +57,13 @@ fn calu_inplace_panels_parallel<O: PivotObserver>(
         let jb = nb.min(kn - k);
         {
             let panel = a.submatrix_mut(k, k, m - k, jb);
-            let r = tslu_factor_with(panel, opts.p, opts.local, true, obs).map_err(|e| match e {
-                calu_matrix::Error::SingularPivot { step } => {
-                    calu_matrix::Error::SingularPivot { step: step + k }
-                }
-                other => other,
-            })?;
+            let r =
+                tslu_factor_with(panel, opts.p, opts.local, true, obs).map_err(|e| match e {
+                    calu_matrix::Error::SingularPivot { step } => {
+                        calu_matrix::Error::SingularPivot { step: step + k }
+                    }
+                    other => other,
+                })?;
             ipiv[k..k + jb].copy_from_slice(&r.ipiv);
         }
         let local: Vec<usize> = ipiv[k..k + jb].to_vec();

@@ -256,12 +256,8 @@ mod tests {
         let c0 = cands_from(&a, 0..12);
         let c1 = cands_from(&a, 12..24);
         let w = reduce_pair(&c0, &c1);
-        let best_cand = c0
-            .block
-            .col(0)
-            .iter()
-            .chain(c1.block.col(0))
-            .fold(0.0_f64, |m, &v| m.max(v.abs()));
+        let best_cand =
+            c0.block.col(0).iter().chain(c1.block.col(0)).fold(0.0_f64, |m, &v| m.max(v.abs()));
         assert_eq!(a[(w.rows[0], 0)].abs(), best_cand);
     }
 
@@ -323,7 +319,8 @@ mod tests {
         // differ (different but equally valid pivot sets).
         let mut rng = StdRng::seed_from_u64(67);
         let a = gen::randn(&mut rng, 48, 6);
-        let blocks: Vec<Candidates> = (0..4).map(|i| cands_from(&a, i * 12..(i + 1) * 12)).collect();
+        let blocks: Vec<Candidates> =
+            (0..4).map(|i| cands_from(&a, i * 12..(i + 1) * 12)).collect();
         let bin = tournament(blocks.clone());
         let flat = tournament_flat(blocks);
         assert_eq!(bin.rows[0], flat.rows[0], "first pivot is the global max either way");
@@ -343,6 +340,68 @@ mod tests {
         let c = cands_from(&a, 0..9);
         let w = tournament_flat(vec![c.clone()]);
         assert_eq!(w, c);
+    }
+
+    #[test]
+    fn tournament_and_flat_winners_are_permutation_consistent_subsets() {
+        // Both tree shapes must elect b *distinct* candidate rows, each
+        // carrying its original values — i.e. the winners extend to a
+        // valid row permutation of the panel.
+        use calu_matrix::perm::{ipiv_to_perm, is_permutation};
+        let mut rng = StdRng::seed_from_u64(601);
+        for &(rows, b, chunks) in &[(40usize, 5usize, 4usize), (36, 6, 3), (64, 8, 8)] {
+            let a = gen::randn(&mut rng, rows, b);
+            let blocks: Vec<Candidates> = (0..chunks)
+                .map(|i| cands_from(&a, i * rows / chunks..(i + 1) * rows / chunks))
+                .collect();
+            for (label, w) in
+                [("tree", tournament(blocks.clone())), ("flat", tournament_flat(blocks))]
+            {
+                assert_eq!(w.len(), b, "{label}");
+                // Distinct winners within range...
+                let mut seen = vec![false; rows];
+                for &r in &w.rows {
+                    assert!(r < rows, "{label}: winner {r} out of range");
+                    assert!(!seen[r], "{label}: duplicate winner {r}");
+                    seen[r] = true;
+                }
+                // ...whose swap sequence extends to a full permutation.
+                let ipiv = crate::tslu::winners_to_ipiv(&w.rows, rows);
+                let perm = ipiv_to_perm(&ipiv, rows);
+                assert!(is_permutation(&perm), "{label}");
+                assert_eq!(&perm[..b], w.rows.as_slice(), "{label}: winners on top");
+                // Winner values are original panel rows, not factored junk.
+                for (k, &r) in w.rows.iter().enumerate() {
+                    for j in 0..b {
+                        assert_eq!(w.block[(k, j)], a[(r, j)], "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_pair_is_deterministic_under_fixed_seed() {
+        // Same seed -> same candidates -> bitwise identical reduction,
+        // across repeated evaluations and clones (the property the
+        // butterfly all-reduce relies on when both partners combine
+        // redundantly).
+        for trial in 0..3 {
+            let mk = || {
+                let mut rng = StdRng::seed_from_u64(602 + trial);
+                let a = gen::randn(&mut rng, 24, 4);
+                let c0 = cands_from(&a, 0..12);
+                let c1 = cands_from(&a, 12..24);
+                reduce_pair(&c0, &c1)
+            };
+            let w1 = mk();
+            let w2 = mk();
+            assert_eq!(w1.rows, w2.rows);
+            assert_eq!(w1.block.max_abs_diff(&w2.block), 0.0, "bitwise determinism");
+            // And the payload round trip preserves it exactly.
+            let w3 = Candidates::from_payload(&w1.to_payload());
+            assert_eq!(w1, w3);
+        }
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn tslu_pivots_with(
 }
 
 /// Elects candidates from one block-row with the chosen local LU.
-pub(crate) fn local_candidates(block: &Matrix, global_rows: &[usize], local: LocalLu) -> Candidates {
+pub(crate) fn local_candidates(
+    block: &Matrix,
+    global_rows: &[usize],
+    local: LocalLu,
+) -> Candidates {
     match local {
         LocalLu::Classic => Candidates::from_block_row(block, global_rows),
         LocalLu::Recursive => {

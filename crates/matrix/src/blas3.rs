@@ -95,12 +95,8 @@ fn block_kernel(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_
         let ccol = c.col_mut(j);
         let mut l = 0;
         while l < k4 {
-            let (b0, b1, b2, b3) = (
-                alpha * bcol[l],
-                alpha * bcol[l + 1],
-                alpha * bcol[l + 2],
-                alpha * bcol[l + 3],
-            );
+            let (b0, b1, b2, b3) =
+                (alpha * bcol[l], alpha * bcol[l + 1], alpha * bcol[l + 2], alpha * bcol[l + 3]);
             let a0 = a.col(l);
             let a1 = a.col(l + 1);
             let a2 = a.col(l + 2);
@@ -266,7 +262,9 @@ mod tests {
     #[test]
     fn gemm_matches_naive_on_random_shapes() {
         let mut rng = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (37, 19, 23), (64, 64, 64), (129, 65, 140), (300, 17, 260)] {
+        for &(m, k, n) in
+            &[(1, 1, 1), (5, 3, 4), (37, 19, 23), (64, 64, 64), (129, 65, 140), (300, 17, 260)]
+        {
             let a = gen::randn(&mut rng, m, k);
             let b = gen::randn(&mut rng, k, n);
             let c0 = gen::randn(&mut rng, m, n);

@@ -154,13 +154,8 @@ mod tests {
     fn detects_bad_conditioning_of_graded_matrix() {
         // diag(1, 1e-2, 1e-4, ..., 1e-12): κ₁ = 1e12 exactly.
         let n = 7;
-        let a = Matrix::from_fn(n, n, |i, j| {
-            if i == j {
-                10.0_f64.powi(-2 * i as i32)
-            } else {
-                0.0
-            }
-        });
+        let a =
+            Matrix::from_fn(n, n, |i, j| if i == j { 10.0_f64.powi(-2 * i as i32) } else { 0.0 });
         let (lu, ipiv) = factor(&a);
         let r = gecon(lu.view(), &ipiv, mat_norm_1(a.view()));
         assert!(r < 1e-11 && r > 1e-14, "rcond = {r}");

@@ -71,7 +71,9 @@ pub fn getrf<O: PivotObserver>(
                 PanelAlg::Recursive => crate::lapack::rgetf2(panel, piv, obs),
             };
             r.map_err(|e| match e {
-                crate::Error::SingularPivot { step } => crate::Error::SingularPivot { step: step + k },
+                crate::Error::SingularPivot { step } => {
+                    crate::Error::SingularPivot { step: step + k }
+                }
                 other => other,
             })?;
         }
@@ -146,8 +148,13 @@ mod tests {
             let mut a_u = a0.clone();
             let mut ip_b = vec![0; kn];
             let mut ip_u = vec![0; kn];
-            getrf(a_b.view_mut(), &mut ip_b, GetrfOpts { block: nb, ..Default::default() }, &mut NoObs)
-                .unwrap();
+            getrf(
+                a_b.view_mut(),
+                &mut ip_b,
+                GetrfOpts { block: nb, ..Default::default() },
+                &mut NoObs,
+            )
+            .unwrap();
             getf2(a_u.view_mut(), &mut ip_u, &mut NoObs).unwrap();
             assert_eq!(ip_b, ip_u, "pivots differ for {m}x{n} nb={nb}");
             assert!(a_b.max_abs_diff(&a_u) < 1e-9, "factors differ for {m}x{n} nb={nb}");
@@ -163,8 +170,20 @@ mod tests {
         let mut a2 = a0.clone();
         let mut ip1 = vec![0; 90];
         let mut ip2 = vec![0; 90];
-        getrf(a1.view_mut(), &mut ip1, GetrfOpts { block: 24, panel: PanelAlg::Classic, parallel: false }, &mut NoObs).unwrap();
-        getrf(a2.view_mut(), &mut ip2, GetrfOpts { block: 24, panel: PanelAlg::Recursive, parallel: false }, &mut NoObs).unwrap();
+        getrf(
+            a1.view_mut(),
+            &mut ip1,
+            GetrfOpts { block: 24, panel: PanelAlg::Classic, parallel: false },
+            &mut NoObs,
+        )
+        .unwrap();
+        getrf(
+            a2.view_mut(),
+            &mut ip2,
+            GetrfOpts { block: 24, panel: PanelAlg::Recursive, parallel: false },
+            &mut NoObs,
+        )
+        .unwrap();
         assert_eq!(ip1, ip2);
         assert!(a1.max_abs_diff(&a2) < 1e-10);
     }
@@ -177,8 +196,20 @@ mod tests {
         let mut a2 = a0.clone();
         let mut ip1 = vec![0; 160];
         let mut ip2 = vec![0; 160];
-        getrf(a1.view_mut(), &mut ip1, GetrfOpts { block: 32, parallel: false, ..Default::default() }, &mut NoObs).unwrap();
-        getrf(a2.view_mut(), &mut ip2, GetrfOpts { block: 32, parallel: true, ..Default::default() }, &mut NoObs).unwrap();
+        getrf(
+            a1.view_mut(),
+            &mut ip1,
+            GetrfOpts { block: 32, parallel: false, ..Default::default() },
+            &mut NoObs,
+        )
+        .unwrap();
+        getrf(
+            a2.view_mut(),
+            &mut ip2,
+            GetrfOpts { block: 32, parallel: true, ..Default::default() },
+            &mut NoObs,
+        )
+        .unwrap();
         assert_eq!(ip1, ip2);
         assert!(a1.max_abs_diff(&a2) < 1e-11);
     }
@@ -189,7 +220,8 @@ mod tests {
         let a0 = gen::randn(&mut rng, 200, 60);
         let mut a = a0.clone();
         let mut ipiv = vec![0; 60];
-        getrf(a.view_mut(), &mut ipiv, GetrfOpts { block: 16, ..Default::default() }, &mut NoObs).unwrap();
+        getrf(a.view_mut(), &mut ipiv, GetrfOpts { block: 16, ..Default::default() }, &mut NoObs)
+            .unwrap();
         check_plu(&a0, &a, &ipiv, 1e-9);
     }
 
@@ -205,8 +237,13 @@ mod tests {
             a[(i, 1)] = 2.0 * v; // also make col 1 dependent so step is early
         }
         let mut ipiv = vec![0; 6];
-        let err = getrf(a.view_mut(), &mut ipiv, GetrfOpts { block: 2, ..Default::default() }, &mut NoObs)
-            .unwrap_err();
+        let err = getrf(
+            a.view_mut(),
+            &mut ipiv,
+            GetrfOpts { block: 2, ..Default::default() },
+            &mut NoObs,
+        )
+        .unwrap_err();
         match err {
             crate::Error::SingularPivot { step } => assert!((1..=2).contains(&step), "step {step}"),
             other => panic!("unexpected error {other:?}"),

@@ -88,7 +88,8 @@ mod tests {
         let a0 = gen::randn(&mut rng, n, n);
         let mut lu = a0.clone();
         let mut ipiv = vec![0; n];
-        getrf(lu.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs).unwrap();
+        getrf(lu.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs)
+            .unwrap();
 
         let b0 = gen::randn(&mut rng, n, 3);
         let mut bm = b0.clone();

@@ -55,7 +55,11 @@ pub fn lu_nopiv<O: PivotObserver>(mut a: MatViewMut<'_>, obs: &mut O) -> Result<
 ///
 /// # Errors
 /// [`Error::SingularPivot`] with the absolute step index.
-pub fn lu_nopiv_blocked<O: PivotObserver>(mut a: MatViewMut<'_>, nb: usize, obs: &mut O) -> Result<()> {
+pub fn lu_nopiv_blocked<O: PivotObserver>(
+    mut a: MatViewMut<'_>,
+    nb: usize,
+    obs: &mut O,
+) -> Result<()> {
     let (m, n) = (a.rows(), a.cols());
     let kn = m.min(n);
     assert!(nb > 0, "block must be positive");

@@ -135,7 +135,11 @@ impl Matrix {
 
     /// Element-wise absolute value.
     pub fn abs(&self) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x.abs()).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x.abs()).collect(),
+        }
     }
 
     /// Maximum absolute entry (0 for empty).
@@ -150,10 +154,7 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
     }
 
     /// The strictly-lower-triangular part with unit diagonal (the `L` factor

@@ -92,7 +92,12 @@ impl<'a> MatView<'a> {
     /// Element `(i, j)`.
     #[inline(always)]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         unsafe { *self.ptr.add(j * self.ld + i) }
     }
 
@@ -191,14 +196,24 @@ impl<'a> MatViewMut<'a> {
     /// Element `(i, j)`.
     #[inline(always)]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         unsafe { *self.ptr.add(j * self.ld + i) }
     }
 
     /// Sets element `(i, j)` to `v`.
     #[inline(always)]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         unsafe { *self.ptr.add(j * self.ld + i) = v }
     }
 
@@ -233,14 +248,26 @@ impl<'a> MatViewMut<'a> {
     /// Reborrows as an immutable view with a shorter lifetime.
     #[inline(always)]
     pub fn as_view(&self) -> MatView<'_> {
-        MatView { ptr: self.ptr, rows: self.rows, cols: self.cols, ld: self.ld, _marker: PhantomData }
+        MatView {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
     }
 
     /// Reborrows mutably with a shorter lifetime (so a view can be passed to
     /// a kernel without being consumed).
     #[inline(always)]
     pub fn rb_mut(&mut self) -> MatViewMut<'_> {
-        MatViewMut { ptr: self.ptr, rows: self.rows, cols: self.cols, ld: self.ld, _marker: PhantomData }
+        MatViewMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
     }
 
     /// Mutable sub-block of shape `nrows x ncols` starting at `(i, j)`,
@@ -258,7 +285,13 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Mutable sub-block borrowing from `self` (non-consuming).
-    pub fn submatrix_mut(&mut self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatViewMut<'_> {
+    pub fn submatrix_mut(
+        &mut self,
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatViewMut<'_> {
         self.rb_mut().into_submatrix(i, j, nrows, ncols)
     }
 

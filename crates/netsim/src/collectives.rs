@@ -469,16 +469,11 @@ mod tests {
         let p = 8;
         let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
             let g = world(cm);
-            let out = g.allreduce(
-                cm,
-                Payload::Data(vec![cm.rank() as f64]),
-                1,
-                |_cm, a, b| {
-                    let mut v = a.into_data();
-                    v.extend(b.into_data());
-                    Payload::Data(v)
-                },
-            );
+            let out = g.allreduce(cm, Payload::Data(vec![cm.rank() as f64]), 1, |_cm, a, b| {
+                let mut v = a.into_data();
+                v.extend(b.into_data());
+                Payload::Data(v)
+            });
             out.into_data()
         });
         for r in &results {
@@ -571,8 +566,8 @@ mod tests {
         for p in [1usize, 2, 4, 7] {
             let (_r, results) = run_sim(p, MachineConfig::ideal(), |cm| {
                 let g = world(cm);
-                let items = (g.my_index() == 0)
-                    .then(|| (0..p).map(|i| scalar(100.0 + i as f64)).collect());
+                let items =
+                    (g.my_index() == 0).then(|| (0..p).map(|i| scalar(100.0 + i as f64)).collect());
                 g.scatter(cm, 0, items, 1).into_data()[0]
             });
             let want: Vec<f64> = (0..p).map(|i| 100.0 + i as f64).collect();

@@ -285,15 +285,12 @@ impl SimComm {
             }
         }
         loop {
-            let env = self
-                .inbox
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {} timed out waiting for (src={from}, tag={tag}) — SPMD deadlock?",
-                        self.rank
-                    )
-                });
+            let env = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                panic!(
+                    "rank {} timed out waiting for (src={from}, tag={tag}) — SPMD deadlock?",
+                    self.rank
+                )
+            });
             if env.src == from && env.tag == tag {
                 return env;
             }

@@ -137,10 +137,7 @@ pub fn render_gantt(traces: &[RankTrace], width: usize) -> String {
     assert!(width > 0, "gantt width must be positive");
     let t_end = traces.iter().map(RankTrace::end).fold(0.0_f64, f64::max);
     let mut out = String::new();
-    out.push_str(&format!(
-        "time 0 .. {:.3e} s   ('#' compute, '>' send, '.' idle)\n",
-        t_end
-    ));
+    out.push_str(&format!("time 0 .. {:.3e} s   ('#' compute, '>' send, '.' idle)\n", t_end));
     if t_end <= 0.0 {
         return out;
     }

@@ -65,11 +65,8 @@ pub fn sweep_grids(
             if b >= m {
                 continue;
             }
-            let cost = if calu {
-                t_calu(mch, m, m, b, pr, pc)
-            } else {
-                t_pdgetrf(mch, m, m, b, pr, pc)
-            };
+            let cost =
+                if calu { t_calu(mch, m, m, b, pr, pc) } else { t_pdgetrf(mch, m, m, b, pr, pc) };
             out.push(SweepPoint { pr, pc, b, cost });
         }
     }
@@ -90,7 +87,11 @@ pub fn best_config(points: &[SweepPoint]) -> BestConfig {
 
 /// Table 7's speedup: best PDGETRF over best CALU for problem size `m`,
 /// processor budget `p_max`, and the paper's block sizes.
-pub fn best_vs_best_speedup(mch: &MachineConfig, m: usize, p_max: usize) -> (f64, BestConfig, BestConfig) {
+pub fn best_vs_best_speedup(
+    mch: &MachineConfig,
+    m: usize,
+    p_max: usize,
+) -> (f64, BestConfig, BestConfig) {
     let bs = [50usize, 100, 150];
     let calu = best_config(&sweep_grids(mch, m, &bs, p_max, true));
     let pdg = best_config(&sweep_grids(mch, m, &bs, p_max, false));

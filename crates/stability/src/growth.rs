@@ -89,8 +89,12 @@ mod tests {
             let a = gen::gfpp(n, h);
             let mut stats = PivotStats::new(a.max_abs());
             let mut work = a.clone();
-            calu_inplace(work.view_mut(), CaluOpts { block: 5, p: 4, ..Default::default() }, &mut stats)
-                .unwrap();
+            calu_inplace(
+                work.view_mut(),
+                CaluOpts { block: 5, p: 4, ..Default::default() },
+                &mut stats,
+            )
+            .unwrap();
             let want = (1.0 + h).powi(n as i32 - 1);
             assert!(
                 stats.max_elem >= want * 0.98 && stats.max_elem <= want * 1.02,
@@ -111,8 +115,12 @@ mod tests {
                 let a = gen::randn(rng, n, n);
                 let mut stats = PivotStats::new(a.max_abs());
                 let mut w = a.clone();
-                calu_inplace(w.view_mut(), CaluOpts { block: 16, p: 4, ..Default::default() }, &mut stats)
-                    .unwrap();
+                calu_inplace(
+                    w.view_mut(),
+                    CaluOpts { block: 16, p: 4, ..Default::default() },
+                    &mut stats,
+                )
+                .unwrap();
                 acc += stats.growth_factor(1.0);
             }
             acc / 2.0

@@ -21,8 +21,10 @@ fn main() {
         "rates/yr: flops x{:.2}, bandwidth x{:.2}, latency x{:.2}\n",
         trend.flops_per_year, trend.bandwidth_per_year, trend.latency_per_year
     );
-    println!("{:>5} {:>9} {:>22} {:>22} {:>16}", "year", "speedup", "PDGETRF lat/bw/fl (%)",
-             "CALU lat/bw/fl (%)", "crossover n");
+    println!(
+        "{:>5} {:>9} {:>22} {:>22} {:>16}",
+        "year", "speedup", "PDGETRF lat/bw/fl (%)", "CALU lat/bw/fl (%)", "crossover n"
+    );
 
     for year in [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0] {
         let mch = evolve(&base, year, &trend);

@@ -24,11 +24,7 @@ fn main() {
 
     // Solve and validate.
     let x = f.solve(&b);
-    let err = x
-        .iter()
-        .zip(&x_true)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0_f64, f64::max);
+    let err = x.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max);
     let bw = backward_error_inf(&a, &x, &b);
     let hpl = hpl_tests(&a, &x, &b);
 

@@ -79,10 +79,6 @@ fn main() {
     // The paper notes the winners coincide with GEPP's pivots here: the
     // leading pivot carries the global column max |a| = 4.
     assert_eq!(a[(winners[0], 0)].abs(), 4.0);
-    let max_l = panel
-        .unit_lower()
-        .as_slice()
-        .iter()
-        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let max_l = panel.unit_lower().as_slice().iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
     println!("max |L| = {max_l} (ca-pivoting guarantees <= 2^(levels); observed <= 3 in practice)");
 }

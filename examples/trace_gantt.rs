@@ -77,7 +77,7 @@ fn skeleton_traced(
     tslu: bool,
 ) -> Vec<calu_repro::netsim::RankTrace> {
     use calu_repro::core::tslu::partition_rows;
-    use calu_repro::netsim::machine::{flops_getf2, flops_ger, flops_trsm_right};
+    use calu_repro::netsim::machine::{flops_ger, flops_getf2, flops_trsm_right};
     use calu_repro::netsim::{run_sim_traced, Group, Link, Payload};
 
     let parts = partition_rows(m, p);

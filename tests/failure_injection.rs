@@ -142,8 +142,9 @@ fn getrf_errors_with_absolute_step_across_blocks() {
     let a = rank_deficient(700, 40, 25);
     let mut w = a.clone();
     let mut ipiv = vec![0usize; 40];
-    let e = getrf(w.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs)
-        .unwrap_err();
+    let e =
+        getrf(w.view_mut(), &mut ipiv, GetrfOpts { block: 8, ..Default::default() }, &mut NoObs)
+            .unwrap_err();
     assert_eq!(e, Error::SingularPivot { step: 25 });
 }
 

@@ -1,0 +1,197 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion`, `benchmark_group` / `bench_function`, `Bencher::{iter,
+//! iter_batched}`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Each benchmark runs a short warmup plus a fixed number of timed
+//! iterations and prints the mean time per iteration — enough to compare
+//! kernels locally. There are no statistics, plots, or CLI filters.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// How batched inputs are grouped between timings (accepted for API
+/// compatibility; the stand-in re-runs setup before every iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure to drive timed iterations.
+pub struct Bencher {
+    iters: u32,
+    /// Mean seconds per iteration of the last `iter*` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup.
+        black_box(routine());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.last_mean = t0.elapsed().as_secs_f64() / self.iters as f64;
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; only the
+    /// routine is (approximately) counted.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed().as_secs_f64();
+        }
+        self.last_mean = total / self.iters as f64;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(label: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters, last_mean: 0.0 };
+    f(&mut b);
+    println!("bench {label:<40} {:>12}/iter ({iters} iters)", fmt_time(b.last_mean));
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    default_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.default_iters, _parent: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), self.default_iters, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (used as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.iters, &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u32;
+        g.sample_size(5).bench_function("inc", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        g.finish();
+        assert!(count >= 5, "warmup + 5 timed iters, got {count}");
+    }
+
+    #[test]
+    fn batched_reruns_setup() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(setups >= 10);
+    }
+}

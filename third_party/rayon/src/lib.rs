@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses:
+//! [`join`], `prelude::*` (`par_iter().map(..).collect()`), and
+//! `ThreadPoolBuilder` / `ThreadPool::install`.
+//!
+//! Parallelism is real (scoped OS threads), but primitive: `join` spawns
+//! one thread for the second closure; `par_iter().map().collect()` chunks
+//! the slice across `available_parallelism` threads. There is no work
+//! stealing and no pool reuse — adequate for this workspace, where the
+//! rayon paths are asserted *bitwise equal* to the sequential ones and
+//! wall-clock scaling is informational only.
+
+#![warn(missing_docs)]
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-compat join: task panicked"))
+    })
+}
+
+/// Parallel-iterator traits and adaptors.
+pub mod prelude {
+    /// `.par_iter()` on slices (and, via deref, `Vec`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Creates a parallel iterator over `&self`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps each element through `f` (run in parallel at collect time).
+        pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+        {
+            ParMap { items: self.items, f }
+        }
+    }
+
+    /// A mapped parallel iterator, consumed by [`ParMap::collect`].
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, F> ParMap<'a, T, F> {
+        /// Runs the map across threads and collects in input order.
+        pub fn collect<C, R>(self) -> C
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+            C: FromIterator<R>,
+        {
+            let n = self.items.len();
+            if n <= 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(n);
+            let chunk = n.div_ceil(threads);
+            let f = &self.f;
+            let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-compat map: task panicked"))
+                    .collect()
+            });
+            out.drain(..).flatten().collect()
+        }
+    }
+}
+
+/// Errors from [`ThreadPoolBuilder::build`]; never produced by this
+/// stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]. The stand-in records the requested size
+/// but runs `install` inline on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a pool size (recorded but not enforced by the stand-in).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { _num_threads: self.num_threads })
+    }
+}
+
+/// A handle mimicking `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` "inside the pool" — inline in this stand-in, so nested
+    /// `join`/`par_iter` calls still parallelize via scoped threads, but
+    /// the pool size is not enforced.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_install_runs() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(|| 5), 5);
+    }
+}
