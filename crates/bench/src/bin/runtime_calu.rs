@@ -1,0 +1,174 @@
+//! Runtime-executor performance record: serial vs. threaded execution of
+//! the CALU task DAG at several lookahead depths, written as
+//! `BENCH_runtime.json` so CI and later sessions can diff performance.
+//!
+//! Two win metrics are recorded, because the container running CI may be
+//! single-core:
+//!
+//! * **measured**: wall-clock of the threaded executor vs. the serial
+//!   executor on the host (meaningful when `host_threads > 1`);
+//! * **modeled**: the DAG's critical path vs. its serial sum under the
+//!   POWER5 γ-rate cost model — the schedule-quality win that does not
+//!   depend on the host, and the acceptance evidence on single-core hosts.
+//!
+//! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--out PATH]`
+//! (defaults: n=1024, nb=128, reps=1, out=BENCH_runtime.json).
+
+use calu_core::{runtime_calu_factor, CaluOpts, RuntimeOpts};
+use calu_matrix::gen;
+use calu_netsim::MachineConfig;
+use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    nb: usize,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { n: 1024, nb: 128, reps: 1, out: "BENCH_runtime.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}; try --help");
+                std::process::exit(2);
+            })
+        };
+        let parsed = |v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value {v:?}; try --help");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--n" => args.n = parsed(val()),
+            "--nb" => args.nb = parsed(val()),
+            "--reps" => args.reps = parsed(val()),
+            "--out" => args.out = val(),
+            "--help" | "-h" => {
+                eprintln!("usage: runtime_calu [--n N] [--nb NB] [--reps R] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Row {
+    depth: usize,
+    serial_s: f64,
+    threaded_s: f64,
+    tasks: usize,
+    modeled_serial_s: f64,
+    modeled_cp_s: f64,
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args = parse_args();
+    let (n, nb) = (args.n, args.nb);
+    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let a = gen::randn(&mut rng, n, n);
+    let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
+    let shape = LuShape { m: n, n, nb };
+    let mch = MachineConfig::power5();
+
+    println!("runtime_calu: {n}x{n}, nb={nb}, host_threads={host_threads}, reps={}", args.reps);
+    println!(
+        "{:>5} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "depth", "serial", "threaded", "measured", "model 1-wkr", "model CP", "modeled"
+    );
+
+    let mut rows = Vec::new();
+    for depth in [1usize, 2, 3] {
+        let run = |executor: ExecutorKind| {
+            let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+            let t0 = Instant::now();
+            let (f, _rep) = runtime_calu_factor(&a, opts, rt).expect("factorization succeeds");
+            let dt = t0.elapsed().as_secs_f64();
+            // Keep the factors alive so the call is not optimized away.
+            assert_eq!(f.ipiv.len(), n);
+            dt
+        };
+        let serial_s = best_of(args.reps, || run(ExecutorKind::Serial));
+        let threaded_s = best_of(args.reps, || run(ExecutorKind::Threaded { threads: 0 }));
+
+        let dag = LuDag::build(shape, depth);
+        let modeled_serial_s = dag.total_cost(|t| modeled_time(&shape, t, &mch));
+        let modeled_cp_s = dag.critical_path(|t| modeled_time(&shape, t, &mch));
+        println!(
+            "{:>5} {:>10.1}ms {:>10.1}ms {:>8.2}x {:>10.1}ms {:>10.1}ms {:>8.2}x",
+            depth,
+            serial_s * 1e3,
+            threaded_s * 1e3,
+            serial_s / threaded_s,
+            modeled_serial_s * 1e3,
+            modeled_cp_s * 1e3,
+            modeled_serial_s / modeled_cp_s
+        );
+        rows.push(Row {
+            depth,
+            serial_s,
+            threaded_s,
+            tasks: dag.len(),
+            modeled_serial_s,
+            modeled_cp_s,
+        });
+    }
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| (a.serial_s / a.threaded_s).total_cmp(&(b.serial_s / b.threaded_s)))
+        .expect("rows non-empty");
+    println!(
+        "\nbest measured win: depth {} at {:.2}x; best modeled critical-path win: {:.2}x",
+        best.depth,
+        best.serial_s / best.threaded_s,
+        rows.iter().map(|r| r.modeled_serial_s / r.modeled_cp_s).fold(0.0, f64::max)
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"runtime_calu\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"nb\": {nb},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"model\": \"power5\",");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"depth\": {}, \"tasks\": {}, \"serial_s\": {:.6}, \"threaded_s\": {:.6}, \
+             \"measured_speedup\": {:.4}, \"modeled_serial_s\": {:.6}, \"modeled_cp_s\": {:.6}, \
+             \"modeled_cp_speedup\": {:.4}}}{comma}",
+            r.depth,
+            r.tasks,
+            r.serial_s,
+            r.threaded_s,
+            r.serial_s / r.threaded_s,
+            r.modeled_serial_s,
+            r.modeled_cp_s,
+            r.modeled_serial_s / r.modeled_cp_s
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    println!("wrote {}", args.out);
+}

@@ -21,6 +21,7 @@
 //! | `ablation_tree_stability` | tournament tree shape vs pivot quality |
 //! | `fig_scaling` | strong/weak scaling curves, incl. a modern cluster |
 //! | `section5_comparison` | Section 5's term-by-term cost comparison |
+//! | `runtime_calu` | Section 7 multicore: serial vs threaded task-graph runtime, `BENCH_runtime.json` perf record |
 //!
 //! Numerics binaries accept `--full` (paper-scale sizes; slow) and default
 //! to a reduced sweep; all accept `--csv`.

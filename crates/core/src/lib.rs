@@ -8,11 +8,13 @@
 //!   pivot rows by GEPP, a binary tournament elects the `b` winners, the
 //!   winners are swapped on top and the panel is factored *without*
 //!   pivoting; then the usual `trsm`/`gemm` trailing update.
-//! * **Shared-memory parallel** ([`par`], [`tiled`]) — rayon across
-//!   block-rows and in the update, plus a depth-1 lookahead tiled variant
-//!   that overlaps the next panel's TSLU with the bulk trailing update
-//!   (the paper's "multicore" future-work direction and HPL's look-ahead
-//!   technique, Section 4); bitwise identical factors.
+//! * **Shared-memory parallel** ([`par`], [`tiled`], [`rt`]) — both
+//!   front-ends schedule on the `calu-runtime` task DAG (work-stealing
+//!   executor, critical-path-first priorities); [`rt`] exposes the full
+//!   engine with any lookahead depth, so the next panels' TSLUs overlap
+//!   the bulk trailing updates (the paper's "multicore" future-work
+//!   direction and HPL's look-ahead technique, Section 4); bitwise
+//!   identical factors on every schedule.
 //! * **Simulated-distributed** ([`dist`]) — the paper's actual setting: the
 //!   2D block-cyclic layout on a `Pr x Pc` grid over `calu-netsim`, with
 //!   TSLU as a butterfly all-reduce, plus the ScaLAPACK `PDGETRF`/`PDGETF2`
@@ -30,6 +32,7 @@ pub mod dist;
 pub mod gepp;
 pub mod instrument;
 pub mod par;
+pub mod rt;
 pub mod solve;
 pub mod tiled;
 pub mod tournament;
@@ -39,6 +42,7 @@ pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
 pub use gepp::{gepp_factor, gepp_inplace};
 pub use instrument::PivotStats;
 pub use par::{par_calu_factor, par_calu_inplace};
+pub use rt::{runtime_calu_factor, runtime_calu_inplace, RuntimeOpts};
 pub use solve::RefineInfo;
 pub use tiled::{tiled_calu_factor, tiled_calu_inplace};
 pub use tournament::{reduce_pair, tournament, tournament_flat, Candidates};

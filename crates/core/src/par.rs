@@ -1,18 +1,22 @@
-//! Shared-memory parallel CALU on the rayon pool.
+//! Shared-memory parallel CALU — a thin front-end over the
+//! [`calu-runtime`](calu_runtime) task DAG.
 //!
 //! The paper's future-work section asks about "the suitability of the new
 //! ca-pivoting strategy for parallel LU on multicore architectures"; this
-//! module is that variant: block-rows' local candidate elections run in
-//! parallel tasks and the trailing update uses the parallel `gemm`. The
-//! numerics are bitwise identical to the sequential [`crate::calu`] path
-//! (same tournament tree, same update order), which the tests assert.
+//! module is that variant: the factorization runs on the runtime's
+//! work-stealing threaded executor (tiles of the trailing update spread
+//! across workers) and each panel's local candidate elections additionally
+//! run on the rayon pool. The numerics are bitwise identical to the
+//! sequential [`crate::calu`] path (same tournament tree, same per-element
+//! accumulation order), which the tests assert.
 
 use crate::calu::{CaluOpts, LuFactors};
-use crate::tslu::tslu_factor_with;
+use crate::rt::{runtime_calu_inplace, RuntimeOpts};
 use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_runtime::ExecutorKind;
 
-/// Factors a copy of `a` with CALU using rayon for both the panel's local
-/// factorizations and the trailing update.
+/// Factors a copy of `a` with CALU using the threaded runtime for the
+/// trailing update and rayon for the panels' local factorizations.
 ///
 /// # Errors
 /// Singular pivot.
@@ -26,70 +30,17 @@ pub fn par_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
 ///
 /// # Errors
 /// Singular pivot.
-pub fn par_calu_inplace<O: PivotObserver>(
+pub fn par_calu_inplace<O: PivotObserver + Send>(
     a: MatViewMut<'_>,
-    mut opts: CaluOpts,
-    obs: &mut O,
-) -> Result<Vec<usize>> {
-    opts.parallel_update = true;
-    calu_inplace_panels_parallel(a, opts, obs)
-}
-
-/// The driver: identical sweep to [`crate::calu::calu_inplace`] but the panel goes
-/// through [`tslu_factor_with`]`(parallel = true)`. (The trailing update
-/// parallelism is already controlled by `opts.parallel_update`.)
-fn calu_inplace_panels_parallel<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
     opts: CaluOpts,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
-    use calu_matrix::blas3::{par_gemm, trsm};
-    use calu_matrix::perm::apply_ipiv;
-    use calu_matrix::{Diag, Side, Uplo};
-
-    let (m, n) = (a.rows(), a.cols());
-    let kn = m.min(n);
-    let nb = opts.block;
-    let mut ipiv = vec![0usize; kn];
-
-    let mut k = 0;
-    while k < kn {
-        let jb = nb.min(kn - k);
-        {
-            let panel = a.submatrix_mut(k, k, m - k, jb);
-            let r =
-                tslu_factor_with(panel, opts.p, opts.local, true, obs).map_err(|e| match e {
-                    calu_matrix::Error::SingularPivot { step } => {
-                        calu_matrix::Error::SingularPivot { step: step + k }
-                    }
-                    other => other,
-                })?;
-            ipiv[k..k + jb].copy_from_slice(&r.ipiv);
-        }
-        let local: Vec<usize> = ipiv[k..k + jb].to_vec();
-        if k > 0 {
-            apply_ipiv(a.submatrix_mut(k, 0, m - k, k), &local);
-        }
-        if k + jb < n {
-            apply_ipiv(a.submatrix_mut(k, k + jb, m - k, n - k - jb), &local);
-        }
-        for p in ipiv[k..k + jb].iter_mut() {
-            *p += k;
-        }
-        if k + jb < n {
-            let (left, right) = a.rb_mut().split_at_col_mut(k + jb);
-            let right = right.into_submatrix(k, 0, m - k, n - k - jb);
-            let (mut u12, mut a22) = right.split_at_row_mut(jb);
-            let l11 = left.submatrix(k, k, jb, jb);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
-            if k + jb < m {
-                let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
-                par_gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
-                obs.on_stage(&a22.as_view());
-            }
-        }
-        k += jb;
-    }
+    let rt = RuntimeOpts {
+        lookahead: 1,
+        executor: ExecutorKind::Threaded { threads: 0 },
+        parallel_panel: true,
+    };
+    let (ipiv, _report) = runtime_calu_inplace(a, opts, rt, obs)?;
     Ok(ipiv)
 }
 

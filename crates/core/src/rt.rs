@@ -1,0 +1,420 @@
+//! CALU on the `calu-runtime` task DAG — the shared-memory execution
+//! engine behind [`tiled_calu_inplace`](crate::tiled::tiled_calu_inplace)
+//! and [`par_calu_inplace`](crate::par::par_calu_inplace), exposed
+//! directly as [`runtime_calu_inplace`] for callers that want to pick the
+//! executor and lookahead depth.
+//!
+//! The runtime schedules; this module supplies the kernels: a
+//! [`calu_runtime::TaskRunner`] whose task bodies are the *same* calls the
+//! sequential sweep makes, carved into block-column / tile granularity.
+//! Why the factors are **bitwise identical** to
+//! [`calu_inplace`](crate::calu::calu_inplace) under *any* topological
+//! execution order:
+//!
+//! * the panel kernel ([`tslu_factor_with`]) is byte-for-byte the
+//!   sequential call on the same full-height panel;
+//! * row swaps applied per block column are the same element swaps as one
+//!   whole-matrix `apply_ipiv`;
+//! * `trsm` forward-substitutes each column of `U₁₂` independently, so a
+//!   column split changes nothing;
+//! * `gemm` accumulates every `C(i,j)` along the inner (panel-width)
+//!   dimension in a fixed order regardless of how `C` is partitioned, so
+//!   tile splits of the trailing update are exact;
+//! * every read/write overlap between tasks is ordered by a DAG edge
+//!   (see `calu_runtime::dag`), so there are no racy interleavings to
+//!   reorder arithmetic.
+//!
+//! The observer is shared behind a mutex, locked per callback (so a
+//! concurrent tile's `on_stage` never waits out a panel); its statistics
+//! are order-free (documented on [`crate::instrument::PivotStats`]), and
+//! the panel events — the only ordered ones — are serialized by the
+//! panel chain.
+
+use calu_matrix::blas3::{gemm, trsm};
+use calu_matrix::perm::apply_ipiv;
+use calu_matrix::{Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Side, Uplo};
+use calu_runtime::{ExecReport, ExecutorKind, LuDag, LuShape, Task, TaskRunner};
+use std::sync::Mutex;
+
+use crate::calu::{CaluOpts, LuFactors};
+use crate::tslu::tslu_factor_with;
+
+/// How a runtime-scheduled factorization should execute.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOpts {
+    /// Panel lookahead depth `d ≥ 1`: panels may run up to `d` steps ahead
+    /// of the slowest trailing update. Depth 1 is the schedule of the old
+    /// hardwired lookahead; `usize::MAX/2`-ish values mean "unthrottled".
+    pub lookahead: usize,
+    /// Which executor drives the DAG.
+    pub executor: ExecutorKind,
+    /// Elect panel candidates on the rayon pool inside each `Panel` task
+    /// (the numerics are identical either way; see
+    /// [`crate::tslu::tslu_pivots_with`]).
+    pub parallel_panel: bool,
+}
+
+impl Default for RuntimeOpts {
+    fn default() -> Self {
+        Self {
+            lookahead: 1,
+            executor: ExecutorKind::Threaded { threads: 0 },
+            parallel_panel: false,
+        }
+    }
+}
+
+/// Shared-mutable handle to the matrix being factored. Tasks carve
+/// disjoint views out of it; the DAG's edges are the proof of
+/// disjointness among concurrently running tasks (every overlapping pair
+/// is ordered), which is exactly the invariant `MatViewMut` requires.
+struct SharedMat {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+unsafe impl Send for SharedMat {}
+unsafe impl Sync for SharedMat {}
+
+impl SharedMat {
+    fn new(a: &mut MatViewMut<'_>) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        let ld = a.ld();
+        let ptr =
+            if rows == 0 || cols == 0 { std::ptr::null_mut() } else { a.col_mut(0).as_mut_ptr() };
+        Self { ptr, rows, cols, ld }
+    }
+
+    /// A mutable view of the block `rows × cols` at `(i, j)`, built from
+    /// raw parts so that logically disjoint blocks whose strided spans
+    /// interleave never materialize overlapping `&mut` slices.
+    ///
+    /// # Safety
+    /// The caller must hold (via DAG ordering) exclusive access to the
+    /// block's *elements* for the view's lifetime, and the block must be
+    /// in range.
+    unsafe fn block(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatViewMut<'_> {
+        debug_assert!(i + nr <= self.rows && j + nc <= self.cols);
+        debug_assert!(nr > 0 && nc > 0, "tasks never touch empty blocks");
+        unsafe { MatViewMut::from_raw_parts(self.ptr.add(j * self.ld + i), nr, nc, self.ld) }
+    }
+}
+
+/// Shared pivot vector: `Panel(k)` writes its `jb` slots exclusively
+/// ([`Self::write`]), `Swap(k, ·)` tasks read them back concurrently
+/// ([`Self::read`] — several same-step swaps may read at once, so the
+/// read path hands out shared references only). Writes happen-before all
+/// reads via the `Swap ← Panel` edges (the executor's pool lock carries
+/// the synchronization), and distinct panels own disjoint slots.
+struct SharedIpiv {
+    ptr: *mut usize,
+    len: usize,
+}
+
+unsafe impl Send for SharedIpiv {}
+unsafe impl Sync for SharedIpiv {}
+
+impl SharedIpiv {
+    /// # Safety
+    /// Only the `Panel` task owning `range` may call this, and nothing
+    /// else may access the range while the returned slice lives. (The
+    /// `&self → &mut` shape is the whole point of the cell: the DAG, not
+    /// the borrow checker, proves exclusivity.)
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn write(&self, range: std::ops::Range<usize>) -> &mut [usize] {
+        debug_assert!(range.end <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// # Safety
+    /// The caller's task must be DAG-ordered after the `Panel` that wrote
+    /// `range` (no writer may be live; concurrent readers are fine).
+    unsafe fn read(&self, range: std::ops::Range<usize>) -> &[usize] {
+        debug_assert!(range.end <= self.len);
+        unsafe { std::slice::from_raw_parts(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+/// Forwards observer callbacks through the shared mutex, locking per
+/// event rather than per task — a concurrent `Gemm` tile's `on_stage`
+/// never waits out a whole panel factorization, only one callback.
+struct MutexObs<'a, 'o, O: PivotObserver + Send>(&'a Mutex<&'o mut O>);
+
+impl<O: PivotObserver + Send> PivotObserver for MutexObs<'_, '_, O> {
+    fn on_pivot(&mut self, step: usize, pivot: f64, col_max: f64) {
+        self.0.lock().expect("observer mutex poisoned").on_pivot(step, pivot, col_max);
+    }
+
+    fn on_stage(&mut self, changed: &calu_matrix::MatView<'_>) {
+        self.0.lock().expect("observer mutex poisoned").on_stage(changed);
+    }
+
+    fn on_multipliers(&mut self, col_below_diag: &[f64]) {
+        self.0.lock().expect("observer mutex poisoned").on_multipliers(col_below_diag);
+    }
+}
+
+/// Binds the LU kernels to runtime tasks over one matrix.
+struct LuRunner<'a, O: PivotObserver + Send> {
+    mat: SharedMat,
+    ipiv: SharedIpiv,
+    shape: LuShape,
+    opts: CaluOpts,
+    parallel_panel: bool,
+    obs: Mutex<&'a mut O>,
+}
+
+impl<O: PivotObserver + Send> LuRunner<'_, O> {
+    /// Panel `k`'s pivot swaps, local to rows `k·nb..m`.
+    ///
+    /// # Safety
+    /// Caller's task must be DAG-ordered after `Panel(k)`.
+    unsafe fn local_ipiv(&self, k: usize) -> Vec<usize> {
+        let base = k * self.shape.nb;
+        let jb = self.shape.panel_width(k);
+        unsafe { self.ipiv.read(base..base + jb) }.iter().map(|&p| p - base).collect()
+    }
+}
+
+impl<O: PivotObserver + Send> TaskRunner for LuRunner<'_, O> {
+    fn run(&self, task: Task) -> Result<()> {
+        let (m, nb) = (self.shape.m, self.shape.nb);
+        match task {
+            Task::Panel { k } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                // SAFETY: Panel(k) is the exclusive owner of rows base..m
+                // of block column k (predecessors completed, successors
+                // blocked), and of its ipiv slots.
+                let panel = unsafe { self.mat.block(base, base, m - base, jb) };
+                let mut obs = MutexObs(&self.obs);
+                let r = tslu_factor_with(
+                    panel,
+                    self.opts.p,
+                    self.opts.local,
+                    self.parallel_panel,
+                    &mut obs,
+                )
+                .map_err(|e| match e {
+                    Error::SingularPivot { step } => Error::SingularPivot { step: step + base },
+                    other => other,
+                })?;
+                let slots = unsafe { self.ipiv.write(base..base + jb) };
+                for (slot, &p) in slots.iter_mut().zip(&r.ipiv) {
+                    *slot = p + base;
+                }
+                Ok(())
+            }
+            Task::Swap { k, j } => {
+                let base = k * nb;
+                let local = unsafe { self.local_ipiv(k) };
+                let cols = self.shape.update_col_range(k, j);
+                // SAFETY: Swap(k,j) owns rows base..m of block column j.
+                let block = unsafe { self.mat.block(base, cols.start, m - base, cols.len()) };
+                apply_ipiv(block, &local);
+                Ok(())
+            }
+            Task::Trsm { k, j } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let cols = self.shape.update_col_range(k, j);
+                // SAFETY: Trsm(k,j) owns rows base..base+jb of block
+                // column j and (shared, read-only among readers that are
+                // all ordered before the next writer) L₁₁ of column k.
+                let l11 = unsafe { self.mat.block(base, base, jb, jb) };
+                let u12 = unsafe { self.mat.block(base, cols.start, jb, cols.len()) };
+                trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11.as_view(), u12);
+                Ok(())
+            }
+            Task::Gemm { k, i, j } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let rows = self.shape.row_range(i);
+                let cols = self.shape.col_range(j);
+                // SAFETY: Gemm(k,i,j) owns its trailing tile; L₂₁ and U₁₂
+                // are stable until the swaps that are DAG-ordered after
+                // every gemm of step k.
+                let l21 = unsafe { self.mat.block(rows.start, base, rows.len(), jb) };
+                let u12 = unsafe { self.mat.block(base, cols.start, jb, cols.len()) };
+                let tile =
+                    unsafe { self.mat.block(rows.start, cols.start, rows.len(), cols.len()) };
+                gemm(-1.0, l21.as_view(), u12.as_view(), 1.0, tile);
+                let tile =
+                    unsafe { self.mat.block(rows.start, cols.start, rows.len(), cols.len()) };
+                self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// In-place CALU scheduled by the task-graph runtime; same numerical
+/// contract as [`calu_inplace`](crate::calu::calu_inplace) (factors and
+/// pivots bitwise identical at every lookahead depth and on both
+/// executors), plus an [`ExecReport`] of what actually ran where.
+///
+/// The observer sees the same events as the sequential sweep; only their
+/// order differs (trailing-update stages arrive per tile, concurrent with
+/// later panels), so order-free implementations like
+/// [`PivotStats`](crate::instrument::PivotStats) record identical
+/// statistics.
+///
+/// # Errors
+/// [`Error::SingularPivot`] with the **absolute** elimination step; all
+/// tasks depending on the failed panel are canceled.
+pub fn runtime_calu_inplace<O: PivotObserver + Send>(
+    mut a: MatViewMut<'_>,
+    opts: CaluOpts,
+    rt: RuntimeOpts,
+    obs: &mut O,
+) -> Result<(Vec<usize>, ExecReport)> {
+    assert!(opts.block > 0 && opts.p > 0, "block and p must be positive");
+    let shape = LuShape { m: a.rows(), n: a.cols(), nb: opts.block };
+    let mut ipiv = vec![0usize; shape.m.min(shape.n)];
+    let dag = LuDag::build(shape, rt.lookahead);
+    let runner = LuRunner {
+        mat: SharedMat::new(&mut a),
+        ipiv: SharedIpiv { ptr: ipiv.as_mut_ptr(), len: ipiv.len() },
+        shape,
+        opts,
+        parallel_panel: rt.parallel_panel,
+        obs: Mutex::new(obs),
+    };
+    let report = rt.executor.execute(&dag, &runner)?;
+    Ok((ipiv, report))
+}
+
+/// Factors a copy of `a` on the runtime; see [`runtime_calu_inplace`].
+///
+/// # Errors
+/// Singular pivot (exact zero) at the reported absolute step.
+pub fn runtime_calu_factor(
+    a: &Matrix,
+    opts: CaluOpts,
+    rt: RuntimeOpts,
+) -> Result<(LuFactors, ExecReport)> {
+    let mut lu = a.clone();
+    let (ipiv, report) = runtime_calu_inplace(lu.view_mut(), opts, rt, &mut NoObs)?;
+    Ok((LuFactors { lu, ipiv }, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calu::calu_factor;
+    use crate::instrument::PivotStats;
+    use crate::tslu::LocalLu;
+    use calu_matrix::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn executors() -> [ExecutorKind; 3] {
+        [
+            ExecutorKind::Serial,
+            ExecutorKind::Threaded { threads: 2 },
+            ExecutorKind::Threaded { threads: 4 },
+        ]
+    }
+
+    #[test]
+    fn runtime_matches_sequential_bitwise_all_depths_and_executors() {
+        let mut rng = StdRng::seed_from_u64(900);
+        for &(m, n, b, p) in &[
+            (96usize, 96usize, 16usize, 4usize),
+            (130, 130, 32, 8),
+            (100, 60, 16, 4),
+            (60, 100, 16, 4),
+            (97, 97, 16, 3),
+        ] {
+            let a0 = gen::randn(&mut rng, m, n);
+            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let seq = calu_factor(&a0, opts).unwrap();
+            for depth in 1..=3 {
+                for executor in executors() {
+                    let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                    let (f, rep) = runtime_calu_factor(&a0, opts, rt).unwrap();
+                    assert_eq!(seq.ipiv, f.ipiv, "{m}x{n} b={b} d={depth} {executor:?}");
+                    assert_eq!(
+                        seq.lu.max_abs_diff(&f.lu),
+                        0.0,
+                        "{m}x{n} b={b} d={depth} {executor:?}: factors must be bitwise identical"
+                    );
+                    assert_eq!(rep.order.len(), rep.timings.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_observer_stats_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(901);
+        let a0 = gen::randn(&mut rng, 120, 120);
+        let opts = CaluOpts { block: 24, p: 4, ..Default::default() };
+
+        let mut s_seq = PivotStats::new(a0.max_abs());
+        let mut w = a0.clone();
+        crate::calu::calu_inplace(w.view_mut(), opts, &mut s_seq).unwrap();
+
+        let mut s_rt = PivotStats::new(a0.max_abs());
+        let mut w2 = a0.clone();
+        let rt = RuntimeOpts { lookahead: 2, ..Default::default() };
+        runtime_calu_inplace(w2.view_mut(), opts, rt, &mut s_rt).unwrap();
+
+        assert_eq!(s_seq.steps(), s_rt.steps());
+        assert_eq!(s_seq.tau_min(), s_rt.tau_min());
+        assert_eq!(s_seq.max_elem, s_rt.max_elem);
+        assert_eq!(s_seq.max_l, s_rt.max_l);
+    }
+
+    #[test]
+    fn runtime_singular_reports_absolute_step_and_cancels() {
+        let n = 64;
+        // Rank 20: every flavor must fail at absolute step 20.
+        let mut rng = StdRng::seed_from_u64(902);
+        let b = gen::randn(&mut rng, n, 20);
+        let a = Matrix::from_fn(n, n, |i, j| if j < 20 { b[(i, j)] } else { 0.0 });
+        let opts = CaluOpts { block: 8, p: 4, ..Default::default() };
+        for depth in 1..=3 {
+            for executor in executors() {
+                let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                let err = runtime_calu_factor(&a, opts, rt).unwrap_err();
+                assert_eq!(
+                    err,
+                    Error::SingularPivot { step: 20 },
+                    "d={depth} {executor:?}: absolute step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_unthrottled_depth_still_exact() {
+        let mut rng = StdRng::seed_from_u64(903);
+        let a0 = gen::randn(&mut rng, 144, 144);
+        let opts = CaluOpts { block: 16, p: 4, ..Default::default() };
+        let seq = calu_factor(&a0, opts).unwrap();
+        let rt = RuntimeOpts {
+            lookahead: 1_000_000,
+            executor: ExecutorKind::Threaded { threads: 3 },
+            parallel_panel: true,
+        };
+        let (f, _) = runtime_calu_factor(&a0, opts, rt).unwrap();
+        assert_eq!(seq.ipiv, f.ipiv);
+        assert_eq!(seq.lu.max_abs_diff(&f.lu), 0.0);
+    }
+
+    #[test]
+    fn runtime_report_covers_every_task() {
+        let mut rng = StdRng::seed_from_u64(904);
+        let a0 = gen::randn(&mut rng, 96, 96);
+        let opts = CaluOpts { block: 32, p: 4, ..Default::default() };
+        let (_, rep) = runtime_calu_factor(&a0, opts, RuntimeOpts::default()).unwrap();
+        let dag = LuDag::build(LuShape { m: 96, n: 96, nb: 32 }, 1);
+        assert_eq!(rep.order.len(), dag.len());
+        assert!(rep.wall > 0.0);
+        assert!(!rep.traces().is_empty());
+    }
+}

@@ -1,27 +1,31 @@
-//! Tiled shared-memory CALU with depth-1 lookahead.
+//! Tiled shared-memory CALU with lookahead — a thin front-end over the
+//! [`calu-runtime`](calu_runtime) task DAG.
 //!
 //! The paper's future-work section (Section 7) asks about "the suitability
 //! of the new ca-pivoting strategy for parallel LU on multicore
 //! architectures"; the HPL benchmark it wants to adopt ca-pivoting uses a
-//! *look-ahead* schedule. This module combines both: while the bulk of the
-//! trailing matrix is still being updated for panel `k`, the *next* panel's
-//! slice is updated first and its TSLU runs concurrently, so the panel
-//! factorization — the critical path of right-looking LU (paper Section 7)
-//! — is hidden behind the `gemm`.
+//! *look-ahead* schedule. Historically this module hardwired a depth-1
+//! lookahead around one `rayon::join`; it now builds the dependency DAG
+//! (`Panel`/`Swap`/`Trsm`/`Gemm` tasks) and hands it to the runtime's
+//! work-stealing executor with lookahead depth 1, which reproduces the
+//! same schedule — while the bulk of the trailing matrix is still being
+//! updated for panel `k`, the *next* panel's slice is updated first and
+//! its TSLU runs concurrently, hiding the critical path behind the
+//! `gemm` — and generalizes it (see [`crate::rt`] for deeper lookahead).
 //!
-//! Correctness hinges on one commutation: panel `k+1` elects and applies
-//! its pivots *before* the rest of the trailing matrix has them applied;
-//! applying the row swaps to a block after its update is identical to
-//! updating the permuted block, because the update `A22 -= L21·U12`
-//! touches rows independently. The factors are **bitwise identical** to
-//! sequential CALU (same tournament tree, same per-column accumulation
-//! order), which the tests assert.
+//! Correctness hinges on one commutation: panel `k+1` elects its pivots
+//! *before* the rest of the trailing matrix has them applied; applying
+//! the row swaps to a block after its update is identical to updating the
+//! permuted block, because the update `A22 -= L21·U12` touches rows
+//! independently. In DAG form that is the anti-dependence edge from every
+//! `Gemm(k, ·, ·)` to the first left-`Swap` of column `k`. The factors
+//! are **bitwise identical** to sequential CALU (same tournament tree,
+//! same per-column accumulation order), which the tests assert.
 
 use crate::calu::{CaluOpts, LuFactors};
-use crate::tslu::{tslu_factor, TsluResult};
-use calu_matrix::blas3::{gemm, par_gemm, trsm};
-use calu_matrix::perm::apply_ipiv;
-use calu_matrix::{Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Side, Uplo};
+use crate::rt::{runtime_calu_inplace, RuntimeOpts};
+use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_runtime::ExecutorKind;
 
 /// Factors a copy of `a` with lookahead-tiled CALU.
 ///
@@ -33,13 +37,6 @@ pub fn tiled_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
     Ok(LuFactors { lu, ipiv })
 }
 
-fn shift_step(k: usize) -> impl Fn(Error) -> Error {
-    move |e| match e {
-        Error::SingularPivot { step } => Error::SingularPivot { step: step + k },
-        other => other,
-    }
-}
-
 /// In-place lookahead-tiled CALU; same contract as
 /// [`calu_inplace`](crate::calu::calu_inplace) (the observer's recorded
 /// statistics are identical, though events for panel `k+1` may precede the
@@ -47,96 +44,19 @@ fn shift_step(k: usize) -> impl Fn(Error) -> Error {
 /// is order-free).
 ///
 /// # Errors
-/// [`Error::SingularPivot`] with the absolute elimination step.
+/// [`Error::SingularPivot`](calu_matrix::Error::SingularPivot) with the
+/// absolute elimination step.
 pub fn tiled_calu_inplace<O: PivotObserver + Send>(
-    mut a: MatViewMut<'_>,
+    a: MatViewMut<'_>,
     opts: CaluOpts,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
-    let (m, n) = (a.rows(), a.cols());
-    let kn = m.min(n);
-    assert!(opts.block > 0 && opts.p > 0, "block and p must be positive");
-    let nb = opts.block;
-    let mut ipiv = vec![0usize; kn];
-
-    // Panel factored ahead during the previous iteration's join.
-    let mut pending: Option<TsluResult> = None;
-
-    let mut k = 0;
-    while k < kn {
-        let jb = nb.min(kn - k);
-
-        // --- 1. Panel k: either looked-ahead already, or factor now.
-        let r = match pending.take() {
-            Some(r) => r,
-            None => {
-                let panel = a.submatrix_mut(k, k, m - k, jb);
-                tslu_factor(panel, opts.p, opts.local, obs).map_err(shift_step(k))?
-            }
-        };
-        ipiv[k..k + jb].copy_from_slice(&r.ipiv);
-
-        // --- 2. Apply the panel's swaps to every other column. All of them
-        // are fully updated through panel k-1 at this point (the previous
-        // join completed), so the deferred application is exact.
-        let local = r.ipiv;
-        if k > 0 {
-            apply_ipiv(a.submatrix_mut(k, 0, m - k, k), &local);
-        }
-        if k + jb < n {
-            apply_ipiv(a.submatrix_mut(k, k + jb, m - k, n - k - jb), &local);
-        }
-        for p in ipiv[k..k + jb].iter_mut() {
-            *p += k;
-        }
-
-        // --- 3. U12 row + trailing update, with the next panel's slice
-        // updated first and its TSLU overlapped with the bulk gemm.
-        if k + jb < n {
-            let (left, right) = a.rb_mut().split_at_col_mut(k + jb);
-            let right = right.into_submatrix(k, 0, m - k, n - k - jb);
-            let (mut u12, mut a22) = right.split_at_row_mut(jb);
-            let l11 = left.submatrix(k, k, jb, jb);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
-
-            if k + jb < m {
-                let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
-                let u12v = u12.as_view();
-
-                // Width of panel k+1 (0 when this is the last panel).
-                let next_jb = if k + jb < kn { nb.min(kn - k - jb) } else { 0 };
-                let lookahead = next_jb > 0 && a22.cols() > next_jb;
-
-                if lookahead {
-                    let (next_u, rest_u) = u12v.split_at_col(next_jb);
-                    let (mut next_c, mut rest_c) = a22.rb_mut().split_at_col_mut(next_jb);
-                    let next_k = k + jb;
-                    let (ahead, ()) = rayon::join(
-                        || -> Result<TsluResult> {
-                            // Critical path: bring panel k+1 up to date,
-                            // observe the stage, factor it.
-                            gemm(-1.0, l21, next_u, 1.0, next_c.rb_mut());
-                            obs.on_stage(&next_c.as_view());
-                            tslu_factor(next_c.rb_mut(), opts.p, opts.local, obs)
-                                .map_err(shift_step(next_k))
-                        },
-                        || par_gemm(-1.0, l21, rest_u, 1.0, rest_c.rb_mut()),
-                    );
-                    obs.on_stage(&rest_c.as_view());
-                    pending = Some(ahead?);
-                } else {
-                    // Last panel or no "rest": plain update.
-                    if opts.parallel_update {
-                        par_gemm(-1.0, l21, u12v, 1.0, a22.rb_mut());
-                    } else {
-                        gemm(-1.0, l21, u12v, 1.0, a22.rb_mut());
-                    }
-                    obs.on_stage(&a22.as_view());
-                }
-            }
-        }
-        k += jb;
-    }
+    let rt = RuntimeOpts {
+        lookahead: 1,
+        executor: ExecutorKind::Threaded { threads: 0 },
+        parallel_panel: false,
+    };
+    let (ipiv, _report) = runtime_calu_inplace(a, opts, rt, obs)?;
     Ok(ipiv)
 }
 
@@ -146,7 +66,7 @@ mod tests {
     use crate::calu::calu_factor;
     use crate::instrument::PivotStats;
     use crate::tslu::LocalLu;
-    use calu_matrix::gen;
+    use calu_matrix::{gen, Error};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

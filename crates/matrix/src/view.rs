@@ -169,6 +169,29 @@ impl<'a> MatViewMut<'a> {
         Self { ptr: data.as_mut_ptr(), rows, cols, ld, _marker: PhantomData }
     }
 
+    /// Builds a mutable view directly over raw strided storage, without
+    /// materializing an intermediate `&mut [f64]` over the whole span.
+    ///
+    /// This is the constructor for callers (like the task-graph runtime)
+    /// that carve *logically* disjoint blocks whose strided footprints
+    /// interleave in memory: two views over disjoint row ranges of the
+    /// same columns never alias element-wise, but `&mut` slices covering
+    /// their full `(cols-1)·ld + rows` spans would overlap in the
+    /// inter-row gaps — undefined behavior Rust's aliasing rules reject
+    /// even if no element is touched twice. Starting from the raw pointer
+    /// keeps every reference this view hands out (per-column slices,
+    /// element accesses) confined to the block's own elements.
+    ///
+    /// # Safety
+    /// For the lifetime `'a` the caller must guarantee, for every
+    /// `j < cols`, that `[ptr + j·ld, ptr + j·ld + rows)` is valid,
+    /// writable, and not accessed through any other reference or view
+    /// (the usual `MatViewMut` invariants), and that `ld ≥ rows.max(1)`.
+    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, ld: usize) -> Self {
+        debug_assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
+        Self { ptr, rows, cols, ld, _marker: PhantomData }
+    }
+
     /// Number of rows.
     #[inline(always)]
     pub fn rows(&self) -> usize {

@@ -1,0 +1,562 @@
+//! The task DAG of blocked right-looking LU.
+//!
+//! [`LuDag::build`] emits, for any `(m, n, nb)`, the dependency graph of
+//! the four task kinds of a right-looking blocked factorization:
+//!
+//! * [`Task::Panel`]`(k)` — TSLU tournament factorization of the full-height
+//!   panel (rows `k·nb..m`, the panel's own pivot swaps included);
+//! * [`Task::Swap`]`(k, j)` — apply panel `k`'s pivot sequence to block
+//!   column `j ≠ k` (rows `k·nb..m`);
+//! * [`Task::Trsm`]`(k, j)` — `U₁₂ = L₁₁⁻¹ A₁₂` on block column `j > k`;
+//! * [`Task::Gemm`]`(k, i, j)` — `A(i,j) -= L₂₁(i) · U₁₂(j)` on the
+//!   trailing tile at block row `i`, block column `j`.
+//!
+//! The edge set encodes exactly the data flow of the *sequential* sweep
+//! (`calu_inplace`), including the two orderings that are easy to miss:
+//!
+//! * **anti-dependence on `L`**: `Swap(k+1, k)` permutes rows of column
+//!   block `k`, which every `Gemm(k, ·, ·)` still reads as `L₂₁` — so the
+//!   first left-swap of a column waits for *all* of that step's `gemm`s
+//!   (this is the same commutation `tiled.rs` used: swaps are deferred
+//!   until the updates that read the unswapped `L` have finished);
+//! * **lookahead throttle**: with lookahead depth `d`, `Panel(k)` carries
+//!   edges from every task of step `k − d − 1`, so panels run at most `d`
+//!   steps ahead of the slowest trailing update. Depth 1 reproduces the
+//!   HPL-style schedule of the old hardwired implementation; larger depths
+//!   let `Panel(k+2), Panel(k+3), …` start while step `k`'s bulk `gemm`s
+//!   drag on.
+//!
+//! Any topological execution of the DAG produces **bitwise identical**
+//! factors to the sequential sweep: every read/write overlap is ordered by
+//! an edge, tile splits of `gemm`/`trsm`/row-swaps are per-element
+//! reorderings that do not change the fixed k-accumulation order of the
+//! kernels, and the panel kernel itself is untouched.
+
+use calu_netsim::MachineConfig;
+
+/// Identifies a node in the DAG (index into [`LuDag::tasks`]).
+pub type TaskId = usize;
+
+/// One schedulable unit of work. Indices are in units of `nb`-wide blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Task {
+    /// TSLU tournament factorization of panel `k` (rows `k·nb..m`,
+    /// columns `k·nb..k·nb+jb`), including its own pivot swaps.
+    Panel {
+        /// Panel step (block column index).
+        k: usize,
+    },
+    /// Apply panel `k`'s pivot swaps to rows `k·nb..m` of block column `j`.
+    Swap {
+        /// Panel step whose pivots are applied.
+        k: usize,
+        /// Target block column (`j < k`: finished `L` columns; `j > k`:
+        /// not-yet-factored columns; `j == k`: the remainder of the
+        /// panel's own block column when the final panel is narrower than
+        /// `nb` — see [`LuShape::update_col_range`]).
+        j: usize,
+    },
+    /// Triangular solve producing the `U₁₂` slice of block column `j` for
+    /// step `k` (`j > k`, or `j == k` for the ragged-panel remainder).
+    Trsm {
+        /// Panel step providing `L₁₁`.
+        k: usize,
+        /// Target block column.
+        j: usize,
+    },
+    /// Trailing update of the tile at block row `i`, block column `j` for
+    /// step `k` (`i > k`, `j > k`).
+    Gemm {
+        /// Panel step providing `L₂₁` and `U₁₂`.
+        k: usize,
+        /// Target block row.
+        i: usize,
+        /// Target block column.
+        j: usize,
+    },
+}
+
+impl Task {
+    /// The elimination step this task belongs to.
+    pub fn step(&self) -> usize {
+        match *self {
+            Task::Panel { k }
+            | Task::Swap { k, .. }
+            | Task::Trsm { k, .. }
+            | Task::Gemm { k, .. } => k,
+        }
+    }
+}
+
+impl std::fmt::Display for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Task::Panel { k } => write!(f, "Panel({k})"),
+            Task::Swap { k, j } => write!(f, "Swap({k},{j})"),
+            Task::Trsm { k, j } => write!(f, "Trsm({k},{j})"),
+            Task::Gemm { k, i, j } => write!(f, "Gemm({k},{i},{j})"),
+        }
+    }
+}
+
+/// Block geometry of an `m × n` matrix factored with panel width `nb`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LuShape {
+    /// Matrix rows.
+    pub m: usize,
+    /// Matrix columns.
+    pub n: usize,
+    /// Panel width (block size).
+    pub nb: usize,
+}
+
+impl LuShape {
+    /// Number of panel steps, `⌈min(m,n)/nb⌉`.
+    pub fn steps(&self) -> usize {
+        self.m.min(self.n).div_ceil(self.nb)
+    }
+
+    /// Number of block columns, `⌈n/nb⌉`.
+    pub fn col_blocks(&self) -> usize {
+        self.n.div_ceil(self.nb)
+    }
+
+    /// Number of block rows, `⌈m/nb⌉`.
+    pub fn row_blocks(&self) -> usize {
+        self.m.div_ceil(self.nb)
+    }
+
+    /// Width of panel `k` (`nb`, except possibly the last step).
+    pub fn panel_width(&self, k: usize) -> usize {
+        self.nb.min(self.m.min(self.n) - k * self.nb)
+    }
+
+    /// Column range of block column `j`.
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        j * self.nb..self.n.min((j + 1) * self.nb)
+    }
+
+    /// Row range of block row `i`.
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        i * self.nb..self.m.min((i + 1) * self.nb)
+    }
+
+    /// The columns a `Swap(k, j)`/`Trsm(k, j)`/`Gemm(k, ·, j)` task
+    /// touches: the whole block column for `j ≠ k`, or — when a ragged
+    /// final panel leaves its block column partially unfactored — the
+    /// remainder right of the panel for `j == k`.
+    pub fn update_col_range(&self, k: usize, j: usize) -> std::ops::Range<usize> {
+        let r = self.col_range(j);
+        if j == k {
+            (k * self.nb + self.panel_width(k)).min(r.end)..r.end
+        } else {
+            r
+        }
+    }
+}
+
+/// Scheduling priority: lexicographically smaller runs first among ready
+/// tasks. The encoding is critical-path-first: all work on block column
+/// `j` outranks work on columns right of it, so the column feeding the
+/// next panel drains before the bulk — the generalization of HPL's
+/// look-ahead. Left swaps (pivot fix-up of finished `L` columns) are off
+/// the critical path and sort last.
+pub type Prio = (u32, u8, u32, u32);
+
+fn priority(shape: &LuShape, t: Task) -> Prio {
+    let cb = shape.col_blocks() as u32;
+    match t {
+        Task::Panel { k } => (k as u32, 0, 0, 0),
+        Task::Swap { k, j } if j >= k => (j as u32, 1, k as u32, 0),
+        Task::Trsm { k, j } => (j as u32, 2, k as u32, 0),
+        Task::Gemm { k, i, j } => (j as u32, 3, k as u32, i as u32),
+        Task::Swap { k, j } => (cb + k as u32, 4, j as u32, 0),
+    }
+}
+
+/// The dependency DAG of one blocked LU factorization.
+#[derive(Debug, Clone)]
+pub struct LuDag {
+    shape: LuShape,
+    lookahead: usize,
+    tasks: Vec<Task>,
+    prio: Vec<Prio>,
+    succs: Vec<Vec<TaskId>>,
+    dep_count: Vec<usize>,
+}
+
+impl LuDag {
+    /// Builds the DAG for an `m × n` factorization with panel width `nb`
+    /// and the given panel lookahead depth (`≥ 1`; depths beyond the step
+    /// count leave panels unthrottled).
+    ///
+    /// # Panics
+    /// If `nb == 0` or `lookahead == 0`.
+    pub fn build(shape: LuShape, lookahead: usize) -> Self {
+        assert!(shape.nb > 0, "panel width nb must be positive");
+        assert!(lookahead > 0, "lookahead depth must be at least 1");
+        let steps = shape.steps();
+        let cb = shape.col_blocks();
+        let rb = shape.row_blocks();
+
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut id_of = std::collections::HashMap::new();
+        let mut by_step: Vec<Vec<TaskId>> = vec![Vec::new(); steps];
+        let mut push = |t: Task, tasks: &mut Vec<Task>, by_step: &mut Vec<Vec<TaskId>>| {
+            let id = tasks.len();
+            tasks.push(t);
+            by_step[t.step()].push(id);
+            id_of.insert(t, id);
+            id
+        };
+
+        for k in 0..steps {
+            push(Task::Panel { k }, &mut tasks, &mut by_step);
+            for j in 0..k {
+                push(Task::Swap { k, j }, &mut tasks, &mut by_step);
+            }
+            // Right of the panel: swap, trsm, and (when trailing rows
+            // exist) one gemm per trailing block row. Whenever a step has
+            // both trailing rows and columns its width is exactly nb, so
+            // trailing rows start on the block grid at row (k+1)·nb.
+            let jb = shape.panel_width(k);
+            if jb < shape.nb && k * shape.nb + jb < shape.n {
+                // Ragged final panel in a wide matrix: the rest of the
+                // panel's own block column still needs swap + trsm.
+                push(Task::Swap { k, j: k }, &mut tasks, &mut by_step);
+                push(Task::Trsm { k, j: k }, &mut tasks, &mut by_step);
+            }
+            let has_rows_below = k * shape.nb + jb < shape.m;
+            for j in k + 1..cb {
+                push(Task::Swap { k, j }, &mut tasks, &mut by_step);
+                push(Task::Trsm { k, j }, &mut tasks, &mut by_step);
+                if has_rows_below {
+                    debug_assert_eq!(jb, shape.nb, "ragged panels have no trailing block");
+                    for i in k + 1..rb {
+                        push(Task::Gemm { k, i, j }, &mut tasks, &mut by_step);
+                    }
+                }
+            }
+        }
+
+        // Edges as (from, to) pairs; deduped below.
+        let id = |t: Task| -> TaskId { *id_of.get(&t).expect("edge endpoint exists") };
+        let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
+        for (tid, &t) in tasks.iter().enumerate() {
+            match t {
+                Task::Panel { k } => {
+                    if k > 0 {
+                        // The panel's column must be fully updated through
+                        // step k-1.
+                        for i in k..rb {
+                            edges.push((id(Task::Gemm { k: k - 1, i, j: k }), tid));
+                        }
+                    }
+                    // Lookahead throttle: wait for every task of step
+                    // k - lookahead - 1.
+                    if k > lookahead {
+                        for &p in &by_step[k - lookahead - 1] {
+                            edges.push((p, tid));
+                        }
+                    }
+                }
+                Task::Swap { k, j } if j >= k => {
+                    edges.push((id(Task::Panel { k }), tid));
+                    if k > 0 {
+                        // Column j fully updated through step k-1 first.
+                        for i in k..rb {
+                            edges.push((id(Task::Gemm { k: k - 1, i, j }), tid));
+                        }
+                    }
+                }
+                Task::Swap { k, j } => {
+                    // j < k: pivot fix-up of a finished L column.
+                    edges.push((id(Task::Panel { k }), tid));
+                    if j < k - 1 {
+                        // Swaps on the same column do not commute.
+                        edges.push((id(Task::Swap { k: k - 1, j }), tid));
+                    } else {
+                        // First left-swap of column j = k-1: anti-dependence
+                        // on every reader of the unswapped L₂₁ of step k-1.
+                        for &gid in &by_step[k - 1] {
+                            if matches!(tasks[gid], Task::Gemm { .. }) {
+                                edges.push((gid, tid));
+                            }
+                        }
+                    }
+                }
+                Task::Trsm { k, j } => {
+                    // The swap wrote the same rows; Panel(k) is covered
+                    // transitively (Swap ← Panel).
+                    edges.push((id(Task::Swap { k, j }), tid));
+                }
+                Task::Gemm { k, j, .. } => {
+                    // Trsm(k,j) produced U₁₂; Swap(k,j) (last writer of the
+                    // tile) and Panel(k) (producer of L₂₁) are transitive.
+                    edges.push((id(Task::Trsm { k, j }), tid));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
+        let mut dep_count = vec![0usize; tasks.len()];
+        for (from, to) in edges {
+            succs[from].push(to);
+            dep_count[to] += 1;
+        }
+        let prio = tasks.iter().map(|&t| priority(&shape, t)).collect();
+        LuDag { shape, lookahead, tasks, prio, succs, dep_count }
+    }
+
+    /// The block geometry this DAG was built for.
+    pub fn shape(&self) -> &LuShape {
+        &self.shape
+    }
+
+    /// The lookahead depth the panel throttle was built with.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// All tasks; a [`TaskId`] indexes this slice.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the factorization is empty (`min(m,n) == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Scheduling priority of a task (smaller runs first).
+    pub fn priority(&self, id: TaskId) -> Prio {
+        self.prio[id]
+    }
+
+    /// Successor tasks unblocked (in part) by `id`'s completion.
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id]
+    }
+
+    /// Per-task predecessor counts (cloned as the executors' countdown).
+    pub fn dep_counts(&self) -> &[usize] {
+        &self.dep_count
+    }
+
+    /// The deterministic order the serial executor replays: a topological
+    /// sort that always picks the highest-priority ready task.
+    pub fn serial_schedule(&self) -> Vec<TaskId> {
+        let mut deps = self.dep_count.clone();
+        let mut heap = std::collections::BinaryHeap::new();
+        for (id, &d) in deps.iter().enumerate() {
+            if d == 0 {
+                heap.push(std::cmp::Reverse((self.prio[id], id)));
+            }
+        }
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(std::cmp::Reverse((_, id))) = heap.pop() {
+            order.push(id);
+            for &s in &self.succs[id] {
+                deps[s] -= 1;
+                if deps[s] == 0 {
+                    heap.push(std::cmp::Reverse((self.prio[s], s)));
+                }
+            }
+        }
+        assert_eq!(order.len(), self.len(), "DAG must be acyclic");
+        order
+    }
+
+    /// Longest path through the DAG under a per-task cost model — the
+    /// makespan of an infinitely parallel machine.
+    pub fn critical_path(&self, cost: impl Fn(Task) -> f64) -> f64 {
+        let order = self.serial_schedule();
+        let mut finish = vec![0.0_f64; self.len()];
+        let mut best = 0.0_f64;
+        for id in order {
+            let f = finish[id] + cost(self.tasks[id]);
+            best = best.max(f);
+            for &s in &self.succs[id] {
+                if f > finish[s] {
+                    finish[s] = f;
+                }
+            }
+        }
+        best
+    }
+
+    /// Sum of all task costs — the makespan of a one-worker machine.
+    pub fn total_cost(&self, cost: impl Fn(Task) -> f64) -> f64 {
+        self.tasks.iter().map(|&t| cost(t)).sum()
+    }
+}
+
+/// Modeled execution time of one task under a [`MachineConfig`]'s γ-class
+/// kernel rates (the same model `calu-netsim` charges simulated ranks).
+/// The panel is costed as one unpivoted LU of the full panel height plus a
+/// `getf2` sweep for the tournament's candidate elections.
+pub fn modeled_time(shape: &LuShape, task: Task, mch: &MachineConfig) -> f64 {
+    match task {
+        Task::Panel { k } => {
+            let rows = shape.m - k * shape.nb;
+            let jb = shape.panel_width(k);
+            mch.t_getf2(rows, jb) + mch.t_lu_nopiv(rows, jb)
+        }
+        Task::Swap { k, j } => {
+            let jb = shape.panel_width(k);
+            mch.t_laswp(jb, shape.update_col_range(k, j).len())
+        }
+        Task::Trsm { k, j } => {
+            mch.t_trsm_left(shape.panel_width(k), shape.update_col_range(k, j).len())
+        }
+        Task::Gemm { k, i, j } => {
+            mch.t_gemm(shape.row_range(i).len(), shape.col_range(j).len(), shape.panel_width(k))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dag(m: usize, n: usize, nb: usize, d: usize) -> LuDag {
+        LuDag::build(LuShape { m, n, nb }, d)
+    }
+
+    #[test]
+    fn counts_match_closed_form_square() {
+        // 4 block columns, square: per step k < 3 there are (cb-1-k)
+        // right-swaps/trsm and (rb-1-k)(cb-1-k) gemms, plus k left swaps.
+        let d = dag(128, 128, 32, 1);
+        let (mut panels, mut swaps, mut trsms, mut gemms) = (0, 0, 0, 0);
+        for t in d.tasks() {
+            match t {
+                Task::Panel { .. } => panels += 1,
+                Task::Swap { .. } => swaps += 1,
+                Task::Trsm { .. } => trsms += 1,
+                Task::Gemm { .. } => gemms += 1,
+            }
+        }
+        assert_eq!(panels, 4);
+        assert_eq!(trsms, 3 + 2 + 1);
+        assert_eq!(swaps, (3 + 2 + 1) + (1 + 2 + 3)); // right + left
+        assert_eq!(gemms, 9 + 4 + 1);
+    }
+
+    #[test]
+    fn wide_matrix_has_final_step_trsm_but_no_gemm() {
+        let d = dag(64, 128, 32, 1);
+        // Step 1 is the last (kn = 64): its panel bottoms out at row 64,
+        // so columns 2..4 still get swap+trsm but no gemm.
+        assert!(d.tasks().iter().any(|t| matches!(t, Task::Trsm { k: 1, j: 2 })));
+        assert!(d.tasks().iter().any(|t| matches!(t, Task::Trsm { k: 1, j: 3 })));
+        assert!(!d.tasks().iter().any(|t| matches!(t, Task::Gemm { k: 1, .. })));
+    }
+
+    #[test]
+    fn ragged_wide_matrix_updates_the_panel_block_remainder() {
+        // m=60, n=100, nb=16: final panel (k=3) is 12 wide; columns 60..64
+        // of block column 3 still need swap + trsm at step 3.
+        let d = dag(60, 100, 16, 1);
+        assert!(d.tasks().iter().any(|t| matches!(t, Task::Swap { k: 3, j: 3 })));
+        assert!(d.tasks().iter().any(|t| matches!(t, Task::Trsm { k: 3, j: 3 })));
+        assert_eq!(d.shape().update_col_range(3, 3), 60..64);
+        assert_eq!(d.shape().update_col_range(3, 4), 64..80);
+        // Steps with full-width panels have no remainder tasks.
+        assert!(!d.tasks().iter().any(|t| matches!(t, Task::Swap { k: 0, j: 0 })));
+    }
+
+    #[test]
+    fn tall_matrix_final_ragged_panel_has_no_trailing_tasks() {
+        let d = dag(100, 40, 16, 2);
+        // steps = ceil(40/16) = 3; final panel is 8 wide, no columns right.
+        assert_eq!(d.shape().steps(), 3);
+        assert_eq!(d.shape().panel_width(2), 8);
+        assert!(!d.tasks().iter().any(|t| matches!(t, Task::Trsm { k: 2, .. })));
+        assert!(!d.tasks().iter().any(|t| matches!(t, Task::Gemm { k: 2, .. })));
+    }
+
+    #[test]
+    fn serial_schedule_is_topological_and_complete() {
+        for &(m, n, nb, d) in
+            &[(96, 96, 16, 1), (96, 96, 16, 3), (130, 70, 32, 2), (70, 130, 32, 9)]
+        {
+            let g = dag(m, n, nb, d);
+            let order = g.serial_schedule();
+            assert_eq!(order.len(), g.len());
+            let mut pos = vec![0usize; g.len()];
+            for (p, &id) in order.iter().enumerate() {
+                pos[id] = p;
+            }
+            for id in 0..g.len() {
+                for &s in g.successors(id) {
+                    assert!(pos[id] < pos[s], "{} must precede {}", g.tasks()[id], g.tasks()[s]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_throttle_orders_panels_behind_old_gemms() {
+        // With depth 1, Panel(3) must come after every task of step 1 in
+        // any topological order; with a huge depth that edge disappears.
+        let g1 = dag(160, 160, 32, 1);
+        let p3 = g1.tasks().iter().position(|t| matches!(t, Task::Panel { k: 3 })).unwrap();
+        let has_edge_from_step1 =
+            (0..g1.len()).any(|id| g1.tasks()[id].step() == 1 && g1.successors(id).contains(&p3));
+        assert!(has_edge_from_step1, "depth-1 throttle edge missing");
+
+        let g9 = dag(160, 160, 32, 9);
+        let p3 = g9.tasks().iter().position(|t| matches!(t, Task::Panel { k: 3 })).unwrap();
+        let throttled = (0..g9.len()).any(|id| {
+            matches!(g9.tasks()[id], Task::Gemm { k: 1, .. }) && g9.successors(id).contains(&p3)
+        });
+        assert!(!throttled, "deep lookahead must not throttle Panel(3) on step-1 gemms");
+    }
+
+    #[test]
+    fn deeper_lookahead_shortens_the_critical_path() {
+        let shape = LuShape { m: 1024, n: 1024, nb: 64 };
+        let mch = MachineConfig::power5();
+        let cp = |d: usize| LuDag::build(shape, d).critical_path(|t| modeled_time(&shape, t, &mch));
+        let (c1, c2, c4) = (cp(1), cp(2), cp(4));
+        assert!(c2 <= c1 + 1e-12, "depth 2 ({c2}) must not exceed depth 1 ({c1})");
+        assert!(c4 <= c2 + 1e-12);
+        // And the DAG exposes real parallelism against one worker.
+        let g = LuDag::build(shape, 2);
+        let total = g.total_cost(|t| modeled_time(&shape, t, &mch));
+        assert!(total / c2 > 2.0, "modeled parallelism {}", total / c2);
+    }
+
+    #[test]
+    fn first_left_swap_waits_for_all_readers_of_l() {
+        // Swap(1, 0) must depend on every Gemm(0, ·, ·).
+        let g = dag(96, 96, 32, 1);
+        let target = g.tasks().iter().position(|t| matches!(t, Task::Swap { k: 1, j: 0 })).unwrap();
+        for id in 0..g.len() {
+            if matches!(g.tasks()[id], Task::Gemm { k: 0, .. }) {
+                assert!(
+                    g.successors(id).contains(&target),
+                    "{} must precede Swap(1,0)",
+                    g.tasks()[id]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_panel_shapes() {
+        let g = dag(40, 40, 64, 1);
+        assert_eq!(g.len(), 1, "single panel, nothing else");
+        assert!(matches!(g.tasks()[0], Task::Panel { k: 0 }));
+        let e = LuDag::build(LuShape { m: 0, n: 16, nb: 8 }, 1);
+        assert!(e.is_empty());
+    }
+}

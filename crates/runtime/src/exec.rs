@@ -1,0 +1,497 @@
+//! Executors: how a [`LuDag`] actually runs.
+//!
+//! Two implementations behind one [`Executor`] trait:
+//!
+//! * [`SerialExecutor`] — replays tasks one at a time in the fixed
+//!   critical-path-priority topological order of
+//!   [`LuDag::serial_schedule`]. Run-to-run deterministic (same DAG ⇒ same
+//!   task sequence), which the property tests assert; the baseline every
+//!   speedup is measured against.
+//! * [`ThreadedExecutor`] — `std::thread` workers stealing from one shared
+//!   critical-path-ordered ready pool, with per-task completion events
+//!   carried back over a `crossbeam` channel. As soon as `Panel(k+1)`'s
+//!   column slice is updated, the panel outranks every bulk `gemm` in the
+//!   pool, so panels hide behind trailing updates at any lookahead depth —
+//!   the generalization of the old hardwired depth-1 `rayon::join`.
+//!   (A single shared pool rather than per-worker deques: at panel/tile
+//!   granularity the pool lock is touched a few thousand times per
+//!   factorization, far below contention levels that would repay deques.)
+//!
+//! Both record per-task wall-clock timings; [`ExecReport::traces`] converts
+//! them into `calu-netsim` [`RankTrace`]s (one simulated "rank" per worker)
+//! so the existing Gantt renderer and time-attribution machinery draw real
+//! executions exactly like simulated ones.
+//!
+//! # Failure semantics
+//!
+//! The only fallible task kind is `Panel` (an exactly singular pivot).
+//! Because panels are chained through the DAG, the first panel error is
+//! the same error the sequential sweep would hit; on error the executors
+//! cancel every not-yet-started task and surface the error (the runner is
+//! responsible for reporting the **absolute** elimination step).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use calu_matrix::{Error, Result};
+use calu_netsim::{RankTrace, SegKind, TraceEvent};
+
+use crate::dag::{LuDag, Prio, Task, TaskId};
+
+/// Runs the body of one task. Implemented by the algorithm layer
+/// (`calu-core`'s LU runner); the runtime itself never touches matrix data.
+///
+/// `run` is called once per task, from whichever worker thread claims it;
+/// the DAG's edges guarantee that concurrently running tasks touch
+/// disjoint data.
+pub trait TaskRunner: Sync {
+    /// Executes `task`. An `Err` cancels all tasks that have not started.
+    fn run(&self, task: Task) -> Result<()>;
+}
+
+impl<F: Fn(Task) -> Result<()> + Sync> TaskRunner for F {
+    fn run(&self, task: Task) -> Result<()> {
+        self(task)
+    }
+}
+
+/// Wall-clock record of one executed task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTiming {
+    /// The task that ran.
+    pub task: Task,
+    /// Worker index that ran it (0 for the serial executor).
+    pub worker: usize,
+    /// Seconds from run start to task start.
+    pub start: f64,
+    /// Seconds from run start to task end.
+    pub end: f64,
+}
+
+/// What an executor did: completion order, per-task timings, makespan.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Tasks in completion order (for the serial executor this is the
+    /// deterministic execution order).
+    pub order: Vec<Task>,
+    /// Per-task wall-clock records.
+    pub timings: Vec<TaskTiming>,
+    /// Number of workers used.
+    pub workers: usize,
+    /// Total wall-clock seconds for the whole run.
+    pub wall: f64,
+}
+
+impl ExecReport {
+    /// Per-worker timelines in `calu-netsim` trace form: one rank per
+    /// worker, `Compute` segments for tasks, explicit `Idle` segments for
+    /// the gaps — ready for [`calu_netsim::render_gantt`].
+    pub fn traces(&self) -> Vec<RankTrace> {
+        let mut per: Vec<Vec<TaskTiming>> = vec![Vec::new(); self.workers];
+        for &t in &self.timings {
+            per[t.worker].push(t);
+        }
+        per.into_iter()
+            .map(|mut ts| {
+                ts.sort_by(|a, b| a.start.total_cmp(&b.start));
+                let mut events = Vec::with_capacity(2 * ts.len());
+                let mut clock = 0.0_f64;
+                for t in ts {
+                    if t.start > clock {
+                        events.push(TraceEvent { kind: SegKind::Idle, start: clock, end: t.start });
+                    }
+                    if t.end > t.start {
+                        events.push(TraceEvent {
+                            kind: SegKind::Compute,
+                            start: t.start,
+                            end: t.end,
+                        });
+                    }
+                    clock = clock.max(t.end);
+                }
+                RankTrace { events }
+            })
+            .collect()
+    }
+
+    /// Seconds spent computing, summed over workers.
+    pub fn busy(&self) -> f64 {
+        self.timings.iter().map(|t| t.end - t.start).sum()
+    }
+}
+
+/// Strategy for driving a [`LuDag`] to completion.
+pub trait Executor {
+    /// Runs every task of `dag` through `runner`, respecting the edges.
+    ///
+    /// # Errors
+    /// The first task failure (see the module docs on cancellation).
+    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport>;
+}
+
+/// Deterministic one-worker executor: replays [`LuDag::serial_schedule`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl Executor for SerialExecutor {
+    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+        let t0 = Instant::now();
+        let mut report = ExecReport { workers: 1, ..Default::default() };
+        for id in dag.serial_schedule() {
+            let task = dag.tasks()[id];
+            let start = t0.elapsed().as_secs_f64();
+            runner.run(task)?;
+            let end = t0.elapsed().as_secs_f64();
+            report.order.push(task);
+            report.timings.push(TaskTiming { task, worker: 0, start, end });
+        }
+        report.wall = t0.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+/// Shared scheduler state behind the pool lock.
+struct Pool {
+    ready: BinaryHeap<Reverse<(Prio, TaskId)>>,
+    deps: Vec<usize>,
+    /// Tasks not yet claimed by a worker.
+    unclaimed: usize,
+    canceled: bool,
+}
+
+/// Work-stealing threaded executor: `threads` OS workers (0 ⇒ the host's
+/// available parallelism) pull the highest-priority ready task from a
+/// shared pool; completions flow back to the caller over a crossbeam
+/// channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedExecutor {
+    /// Worker count; 0 uses `std::thread::available_parallelism`.
+    pub threads: usize,
+}
+
+impl ThreadedExecutor {
+    /// An executor with an explicit worker count (0 ⇒ host parallelism).
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    fn resolved_threads(&self, tasks: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, tasks.max(1))
+    }
+}
+
+/// A worker's report of one finished task, sent over the event channel.
+enum Event {
+    Done(TaskTiming),
+    Failed(Task, Error),
+}
+
+/// Cancels the pool if the holder unwinds: a panicking task body must wake
+/// the parked workers (so they exit and drop their event senders) instead
+/// of leaving the whole executor deadlocked; the panic itself then
+/// propagates through `std::thread::scope`'s implicit join.
+struct CancelOnUnwind<'a> {
+    pool: &'a Mutex<Pool>,
+    bell: &'a Condvar,
+    armed: bool,
+}
+
+impl Drop for CancelOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Reach the flag even if a sibling panic already poisoned the
+            // lock — a double panic here would abort the process.
+            self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).canceled = true;
+            self.bell.notify_all();
+        }
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+        let total = dag.len();
+        let workers = self.resolved_threads(total);
+        if total == 0 {
+            return Ok(ExecReport { workers, ..Default::default() });
+        }
+
+        let mut ready = BinaryHeap::new();
+        let deps = dag.dep_counts().to_vec();
+        for (id, &d) in deps.iter().enumerate() {
+            if d == 0 {
+                ready.push(Reverse((dag.priority(id), id)));
+            }
+        }
+        let pool = Mutex::new(Pool { ready, deps, unclaimed: total, canceled: false });
+        let bell = Condvar::new();
+        let (events_tx, events_rx) = crossbeam::channel::unbounded::<Event>();
+
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let pool = &pool;
+                let bell = &bell;
+                let tx = events_tx.clone();
+                s.spawn(move || loop {
+                    let id = {
+                        let mut p = pool.lock().expect("runtime pool poisoned");
+                        loop {
+                            if p.canceled || p.unclaimed == 0 {
+                                return;
+                            }
+                            if let Some(Reverse((_, id))) = p.ready.pop() {
+                                p.unclaimed -= 1;
+                                break id;
+                            }
+                            p = bell.wait(p).expect("runtime pool poisoned");
+                        }
+                    };
+                    let task = dag.tasks()[id];
+                    let start = t0.elapsed().as_secs_f64();
+                    let mut guard = CancelOnUnwind { pool, bell, armed: true };
+                    let result = runner.run(task);
+                    guard.armed = false;
+                    let end = t0.elapsed().as_secs_f64();
+                    match result {
+                        Ok(()) => {
+                            let mut p = pool.lock().expect("runtime pool poisoned");
+                            for &succ in dag.successors(id) {
+                                p.deps[succ] -= 1;
+                                if p.deps[succ] == 0 {
+                                    p.ready.push(Reverse((dag.priority(succ), succ)));
+                                }
+                            }
+                            drop(p);
+                            bell.notify_all();
+                            let _ =
+                                tx.send(Event::Done(TaskTiming { task, worker: w, start, end }));
+                        }
+                        Err(e) => {
+                            pool.lock().expect("runtime pool poisoned").canceled = true;
+                            bell.notify_all();
+                            let _ = tx.send(Event::Failed(task, e));
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(events_tx);
+
+            // The submitting thread collects completion events; the scope
+            // joins the workers before we leave.
+            let mut report = ExecReport { workers, ..Default::default() };
+            let mut failure: Option<(usize, Error)> = None;
+            while let Ok(ev) = events_rx.recv() {
+                match ev {
+                    Event::Done(t) => {
+                        report.order.push(t.task);
+                        report.timings.push(t);
+                    }
+                    Event::Failed(task, e) => {
+                        // Keep the earliest-step failure for determinism
+                        // (in practice panels are chained, so at most one
+                        // task can fail first).
+                        let key = task.step();
+                        if failure.as_ref().is_none_or(|(k, _)| key < *k) {
+                            failure = Some((key, e));
+                        }
+                    }
+                }
+            }
+            report.wall = t0.elapsed().as_secs_f64();
+            match failure {
+                Some((_, e)) => Err(e),
+                None => {
+                    // A shortfall without a recorded failure means a task
+                    // body panicked; the scope join below re-raises it, so
+                    // this (possibly partial) report is discarded.
+                    debug_assert!(
+                        report.order.len() == total
+                            || pool
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .canceled,
+                        "all tasks must complete"
+                    );
+                    Ok(report)
+                }
+            }
+        })
+    }
+}
+
+/// Which executor a front-end should use; a small enum so callers can pick
+/// at run time without naming executor types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Deterministic priority replay on the calling thread.
+    Serial,
+    /// Work-stealing OS threads (0 ⇒ host parallelism).
+    Threaded {
+        /// Worker count; 0 uses the host's available parallelism.
+        threads: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// Dispatches to the matching [`Executor`] implementation.
+    ///
+    /// # Errors
+    /// Propagates the first task failure.
+    pub fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+        match *self {
+            ExecutorKind::Serial => SerialExecutor.execute(dag, runner),
+            ExecutorKind::Threaded { threads } => {
+                ThreadedExecutor::new(threads).execute(dag, runner)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::LuShape;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn dag(m: usize, n: usize, nb: usize, d: usize) -> LuDag {
+        LuDag::build(LuShape { m, n, nb }, d)
+    }
+
+    /// Runner that records completion order and checks dependence safety:
+    /// a task may only run once all its predecessors have.
+    struct CheckRunner<'a> {
+        dag: &'a LuDag,
+        done: Vec<std::sync::atomic::AtomicBool>,
+        count: AtomicUsize,
+    }
+
+    impl<'a> CheckRunner<'a> {
+        fn new(dag: &'a LuDag) -> Self {
+            let done = (0..dag.len()).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+            Self { dag, done, count: AtomicUsize::new(0) }
+        }
+    }
+
+    impl TaskRunner for CheckRunner<'_> {
+        fn run(&self, task: Task) -> Result<()> {
+            let id = self.dag.tasks().iter().position(|&t| t == task).unwrap();
+            for pred in 0..self.dag.len() {
+                if self.dag.successors(pred).contains(&id) {
+                    assert!(
+                        self.done[pred].load(Ordering::SeqCst),
+                        "{} ran before its predecessor {}",
+                        task,
+                        self.dag.tasks()[pred]
+                    );
+                }
+            }
+            self.done[id].store(true, Ordering::SeqCst);
+            self.count.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serial_executor_runs_every_task_in_dependence_order() {
+        let g = dag(128, 128, 32, 2);
+        let r = CheckRunner::new(&g);
+        let rep = SerialExecutor.execute(&g, &r).unwrap();
+        assert_eq!(r.count.load(Ordering::SeqCst), g.len());
+        assert_eq!(rep.order.len(), g.len());
+        assert_eq!(rep.workers, 1);
+    }
+
+    #[test]
+    fn threaded_executor_respects_edges_with_many_workers() {
+        for d in [1usize, 2, 3] {
+            let g = dag(160, 160, 32, d);
+            let r = CheckRunner::new(&g);
+            let rep = ThreadedExecutor::new(4).execute(&g, &r).unwrap();
+            assert_eq!(r.count.load(Ordering::SeqCst), g.len());
+            assert_eq!(rep.order.len(), g.len());
+            assert_eq!(rep.workers, 4);
+        }
+    }
+
+    #[test]
+    fn serial_schedule_is_reproducible() {
+        let g = dag(130, 90, 16, 3);
+        let r1 = SerialExecutor.execute(&g, &|_t| Ok(())).unwrap();
+        let r2 = SerialExecutor.execute(&g, &|_t| Ok(())).unwrap();
+        assert_eq!(r1.order, r2.order, "serial replay must be deterministic");
+    }
+
+    #[test]
+    fn failure_cancels_unstarted_tasks() {
+        let g = dag(128, 128, 32, 1);
+        let ran = AtomicUsize::new(0);
+        let fail_on = Task::Panel { k: 1 };
+        let runner = |t: Task| -> Result<()> {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if t == fail_on {
+                Err(Error::SingularPivot { step: 32 })
+            } else {
+                Ok(())
+            }
+        };
+        for kind in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
+            ran.store(0, Ordering::SeqCst);
+            let err = kind.execute(&g, &runner).unwrap_err();
+            assert_eq!(err, Error::SingularPivot { step: 32 });
+            assert!(
+                ran.load(Ordering::SeqCst) < g.len(),
+                "{kind:?}: tasks after the failure must be canceled"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_task_propagates_instead_of_deadlocking() {
+        // A panic inside a task body (user observer, debug assert) must
+        // unwind out of execute(), not park the other workers forever.
+        let g = dag(128, 128, 32, 1);
+        let boom = Task::Panel { k: 1 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ThreadedExecutor::new(3).execute(&g, &|t: Task| -> Result<()> {
+                assert!(t != boom, "injected task panic");
+                Ok(())
+            })
+        }));
+        assert!(result.is_err(), "the injected panic must propagate to the caller");
+    }
+
+    #[test]
+    fn traces_cover_workers_and_fill_idle_gaps() {
+        let g = dag(96, 96, 32, 1);
+        let rep = ThreadedExecutor::new(2)
+            .execute(&g, &|_t| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(())
+            })
+            .unwrap();
+        let traces = rep.traces();
+        assert_eq!(traces.len(), 2);
+        let busy: f64 = traces.iter().map(|t| t.total(SegKind::Compute)).sum();
+        assert!((busy - rep.busy()).abs() < 1e-12);
+        for tr in &traces {
+            for w in tr.events.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-12, "segments must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dag_is_a_no_op() {
+        let g = LuDag::build(LuShape { m: 0, n: 0, nb: 8 }, 1);
+        let rep = ThreadedExecutor::default().execute(&g, &|_t| Ok(())).unwrap();
+        assert!(rep.order.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # calu-runtime — dataflow task-graph runtime for tiled CALU
+//!
+//! The paper's future-work question (Section 7) — does ca-pivoting suit
+//! parallel LU on multicore machines? — needs more schedule than a
+//! hardwired `rayon::join`: HPL-style executions overlap the panel
+//! factorization (the critical path of right-looking LU) with trailing
+//! updates at a configurable *lookahead depth*. This crate supplies that
+//! layer, between the machine layer (`calu-netsim`) and the algorithms
+//! (`calu-core`):
+//!
+//! * [`dag`] — [`LuDag::build`] emits the dependency DAG of blocked
+//!   right-looking LU for any `(m, n, nb)`: `Panel`/`Swap`/`Trsm`/`Gemm`
+//!   tasks, the anti-dependences that make row-swap deferral sound, and a
+//!   panel throttle for any lookahead depth `d ≥ 1`;
+//! * [`exec`] — two executors behind the [`Executor`] trait: a
+//!   deterministic [`SerialExecutor`] (priority-ordered replay) and a
+//!   work-stealing [`ThreadedExecutor`] (`std::thread` workers over a
+//!   shared critical-path-first pool, crossbeam completion channel), both
+//!   recording per-task timings that convert into `calu-netsim` Gantt
+//!   traces.
+//!
+//! The runtime is algorithm-agnostic: it schedules; a [`TaskRunner`]
+//! implemented by the caller supplies the kernels. `calu-core`'s
+//! `rt` module binds the real TSLU/BLAS kernels and proves (in tests)
+//! that every schedule the runtime can produce yields factors **bitwise
+//! identical** to the sequential reference.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag;
+pub mod exec;
+
+pub use dag::{modeled_time, LuDag, LuShape, Task, TaskId};
+pub use exec::{
+    ExecReport, Executor, ExecutorKind, SerialExecutor, TaskRunner, TaskTiming, ThreadedExecutor,
+};

@@ -17,9 +17,14 @@
 //!   paper's IBM POWER5 and Cray XT4 systems plus a modern cluster),
 //!   collectives, event tracing with Gantt rendering, and a deferred-
 //!   compute overlap model for look-ahead studies.
+//! * [`runtime`] — the dataflow task-graph runtime: the dependency DAG of
+//!   blocked right-looking LU (`Panel`/`Swap`/`Trsm`/`Gemm` tasks at any
+//!   lookahead depth) with a deterministic serial executor and a
+//!   work-stealing threaded executor, feeding the netsim Gantt machinery.
 //! * [`core`] — TSLU and CALU (sequential, rayon-parallel, lookahead-tiled
-//!   multicore, and simulated-distributed), plus the GEPP / ScaLAPACK
-//!   `PDGETRF`/`PDGETF2` baselines in real-data and cost-skeleton form.
+//!   multicore — both scheduled by [`runtime`] — and simulated-distributed),
+//!   plus the GEPP / ScaLAPACK `PDGETRF`/`PDGETF2` baselines in real-data
+//!   and cost-skeleton form.
 //! * [`stability`] — the paper's numerical-stability laboratory: growth
 //!   factors, pivot thresholds, HPL accuracy tests, five matrix ensembles.
 //! * [`perfmodel`] — the paper's closed-form runtime models (Equations
@@ -55,4 +60,5 @@ pub use calu_core as core;
 pub use calu_matrix as matrix;
 pub use calu_netsim as netsim;
 pub use calu_perfmodel as perfmodel;
+pub use calu_runtime as runtime;
 pub use calu_stability as stability;

@@ -4,10 +4,12 @@
 //! or panics (panics are reserved for API misuse).
 
 use calu_repro::core::{
-    calu_factor, gepp_factor, tiled_calu_factor, tslu_factor, CaluOpts, LocalLu,
+    calu_factor, gepp_factor, runtime_calu_factor, tiled_calu_factor, tslu_factor, CaluOpts,
+    LocalLu, RuntimeOpts,
 };
 use calu_repro::matrix::lapack::{getf2, getf2_info, getrf, GetrfOpts};
 use calu_repro::matrix::{gen, Error, Matrix, NoObs};
+use calu_repro::runtime::ExecutorKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,6 +42,54 @@ fn all_flavors_report_singularity_at_the_same_step() {
             }
         }
     }
+}
+
+#[test]
+fn runtime_dag_cancels_on_singularity_and_reports_absolute_step() {
+    // A SingularPivot inside a Panel(k) task must cancel dependent tasks
+    // and surface the *absolute* elimination step — same contract as the
+    // sequential sweep's `shift_step`, now across the task DAG at every
+    // lookahead depth and on both executors.
+    let n = 48;
+    for &r in &[1usize, 7, 24, 47] {
+        let a = rank_deficient(500 + r as u64, n, r);
+        let opts = CaluOpts { block: 8, p: 4, ..Default::default() };
+        for lookahead in 1..=3 {
+            for executor in [
+                ExecutorKind::Serial,
+                ExecutorKind::Threaded { threads: 2 },
+                ExecutorKind::Threaded { threads: 4 },
+            ] {
+                let rt = RuntimeOpts { lookahead, executor, parallel_panel: false };
+                let e = runtime_calu_factor(&a, opts, rt).unwrap_err();
+                match e {
+                    Error::SingularPivot { step } => assert_eq!(
+                        step, r,
+                        "rank {r} d={lookahead} {executor:?}: wrong singular step"
+                    ),
+                    other => panic!("rank {r}: unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn runtime_singularity_in_looked_ahead_panel_still_sequentially_first() {
+    // Deep lookahead runs Panel(k+1), Panel(k+2), ... early; a failure
+    // discovered out of wall-clock order must still be reported as the
+    // error the sequential sweep would hit (panels are chained, so the
+    // first failing panel *is* the sequential one).
+    let n = 64;
+    let a = rank_deficient(777, n, 40);
+    let opts = CaluOpts { block: 8, p: 4, ..Default::default() };
+    let rt = RuntimeOpts {
+        lookahead: 1_000_000,
+        executor: ExecutorKind::Threaded { threads: 4 },
+        parallel_panel: true,
+    };
+    let e = runtime_calu_factor(&a, opts, rt).unwrap_err();
+    assert_eq!(e, Error::SingularPivot { step: 40 });
 }
 
 #[test]

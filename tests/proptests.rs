@@ -155,6 +155,58 @@ proptest! {
     }
 
     #[test]
+    fn prop_runtime_dag_equals_sequential_bitwise(
+        seed in 0u64..1_000_000,
+        m in 8usize..72,
+        n in 8usize..72,
+        b in 2usize..20,
+        p in 1usize..6,
+        depth in 1usize..4,
+        exec_sel in 0usize..2,
+    ) {
+        // Any schedule the runtime can produce — serial replay or
+        // work-stealing threads, lookahead depths 1..3, ragged shapes —
+        // must be a pure reordering: identical pivots, bitwise identical
+        // factors.
+        use calu_repro::core::{runtime_calu_factor, RuntimeOpts};
+        use calu_repro::runtime::ExecutorKind;
+        let a = randn_mat(seed, m, n);
+        let opts = CaluOpts { block: b, p, ..Default::default() };
+        let seq = calu_factor(&a, opts).unwrap();
+        let executor = if exec_sel == 1 {
+            ExecutorKind::Threaded { threads: 3 }
+        } else {
+            ExecutorKind::Serial
+        };
+        let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+        let (f, _rep) = runtime_calu_factor(&a, opts, rt).unwrap();
+        prop_assert_eq!(&seq.ipiv, &f.ipiv, "pivots differ (m={} n={} b={} p={} d={})", m, n, b, p, depth);
+        prop_assert_eq!(seq.lu.max_abs_diff(&f.lu), 0.0);
+    }
+
+    #[test]
+    fn prop_serial_executor_schedule_is_deterministic(
+        seed in 0u64..1_000_000,
+        m in 8usize..72,
+        n in 8usize..72,
+        b in 2usize..20,
+        depth in 1usize..4,
+    ) {
+        // The serial executor replays a fixed priority order: two runs of
+        // the same factorization must execute the identical task sequence.
+        use calu_repro::core::{runtime_calu_factor, RuntimeOpts};
+        use calu_repro::runtime::ExecutorKind;
+        let a = randn_mat(seed, m, n);
+        let opts = CaluOpts { block: b, p: 4, ..Default::default() };
+        let rt = RuntimeOpts { lookahead: depth, executor: ExecutorKind::Serial, parallel_panel: false };
+        let (f1, r1) = runtime_calu_factor(&a, opts, rt).unwrap();
+        let (f2, r2) = runtime_calu_factor(&a, opts, rt).unwrap();
+        prop_assert_eq!(&r1.order, &r2.order, "serial schedule must be run-to-run deterministic");
+        prop_assert_eq!(f1.lu.max_abs_diff(&f2.lu), 0.0);
+        prop_assert_eq!(f1.ipiv, f2.ipiv);
+    }
+
+    #[test]
     fn prop_tiled_lookahead_equals_sequential_bitwise(
         seed in 0u64..1_000_000,
         m in 8usize..80,

@@ -4,14 +4,73 @@
 //!
 //! Parallelism is real (scoped OS threads), but primitive: `join` spawns
 //! one thread for the second closure; `par_iter().map().collect()` chunks
-//! the slice across `available_parallelism` threads. There is no work
-//! stealing and no pool reuse — adequate for this workspace, where the
-//! rayon paths are asserted *bitwise equal* to the sequential ones and
-//! wall-clock scaling is informational only.
+//! the slice across up to [`current_num_threads`] threads. There is no
+//! work stealing and no pool reuse — adequate for this workspace, where
+//! the rayon paths are asserted *bitwise equal* to the sequential ones
+//! and wall-clock scaling is informational only.
+//!
+//! # Pool-size semantics
+//!
+//! [`ThreadPool::install`] runs its closure on a fresh scoped thread with
+//! a thread-local concurrency limit set to the builder's `num_threads`,
+//! and the limit is **inherited** by every thread this crate spawns
+//! underneath (nested `join`s and `par_iter`s included), so
+//! `ThreadPoolBuilder::new().num_threads(n)` genuinely caps this crate's
+//! primitives at `n` concurrent threads. With `num_threads(1)`, `join`
+//! and `par_iter` degenerate to sequential inline execution on the
+//! installing thread's child — useful for scaling studies.
+//!
+//! # Remaining gaps vs. real rayon
+//!
+//! * **No pool reuse**: every `install`/`join`/`par_iter` spawns fresh
+//!   scoped threads rather than dispatching to persistent workers, so the
+//!   per-call overhead is a thread spawn (~10 µs), not a queue push.
+//! * **No work stealing**: `par_iter` splits into equal contiguous chunks
+//!   up front; imbalanced workloads are not rebalanced. (The task-graph
+//!   runtime in `calu-runtime` has its own shared-pool scheduler and does
+//!   not rely on this crate.)
+//! * The limit caps only threads spawned *by this crate*: `join(a, b)`
+//!   under a limit of `n ≥ 2` runs `a` on the calling thread and may
+//!   spawn one more, but it never tracks a global census across sibling
+//!   `join`s — deeply nested unbalanced trees can briefly exceed the cap.
+//! * `spawn`, `scope`, `ParallelSlice`, bridges, and the rest of rayon's
+//!   surface are absent.
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Concurrency limit installed by [`ThreadPool::install`]; `None`
+    /// means "host parallelism".
+    static POOL_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The concurrency limit in effect on this thread: the installed pool
+/// size, or the host's available parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    POOL_LIMIT
+        .get()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))
+        .max(1)
+}
+
+/// Runs `f` on a scoped thread that inherits the caller's pool limit
+/// (`std::thread::scope` does not propagate thread-locals by itself).
+fn spawn_inheriting<'scope, 'env, R: Send + 'scope>(
+    s: &'scope std::thread::Scope<'scope, 'env>,
+    f: impl FnOnce() -> R + Send + 'scope,
+) -> std::thread::ScopedJoinHandle<'scope, R> {
+    let limit = POOL_LIMIT.get();
+    s.spawn(move || {
+        POOL_LIMIT.set(limit);
+        f()
+    })
+}
+
 /// Runs both closures, potentially in parallel, and returns both results.
+/// Under an installed pool limit of 1 both run sequentially on the
+/// calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -19,8 +78,13 @@ where
     RA: Send,
     RB: Send,
 {
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = spawn_inheriting(s, b);
         let ra = a();
         (ra, hb.join().expect("rayon-compat join: task panicked"))
     })
@@ -73,7 +137,8 @@ pub mod prelude {
     }
 
     impl<'a, T: Sync, F> ParMap<'a, T, F> {
-        /// Runs the map across threads and collects in input order.
+        /// Runs the map across threads (at most the installed pool limit)
+        /// and collects in input order.
         pub fn collect<C, R>(self) -> C
         where
             F: Fn(&'a T) -> R + Sync,
@@ -81,17 +146,19 @@ pub mod prelude {
             C: FromIterator<R>,
         {
             let n = self.items.len();
-            if n <= 1 {
+            let threads = crate::current_num_threads().min(n);
+            if n <= 1 || threads <= 1 {
                 return self.items.iter().map(&self.f).collect();
             }
-            let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1).min(n);
             let chunk = n.div_ceil(threads);
             let f = &self.f;
             let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .items
                     .chunks(chunk)
-                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .map(|c| {
+                        crate::spawn_inheriting(s, move || c.iter().map(f).collect::<Vec<R>>())
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -116,8 +183,8 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder for a [`ThreadPool`]. The stand-in records the requested size
-/// but runs `install` inline on the calling thread.
+/// Builder for a [`ThreadPool`]. `num_threads(0)` (the default) means
+/// "host parallelism", matching rayon.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -129,36 +196,61 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests a pool size (recorded but not enforced by the stand-in).
+    /// Requests a pool size, enforced as the concurrency limit of every
+    /// primitive of this crate that runs inside [`ThreadPool::install`].
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
     /// Builds the pool.
+    ///
+    /// # Errors
+    /// Never fails in this stand-in (kept for API compatibility).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { _num_threads: self.num_threads })
+        Ok(ThreadPool { num_threads: self.num_threads })
     }
 }
 
 /// A handle mimicking `rayon::ThreadPool`.
 #[derive(Debug)]
 pub struct ThreadPool {
-    _num_threads: usize,
+    num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `f` "inside the pool" — inline in this stand-in, so nested
-    /// `join`/`par_iter` calls still parallelize via scoped threads, but
-    /// the pool size is not enforced.
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        f()
+    /// The pool's configured concurrency limit.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+
+    /// Runs `f` inside the pool: on a fresh scoped thread whose
+    /// thread-local concurrency limit is this pool's size, inherited by
+    /// every nested `join`/`par_iter` spawn (see the crate docs for the
+    /// remaining gaps vs. real rayon).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let limit = self.current_num_threads();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                POOL_LIMIT.set(Some(limit));
+                f()
+            })
+            .join()
+            .expect("rayon-compat install: task panicked")
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use std::thread::ThreadId;
 
     #[test]
     fn join_returns_both() {
@@ -175,8 +267,70 @@ mod tests {
     }
 
     #[test]
-    fn pool_install_runs() {
+    fn pool_install_runs_on_its_own_thread() {
         let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        assert_eq!(pool.install(|| 5), 5);
+        let caller = std::thread::current().id();
+        let (val, inner) = pool.install(|| (5, std::thread::current().id()));
+        assert_eq!(val, 5);
+        assert_ne!(caller, inner, "install must run on a pool thread");
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_join_inline() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ids = pool.install(|| {
+            let here = std::thread::current().id();
+            let (ia, ib) =
+                super::join(|| std::thread::current().id(), || std::thread::current().id());
+            (here, ia, ib)
+        });
+        assert_eq!(ids.0, ids.1, "limit 1: first closure inline");
+        assert_eq!(ids.0, ids.2, "limit 1: second closure inline too");
+    }
+
+    #[test]
+    fn pool_limit_caps_par_iter_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> = pool.install(|| {
+            v.par_iter()
+                .map(|x| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    *x
+                })
+                .collect()
+        });
+        assert_eq!(out, v);
+        let used = seen.lock().unwrap().len();
+        assert!(used <= 2, "pool of 2 must not use {used} threads");
+    }
+
+    #[test]
+    fn pool_limit_inherits_into_nested_spawns() {
+        // The limit must survive into the *spawned* side of a join (the
+        // thread-local does not propagate by itself) and keep capping
+        // nested primitives there.
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (outer, spawned) =
+            pool.install(|| super::join(super::current_num_threads, super::current_num_threads));
+        assert_eq!(outer, 2);
+        assert_eq!(spawned, 2, "spawned join arm must inherit the installed limit");
+
+        // And a limit of 1 forces joins inline on whatever thread runs them.
+        let pool1 = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let ok = pool1.install(|| {
+            let here = std::thread::current().id();
+            let (a, b) =
+                super::join(|| std::thread::current().id(), || std::thread::current().id());
+            a == here && b == here
+        });
+        assert!(ok, "limit 1 must run both join arms inline");
+    }
+
+    #[test]
+    fn outside_a_pool_the_host_limit_applies() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
