@@ -4,10 +4,10 @@
 //! routines (inverse, condition estimate).
 
 use calu_core::{calu_factor, gepp_factor, par_calu_factor, tiled_calu_factor, CaluOpts};
-use calu_matrix::gen;
 use calu_matrix::lapack::{gecon, getrf, getri, GetrfOpts};
 use calu_matrix::norms::mat_norm_1;
 use calu_matrix::NoObs;
+use calu_matrix::{gen, Matrix};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +17,7 @@ fn bench_factor(c: &mut Criterion) {
     g.sample_size(10);
     let mut rng = StdRng::seed_from_u64(21);
     let n = 512;
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let opts = CaluOpts { block: 64, p: 4, ..Default::default() };
     g.bench_function("calu_seq_512", |bench| bench.iter(|| calu_factor(&a, opts).unwrap()));
     g.bench_function("calu_rayon_512", |bench| bench.iter(|| par_calu_factor(&a, opts).unwrap()));
@@ -34,7 +34,7 @@ fn bench_factor_consumers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(22);
     let n = 256;
     let a = gen::randn(&mut rng, n, n);
-    let anorm = mat_norm_1(a.view());
+    let anorm: f64 = mat_norm_1(a.view());
     let mut lu = a.clone();
     let mut ipiv = vec![0usize; n];
     getrf(lu.view_mut(), &mut ipiv, GetrfOpts::default(), &mut NoObs).unwrap();

@@ -61,7 +61,7 @@ fn bench_panel_kernels(c: &mut Criterion) {
     g.sample_size(10);
     let mut rng = StdRng::seed_from_u64(3);
     let (m, b) = (2048, 64);
-    let a0 = gen::randn(&mut rng, m, b);
+    let a0: Matrix = gen::randn(&mut rng, m, b);
     g.bench_function("getf2_classic_2048x64", |bench| {
         bench.iter_batched(
             || a0.clone(),

@@ -3,7 +3,7 @@
 //! versus a classic GEPP panel on tall-skinny matrices.
 
 use calu_core::tslu::{gepp_panel, tslu_factor, LocalLu};
-use calu_matrix::{gen, NoObs};
+use calu_matrix::{gen, Matrix, NoObs};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +13,7 @@ fn bench_panel(c: &mut Criterion) {
     g.sample_size(10);
     let mut rng = StdRng::seed_from_u64(11);
     for &(m, b) in &[(4096usize, 32usize), (8192, 64)] {
-        let a0 = gen::randn(&mut rng, m, b);
+        let a0: Matrix = gen::randn(&mut rng, m, b);
         g.bench_function(format!("tslu_p4_rec_{m}x{b}"), |bench| {
             bench.iter_batched(
                 || a0.clone(),

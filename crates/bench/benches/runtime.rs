@@ -3,7 +3,7 @@
 //! the old front-ends now routed through the runtime.
 
 use calu_core::{runtime_calu_factor, tiled_calu_factor, CaluOpts, RuntimeOpts};
-use calu_matrix::gen;
+use calu_matrix::{gen, Matrix};
 use calu_runtime::{ExecutorKind, LuDag, LuShape};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -26,7 +26,7 @@ fn bench_runtime_factor(c: &mut Criterion) {
     g.sample_size(10);
     let n = 512;
     let mut rng = StdRng::seed_from_u64(31);
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let opts = CaluOpts { block: 64, p: 4, ..Default::default() };
     for depth in [1usize, 2] {
         let serial =

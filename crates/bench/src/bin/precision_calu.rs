@@ -1,0 +1,177 @@
+//! Mixed-precision performance record: `f32` vs `f64` CALU factorization
+//! (both on the task-graph runtime) and the convergence of the
+//! iterative-refinement solver, written as `BENCH_precision.json` so CI
+//! and later sessions can diff it.
+//!
+//! Three records, because the container running CI may be slow, noisy, or
+//! single-core:
+//!
+//! * **measured**: wall-clock of the `f32` vs the `f64` runtime
+//!   factorization on the host, plus the end-to-end `ir_solve` time;
+//! * **modeled**: the same DAG's critical path under the POWER5 γ rates
+//!   at each precision ([`MachineConfig::for_precision`]) — the
+//!   host-independent claim;
+//! * **convergence**: the per-iteration backward-error trajectory of
+//!   `ir_solve` and whether the `f64` HPL gate passed.
+//!
+//! Usage: `precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]`
+//! (defaults: n=768, nb=96, reps=1, out=BENCH_precision.json).
+
+use calu_core::{ir_solve, runtime_calu_factor, CaluOpts, IrOpts, RuntimeOpts};
+use calu_matrix::{gen, Matrix, Scalar};
+use calu_netsim::{MachineConfig, Precision};
+use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    nb: usize,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { n: 768, nb: 96, reps: 1, out: "BENCH_precision.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}; try --help");
+                std::process::exit(2);
+            })
+        };
+        let parsed = |v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value {v:?}; try --help");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--n" => args.n = parsed(val()),
+            "--nb" => args.nb = parsed(val()),
+            "--reps" => args.reps = parsed(val()),
+            "--out" => args.out = val(),
+            "--help" | "-h" => {
+                eprintln!("usage: precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn time_factor<T: Scalar>(a: &Matrix<T>, opts: CaluOpts, rt: RuntimeOpts, reps: usize) -> f64 {
+    best_of(reps, || {
+        let t0 = Instant::now();
+        let (f, _rep) = runtime_calu_factor(a, opts, rt).expect("factorization succeeds");
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(f.ipiv.len(), a.rows().min(a.cols()));
+        dt
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let (n, nb) = (args.n, args.nb);
+    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(2025);
+    let a64: Matrix<f64> = gen::randn(&mut rng, n, n);
+    let a32: Matrix<f32> = a64.cast();
+    let b: Vec<f64> = gen::hpl_rhs(&mut rng, n);
+
+    let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
+    let rt = RuntimeOpts {
+        lookahead: 2,
+        executor: ExecutorKind::Threaded { threads: 0 },
+        parallel_panel: false,
+    };
+
+    println!("precision_calu: {n}x{n}, nb={nb}, host_threads={host_threads}, reps={}", args.reps);
+
+    // --- Measured factor times at both precisions, same DAG/schedule.
+    let t64 = time_factor(&a64, opts, rt, args.reps);
+    let t32 = time_factor(&a32, opts, rt, args.reps);
+    println!(
+        "factor f64: {:.1} ms   factor f32: {:.1} ms   speedup {:.2}x",
+        t64 * 1e3,
+        t32 * 1e3,
+        t64 / t32
+    );
+
+    // --- Modeled critical path at each precision (host-independent).
+    let shape = LuShape { m: n, n, nb };
+    let dag = LuDag::build(shape, rt.lookahead);
+    let mch = MachineConfig::power5();
+    let cp = |p: Precision| {
+        let m = mch.for_precision(p);
+        dag.critical_path(|t| modeled_time(&shape, t, &m))
+    };
+    let (cp64, cp32) = (cp(Precision::F64), cp(Precision::F32));
+    println!(
+        "modeled CP f64: {:.1} ms   f32: {:.1} ms   speedup {:.2}x (power5 rates)",
+        cp64 * 1e3,
+        cp32 * 1e3,
+        cp64 / cp32
+    );
+
+    // --- ir_solve end to end: f32 factor + f64 refinement.
+    let ir_opts = IrOpts { calu: opts, rt, max_iter: 10 };
+    let t0 = Instant::now();
+    let (_x, report) = ir_solve(&a64, &b, ir_opts).expect("well-conditioned ensemble");
+    let t_ir = t0.elapsed().as_secs_f64();
+    println!(
+        "ir_solve: {:.1} ms, {} refinement steps, converged={}, final wb={:.2e}",
+        t_ir * 1e3,
+        report.iterations,
+        report.converged,
+        report.final_backward_error()
+    );
+    for (k, s) in report.steps.iter().enumerate() {
+        println!(
+            "  step {k}: backward_error={:.3e}  hpl=[{:.2}, {:.2}, {:.2}]",
+            s.backward_error, s.hpl[0], s.hpl[1], s.hpl[2]
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"precision_calu\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"nb\": {nb},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"model\": \"power5\",");
+    let _ = writeln!(json, "  \"factor_f64_s\": {t64:.6},");
+    let _ = writeln!(json, "  \"factor_f32_s\": {t32:.6},");
+    let _ = writeln!(json, "  \"measured_f32_speedup\": {:.4},", t64 / t32);
+    let _ = writeln!(json, "  \"modeled_cp_f64_s\": {cp64:.6},");
+    let _ = writeln!(json, "  \"modeled_cp_f32_s\": {cp32:.6},");
+    let _ = writeln!(json, "  \"modeled_f32_speedup\": {:.4},", cp64 / cp32);
+    let _ = writeln!(json, "  \"ir_solve_s\": {t_ir:.6},");
+    let _ = writeln!(json, "  \"ir_iterations\": {},", report.iterations);
+    let _ = writeln!(json, "  \"ir_converged\": {},", report.converged);
+    let _ = writeln!(json, "  \"ir_steps\": [");
+    for (k, s) in report.steps.iter().enumerate() {
+        let comma = if k + 1 < report.steps.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"backward_error\": {:e}, \"hpl1\": {:.4}, \"hpl2\": {:.4}, \"hpl3\": {:.4}}}{comma}",
+            s.backward_error, s.hpl[0], s.hpl[1], s.hpl[2]
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    println!("wrote {}", args.out);
+}

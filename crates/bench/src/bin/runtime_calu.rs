@@ -11,11 +11,17 @@
 //!   POWER5 γ-rate cost model — the schedule-quality win that does not
 //!   depend on the host, and the acceptance evidence on single-core hosts.
 //!
-//! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--out PATH]`
-//! (defaults: n=1024, nb=128, reps=1, out=BENCH_runtime.json).
+//! The measured-speedup claim is only meaningful with real parallelism:
+//! when `available_parallelism` reports a single core the JSON carries
+//! `"measured_speedup_valid": false` and the summary line says so, so a
+//! committed record from a single-core CI container cannot be mistaken
+//! for a parallel-win measurement (see EXPERIMENTS.md).
+//!
+//! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]`
+//! (defaults: n=1024, nb=128, reps=1, threads=0 = host, out=BENCH_runtime.json).
 
 use calu_core::{runtime_calu_factor, CaluOpts, RuntimeOpts};
-use calu_matrix::gen;
+use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
 use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
 use rand::rngs::StdRng;
@@ -27,11 +33,12 @@ struct Args {
     n: usize,
     nb: usize,
     reps: usize,
+    threads: usize,
     out: String,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { n: 1024, nb: 128, reps: 1, out: "BENCH_runtime.json".into() };
+    let mut args = Args { n: 1024, nb: 128, reps: 1, threads: 0, out: "BENCH_runtime.json".into() };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -50,9 +57,12 @@ fn parse_args() -> Args {
             "--n" => args.n = parsed(val()),
             "--nb" => args.nb = parsed(val()),
             "--reps" => args.reps = parsed(val()),
+            "--threads" => args.threads = parsed(val()),
             "--out" => args.out = val(),
             "--help" | "-h" => {
-                eprintln!("usage: runtime_calu [--n N] [--nb NB] [--reps R] [--out PATH]");
+                eprintln!(
+                    "usage: runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -82,7 +92,7 @@ fn main() {
     let (n, nb) = (args.n, args.nb);
     let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let mut rng = StdRng::seed_from_u64(2024);
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
     let shape = LuShape { m: n, n, nb };
     let mch = MachineConfig::power5();
@@ -105,7 +115,8 @@ fn main() {
             dt
         };
         let serial_s = best_of(args.reps, || run(ExecutorKind::Serial));
-        let threaded_s = best_of(args.reps, || run(ExecutorKind::Threaded { threads: 0 }));
+        let threaded_s =
+            best_of(args.reps, || run(ExecutorKind::Threaded { threads: args.threads }));
 
         let dag = LuDag::build(shape, depth);
         let modeled_serial_s = dag.total_cost(|t| modeled_time(&shape, t, &mch));
@@ -130,16 +141,29 @@ fn main() {
         });
     }
 
+    // Threads the threaded executor actually gets: the explicit request,
+    // or the host parallelism when 0 ("use all cores").
+    let exec_threads = if args.threads == 0 { host_threads } else { args.threads };
+    let measured_valid = exec_threads > 1 && host_threads > 1;
     let best = rows
         .iter()
         .max_by(|a, b| (a.serial_s / a.threaded_s).total_cmp(&(b.serial_s / b.threaded_s)))
         .expect("rows non-empty");
-    println!(
-        "\nbest measured win: depth {} at {:.2}x; best modeled critical-path win: {:.2}x",
-        best.depth,
-        best.serial_s / best.threaded_s,
-        rows.iter().map(|r| r.modeled_serial_s / r.modeled_cp_s).fold(0.0, f64::max)
-    );
+    if measured_valid {
+        println!(
+            "\nbest measured win: depth {} at {:.2}x; best modeled critical-path win: {:.2}x",
+            best.depth,
+            best.serial_s / best.threaded_s,
+            rows.iter().map(|r| r.modeled_serial_s / r.modeled_cp_s).fold(0.0, f64::max)
+        );
+    } else {
+        println!(
+            "\nsingle-core host ({host_threads} thread): measured 'speedup' is executor \
+             overhead only, NOT a parallel win — the schedule-quality claim is the modeled \
+             critical-path win of {:.2}x",
+            rows.iter().map(|r| r.modeled_serial_s / r.modeled_cp_s).fold(0.0, f64::max)
+        );
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -147,6 +171,8 @@ fn main() {
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"nb\": {nb},");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"executor_threads\": {exec_threads},");
+    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_valid},");
     let _ = writeln!(json, "  \"reps\": {},", args.reps);
     let _ = writeln!(json, "  \"model\": \"power5\",");
     let _ = writeln!(json, "  \"rows\": [");

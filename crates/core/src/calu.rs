@@ -13,7 +13,7 @@
 use crate::tslu::{tslu_factor, LocalLu};
 use calu_matrix::blas3::{gemm, par_gemm, trsm};
 use calu_matrix::perm::apply_ipiv;
-use calu_matrix::{Diag, MatViewMut, Matrix, NoObs, PivotObserver, Result, Side, Uplo};
+use calu_matrix::{Diag, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, Uplo};
 
 /// CALU tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -39,9 +39,9 @@ impl Default for CaluOpts {
 /// Packed LU factors with their pivot sequence, as produced by
 /// [`calu_factor`] or the baselines.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LuFactors {
+pub struct LuFactors<T = f64> {
     /// Packed `L\U` (unit lower implicit).
-    pub lu: Matrix,
+    pub lu: Matrix<T>,
     /// LAPACK-style global swap sequence.
     pub ipiv: Vec<usize>,
 }
@@ -58,7 +58,7 @@ pub struct LuFactors {
 /// let f = calu_factor(&a, CaluOpts { block: 32, p: 4, ..Default::default() }).unwrap();
 ///
 /// // Solve A x = b and check the residual.
-/// let x_true = vec![1.0; 128];
+/// let x_true = vec![1.0_f64; 128];
 /// let b = gen::rhs_for_solution(&a, &x_true);
 /// let x = f.solve(&b);
 /// assert!(x.iter().zip(&x_true).all(|(a, b)| (a - b).abs() < 1e-8));
@@ -66,7 +66,7 @@ pub struct LuFactors {
 ///
 /// # Errors
 /// Singular pivot (exact zero) — see [`calu_inplace`].
-pub fn calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
+pub fn calu_factor<T: Scalar>(a: &Matrix<T>, opts: CaluOpts) -> Result<LuFactors<T>> {
     let mut lu = a.clone();
     let ipiv = calu_inplace(lu.view_mut(), opts, &mut NoObs)?;
     Ok(LuFactors { lu, ipiv })
@@ -78,8 +78,8 @@ pub fn calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
 ///
 /// # Errors
 /// [`calu_matrix::Error::SingularPivot`] with the absolute elimination step.
-pub fn calu_inplace<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
+pub fn calu_inplace<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
     opts: CaluOpts,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
@@ -127,13 +127,13 @@ pub fn calu_inplace<O: PivotObserver>(
             let right = right.into_submatrix(k, 0, m - k, n - k - jb);
             let (mut u12, mut a22) = right.split_at_row_mut(jb);
             let l11 = left.submatrix(k, k, jb, jb);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
+            trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12.rb_mut());
             if k + jb < m {
                 let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
                 if opts.parallel_update {
-                    par_gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
+                    par_gemm(-T::ONE, l21, u12.as_view(), T::ONE, a22.rb_mut());
                 } else {
-                    gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
+                    gemm(-T::ONE, l21, u12.as_view(), T::ONE, a22.rb_mut());
                 }
                 obs.on_stage(&a22.as_view());
             }
@@ -186,7 +186,7 @@ mod tests {
         // With a one-way tournament every panel's pivots are partial
         // pivoting's, so CALU == GETRF bit for bit.
         let mut rng = StdRng::seed_from_u64(92);
-        let a0 = gen::randn(&mut rng, 72, 72);
+        let a0: Matrix = gen::randn(&mut rng, 72, 72);
         let f = calu_factor(
             &a0,
             CaluOpts { block: 12, p: 1, local: LocalLu::Classic, parallel_update: false },
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn parallel_update_bitwise_matches_serial() {
         let mut rng = StdRng::seed_from_u64(95);
-        let a0 = gen::randn(&mut rng, 150, 150);
+        let a0: Matrix = gen::randn(&mut rng, 150, 150);
         let f1 = calu_factor(
             &a0,
             CaluOpts { block: 32, p: 4, parallel_update: false, ..Default::default() },
@@ -271,7 +271,7 @@ mod tests {
         for &(m, n, b, p) in
             &[(48usize, 48usize, 8usize, 4usize), (64, 32, 8, 8), (40, 56, 16, 2), (33, 33, 5, 3)]
         {
-            let a0 = gen::randn(&mut rng, m, n);
+            let a0: Matrix = gen::randn(&mut rng, m, n);
             let f = calu_factor(&a0, CaluOpts { block: b, p, ..Default::default() }).unwrap();
             assert_eq!(f.ipiv.len(), m.min(n));
             for (i, &pv) in f.ipiv.iter().enumerate() {

@@ -25,7 +25,8 @@ use calu_matrix::blas2::ger;
 use calu_matrix::blas3::{gemm, trsm};
 use calu_matrix::lapack::lu_nopiv;
 use calu_matrix::perm::ipiv_to_perm;
-use calu_matrix::{Diag, Matrix, NoObs, Side, Uplo};
+use calu_matrix::scalar::cast_slice;
+use calu_matrix::{Diag, Matrix, NoObs, Scalar, Side, Uplo};
 use calu_netsim::collectives::ceil_log2;
 use calu_netsim::grid::{global_to_local, numroc};
 use calu_netsim::machine::{flops_gemm, flops_ger, flops_getf2, flops_trsm_left, flops_trsm_right};
@@ -62,9 +63,9 @@ pub struct DistPdgetrfConfig {
 /// Packed factors produced by a real-data distributed factorization,
 /// assembled from the block-cyclic pieces.
 #[derive(Debug, Clone)]
-pub struct DistFactors {
+pub struct DistFactors<T = f64> {
     /// Packed `L\U` (unit lower implicit), assembled to one matrix.
-    pub lu: Matrix,
+    pub lu: Matrix<T>,
     /// LAPACK-style global swap sequence (absolute row indices).
     pub ipiv: Vec<usize>,
     /// LAPACK `INFO`-style singularity report: `Some(step)` records the
@@ -77,9 +78,9 @@ pub struct DistFactors {
 
 /// Result of a real-data distributed panel factorization.
 #[derive(Debug, Clone)]
-pub struct DistPanel {
+pub struct DistPanel<T = f64> {
     /// The factored panel (packed `L\U`), assembled at rank 0.
-    pub panel: Matrix,
+    pub panel: Matrix<T>,
     /// LAPACK-style swap sequence, local to the panel.
     pub ipiv: Vec<usize>,
     /// Pivot row indices in pivot order (original panel rows).
@@ -182,12 +183,12 @@ fn charge_combine(cm: &mut SimComm, b: usize) {
 /// The elected pivots are identical to the sequential tournament's — the
 /// butterfly's combination tree is the one [`crate::tournament::tournament`]
 /// replicates — which the tests assert.
-pub fn sim_tslu_panel(
-    a: &Matrix,
+pub fn sim_tslu_panel<T: Scalar>(
+    a: &Matrix<T>,
     p: usize,
     local: LocalLu,
     mch: MachineConfig,
-) -> (SimReport, DistPanel) {
+) -> (SimReport, DistPanel<T>) {
     let (m, b) = (a.rows(), a.cols());
     let kn = m.min(b);
     let parts = partition_rows(m, p);
@@ -209,12 +210,12 @@ pub fn sim_tslu_panel(
         // Phase 1b: butterfly all-reduce — TSLU's communication pattern.
         let words = cand_words(b);
         let win_pl = group.allreduce(cm, Payload::Data(cand.to_payload()), words, |cm, lo, hi| {
-            let lo = Candidates::from_payload(&lo.into_data());
-            let hi = Candidates::from_payload(&hi.into_data());
+            let lo: Candidates<T> = Candidates::from_payload(&lo.into_data());
+            let hi: Candidates<T> = Candidates::from_payload(&hi.into_data());
             charge_combine(cm, b);
             Payload::Data(reduce_pair(&lo, &hi).to_payload())
         });
-        let winners = Candidates::from_payload(&win_pl.into_data());
+        let winners: Candidates<T> = Candidates::from_payload(&win_pl.into_data());
 
         // Phase 2: redundant factorization of the winner block W = L11 U11.
         // An exactly singular panel is reported LAPACK-INFO-style (the
@@ -234,7 +235,7 @@ pub fn sim_tslu_panel(
         cm.compute(mach.t_trsm_right(rows, kn), flops_trsm_right(rows, kn));
         if !mine.is_empty() {
             let u11 = w.view().submatrix(0, 0, kn, kn);
-            trsm(Side::Right, Uplo::Upper, Diag::NonUnit, 1.0, u11, lblk.view_mut());
+            trsm(Side::Right, Uplo::Upper, Diag::NonUnit, T::ONE, u11, lblk.view_mut());
         }
 
         // Gather the L blocks (with their original row ids) to rank 0.
@@ -251,7 +252,7 @@ pub fn sim_tslu_panel(
             }
             // Map original row -> (gathered block, row) and fill the
             // below-diagonal positions with each original row's L values.
-            let blocks: Vec<Candidates> =
+            let blocks: Vec<Candidates<T>> =
                 items.into_iter().map(|pl| Candidates::from_payload(&pl.into_data())).collect();
             let mut by_orig: Vec<Option<(usize, usize)>> = vec![None; m];
             for (bi, blk) in blocks.iter().enumerate() {
@@ -282,7 +283,11 @@ pub fn sim_tslu_panel(
 /// Every arithmetic operation is elementwise identical to the sequential
 /// [`calu_matrix::lapack::getf2`], so the factors match **bitwise** —
 /// asserted by the tests.
-pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport, DistPanel) {
+pub fn sim_pdgetf2_panel<T: Scalar>(
+    a: &Matrix<T>,
+    p: usize,
+    mch: MachineConfig,
+) -> (SimReport, DistPanel<T>) {
     let (m, b) = (a.rows(), a.cols());
     let kn = m.min(b);
     let parts = partition_rows(m, p);
@@ -305,7 +310,7 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
             let lo = range.start.max(j);
             let active = range.end.saturating_sub(lo);
             cm.compute(active as f64 * mach.gamma1, 0.0);
-            let (mut best, mut best_g, mut best_v) = (f64::NEG_INFINITY, usize::MAX, 0.0);
+            let (mut best, mut best_g, mut best_v) = (T::NEG_INFINITY, usize::MAX, T::ZERO);
             for g in lo..range.end {
                 let v = local[(g - range.start, j)];
                 if v.abs() > best {
@@ -314,11 +319,12 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
                     best_v = v;
                 }
             }
-            // Candidate payload: [abs, index, value, trailing row j+1..b].
-            let mut pl = vec![best, best_g as f64, best_v];
+            // Candidate payload: [abs, index, value, trailing row j+1..b]
+            // as f64 words (exact for f32 values — see Candidates).
+            let mut pl = vec![best.to_f64(), best_g as f64, best_v.to_f64()];
             if best_g != usize::MAX {
                 let li = best_g - range.start;
-                pl.extend((j + 1..b).map(|jj| local[(li, jj)]));
+                pl.extend((j + 1..b).map(|jj| local[(li, jj)].to_f64()));
             } else {
                 pl.extend(std::iter::repeat_n(0.0, b - j - 1));
             }
@@ -335,9 +341,10 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
                 }
             });
             let win = group.bcast(cm, 0, red.unwrap_or(Payload::Empty), words).into_data();
-            let (piv_abs, piv_g, piv_v) = (win[0], win[1] as usize, win[2]);
+            let (piv_abs, piv_g, piv_v) =
+                (T::from_f64(win[0]), win[1] as usize, T::from_f64(win[2]));
             ipiv[j] = piv_g;
-            let eliminate = piv_abs != 0.0 && piv_abs.is_finite();
+            let eliminate = piv_abs != T::ZERO && piv_abs.is_finite();
             if !eliminate {
                 // DGETF2's INFO path: record the first zero pivot, skip
                 // the (vacuous) elimination, and keep going.
@@ -353,19 +360,20 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
                             local.view_mut().swap_rows(j - range.start, piv_g - range.start);
                         }
                     } else if r == o1 {
-                        let row: Vec<f64> = (0..b).map(|jj| local[(j - range.start, jj)]).collect();
+                        let row: Vec<f64> =
+                            (0..b).map(|jj| local[(j - range.start, jj)].to_f64()).collect();
                         let (got, _w) = cm.sendrecv(o2, tag, b, Payload::Data(row), Link::Col);
                         let got = got.into_data();
                         for (jj, v) in got.into_iter().enumerate() {
-                            local[(j - range.start, jj)] = v;
+                            local[(j - range.start, jj)] = T::from_f64(v);
                         }
                     } else if r == o2 {
                         let li = piv_g - range.start;
-                        let row: Vec<f64> = (0..b).map(|jj| local[(li, jj)]).collect();
+                        let row: Vec<f64> = (0..b).map(|jj| local[(li, jj)].to_f64()).collect();
                         let (got, _w) = cm.sendrecv(o1, tag, b, Payload::Data(row), Link::Col);
                         let got = got.into_data();
                         for (jj, v) in got.into_iter().enumerate() {
-                            local[(li, jj)] = v;
+                            local[(li, jj)] = T::from_f64(v);
                         }
                     }
                 }
@@ -373,18 +381,18 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
                 let lo1 = range.start.max(j + 1);
                 let below = range.end.saturating_sub(lo1);
                 if below > 0 {
-                    let inv = 1.0 / piv_v;
+                    let inv = piv_v.recip();
                     let l0 = lo1 - range.start;
                     cm.compute(mach.gamma_div + below as f64 * mach.gamma1, below as f64);
                     scal(inv, &mut local.col_mut(j)[l0..]);
                     if j + 1 < b {
                         cm.compute(mach.t_ger(below, b - j - 1), flops_ger(below, b - j - 1));
-                        let urow = &win[3..3 + (b - j - 1)];
+                        let urow: Vec<T> = cast_slice(&win[3..3 + (b - j - 1)]);
                         let mut v = local.view_mut();
                         let (left, mut right) = v.rb_mut().split_at_col_mut(j + 1);
                         let l_col = &left.col(j)[l0..];
                         let trailing = right.submatrix_mut(l0, 0, below, b - j - 1);
-                        ger(-1.0, l_col, urow, trailing);
+                        ger(-T::ONE, l_col, &urow, trailing);
                     }
                 }
             }
@@ -417,18 +425,18 @@ pub fn sim_pdgetf2_panel(a: &Matrix, p: usize, mch: MachineConfig) -> (SimReport
 // ---------------------------------------------------------------------------
 
 /// Per-rank state for the 2D real-data sweeps.
-struct Rank2d {
+struct Rank2d<T> {
     prow: usize,
     pcol: usize,
     pr: usize,
     pc: usize,
     b: usize,
     /// Local block-cyclic storage (owned rows x owned cols).
-    local: Matrix,
+    local: Matrix<T>,
 }
 
-impl Rank2d {
-    fn new(a: &Matrix, b: usize, pr: usize, pc: usize, rank: usize) -> Self {
+impl<T: Scalar> Rank2d<T> {
+    fn new(a: &Matrix<T>, b: usize, pr: usize, pc: usize, rank: usize) -> Self {
         let grid = Grid::new(pr, pc);
         let (prow, pcol) = grid.coords(rank);
         let (m, n) = (a.rows(), a.cols());
@@ -501,10 +509,10 @@ impl Rank2d {
         }
         let peer = grid.rank_of(peer_prow, self.pcol);
         let li = global_to_local(my_g, self.b, self.pr).1;
-        let row: Vec<f64> = (c0..c1).map(|lj| self.local[(li, lj)]).collect();
+        let row: Vec<f64> = (c0..c1).map(|lj| self.local[(li, lj)].to_f64()).collect();
         let (got, _w) = cm.sendrecv(peer, tag, width, Payload::Data(row), Link::Col);
         for (o, v) in got.into_data().into_iter().enumerate() {
-            self.local[(li, c0 + o)] = v;
+            self.local[(li, c0 + o)] = T::from_f64(v);
         }
     }
 
@@ -536,14 +544,15 @@ impl Rank2d {
             let pl0 = self.lcol_at(k);
             let mut v = Vec::with_capacity(panel_words);
             for lj in pl0..pl0 + jb.min(self.local.cols() - pl0) {
-                v.extend_from_slice(&self.local.col(lj)[lr_k..]);
+                v.extend(self.local.col(lj)[lr_k..].iter().map(|&x| x.to_f64()));
             }
             Payload::Data(v)
         } else {
             Payload::Empty
         };
         let panel_pl = rowg.bcast(cm, cpcol, mine, panel_words);
-        let panel_l = Matrix::from_col_major(lr_panel, jb, panel_pl.into_data());
+        let panel_l: Matrix<T> =
+            Matrix::from_col_major(lr_panel, jb, cast_slice(&panel_pl.into_data()));
 
         if lc_right == 0 {
             return;
@@ -555,7 +564,7 @@ impl Rank2d {
             cm.compute(mach.t_trsm_left(jb, lc_right), flops_trsm_left(jb, lc_right));
             let l11 = panel_l.view().submatrix(0, 0, jb, jb);
             let u12 = self.local.view_mut().into_submatrix(diag_l0, lc_right0, jb, lc_right);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12);
+            trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12);
         }
 
         // Broadcast U12 down process columns.
@@ -563,14 +572,17 @@ impl Rank2d {
         let mine = if self.prow == cprow {
             let mut v = Vec::with_capacity(u_words);
             for lj in lc_right0..self.local.cols() {
-                v.extend_from_slice(&self.local.col(lj)[diag_l0..diag_l0 + jb]);
+                v.extend(self.local.col(lj)[diag_l0..diag_l0 + jb].iter().map(|&x| x.to_f64()));
             }
             Payload::Data(v)
         } else {
             Payload::Empty
         };
-        let u12 =
-            Matrix::from_col_major(jb, lc_right, colg.bcast(cm, cprow, mine, u_words).into_data());
+        let u12: Matrix<T> = Matrix::from_col_major(
+            jb,
+            lc_right,
+            cast_slice(&colg.bcast(cm, cprow, mine, u_words).into_data()),
+        );
 
         // Local trailing gemm: rows with global >= k + jb.
         let lr_b0 = self.lrow_at(k + jb);
@@ -579,7 +591,7 @@ impl Rank2d {
             cm.compute(mach.t_gemm(lr_below, lc_right, jb), flops_gemm(lr_below, lc_right, jb));
             let l21 = panel_l.view().submatrix(lr_b0 - lr_k, 0, lr_below, jb);
             let a22 = self.local.view_mut().into_submatrix(lr_b0, lc_right0, lr_below, lc_right);
-            gemm(-1.0, l21, u12.view(), 1.0, a22);
+            gemm(-T::ONE, l21, u12.view(), T::ONE, a22);
         }
     }
 }
@@ -587,23 +599,30 @@ impl Rank2d {
 /// Assembles per-rank results into [`DistFactors`]. The singularity
 /// report is the minimum over ranks: only the panel-owning process column
 /// observes a given panel's zero pivot, so rank 0 alone is not enough.
-fn assemble_factors(
+fn assemble_factors<T: Scalar>(
     m: usize,
     n: usize,
     b: usize,
     pr: usize,
     pc: usize,
-    results: Vec<(Matrix, Vec<usize>, Option<usize>)>,
-) -> DistFactors {
+    results: Vec<(Matrix<T>, Vec<usize>, Option<usize>)>,
+) -> DistFactors<T> {
     let first_singular = results.iter().filter_map(|r| r.2).min();
     let ipiv = results[0].1.clone();
-    let mats: Vec<Matrix> = results.into_iter().map(|r| r.0).collect();
+    let mats: Vec<Matrix<T>> = results.into_iter().map(|r| r.0).collect();
     let lu = assemble_2d(m, n, b, pr, pc, &mats);
     DistFactors { lu, ipiv, first_singular }
 }
 
 /// Assembles per-rank block-cyclic pieces into one global matrix.
-fn assemble_2d(m: usize, n: usize, b: usize, pr: usize, pc: usize, parts: &[Matrix]) -> Matrix {
+fn assemble_2d<T: Scalar>(
+    m: usize,
+    n: usize,
+    b: usize,
+    pr: usize,
+    pc: usize,
+    parts: &[Matrix<T>],
+) -> Matrix<T> {
     let grid = Grid::new(pr, pc);
     Matrix::from_fn(m, n, |i, j| {
         let (orow, li) = global_to_local(i, b, pr);
@@ -622,11 +641,11 @@ fn assemble_2d(m: usize, n: usize, b: usize, pr: usize, pc: usize, parts: &[Matr
 /// With `pr == 1` the elected pivots equal sequential CALU's with `p == 1`
 /// (both are one local election over the whole panel) — asserted in the
 /// integration tests.
-pub fn dist_calu_factor(
-    a: &Matrix,
+pub fn dist_calu_factor<T: Scalar>(
+    a: &Matrix<T>,
     cfg: DistCaluConfig,
     mch: MachineConfig,
-) -> (SimReport, DistFactors) {
+) -> (SimReport, DistFactors<T>) {
     let (m, n) = (a.rows(), a.cols());
     let kn = m.min(n);
     let DistCaluConfig { b, pr, pc, local } = cfg;
@@ -665,12 +684,12 @@ pub fn dist_calu_factor(
                 let words = cand_words(jb);
                 let win_pl =
                     colg.allreduce(cm, Payload::Data(cand.to_payload()), words, |cm, lo, hi| {
-                        let lo = Candidates::from_payload(&lo.into_data());
-                        let hi = Candidates::from_payload(&hi.into_data());
+                        let lo: Candidates<T> = Candidates::from_payload(&lo.into_data());
+                        let hi: Candidates<T> = Candidates::from_payload(&hi.into_data());
                         charge_combine(cm, jb);
                         Payload::Data(reduce_pair(&lo, &hi).to_payload())
                     });
-                let winners = Candidates::from_payload(&win_pl.into_data());
+                let winners: Candidates<T> = Candidates::from_payload(&win_pl.into_data());
                 let li = winners_to_ipiv(&winners.rows, m - k);
                 // Share the swap list with the other process columns.
                 let pl: Vec<f64> = li.iter().map(|&x| x as f64).collect();
@@ -708,16 +727,16 @@ pub fn dist_calu_factor(
                     let d0 = st.lrow_at(k);
                     let mut v = Vec::with_capacity(w_words);
                     for lj in pl0..pl0 + jb {
-                        v.extend_from_slice(&st.local.col(lj)[d0..d0 + jb]);
+                        v.extend(st.local.col(lj)[d0..d0 + jb].iter().map(|&x| x.to_f64()));
                     }
                     Payload::Data(v)
                 } else {
                     Payload::Empty
                 };
-                let mut w = Matrix::from_col_major(
+                let mut w: Matrix<T> = Matrix::from_col_major(
                     jb,
                     jb,
-                    colg.bcast(cm, cprow, mine, w_words).into_data(),
+                    cast_slice(&colg.bcast(cm, cprow, mine, w_words).into_data()),
                 );
                 cm.compute(mach.t_getf2(jb, jb), flops_getf2(jb, jb));
                 // A genuinely singular panel is recorded INFO-style (the
@@ -742,7 +761,7 @@ pub fn dist_calu_factor(
                 if lr_below > 0 {
                     let u11 = w.view().submatrix(0, 0, jb, jb);
                     let l21 = st.local.view_mut().into_submatrix(lb0, pl0, lr_below, jb);
-                    trsm(Side::Right, Uplo::Upper, Diag::NonUnit, 1.0, u11, l21);
+                    trsm(Side::Right, Uplo::Upper, Diag::NonUnit, T::ONE, u11, l21);
                 }
             }
 
@@ -766,11 +785,11 @@ pub fn dist_calu_factor(
 ///
 /// Bitwise identical to the sequential blocked
 /// [`calu_matrix::lapack::getrf`] — asserted by the property tests.
-pub fn dist_pdgetrf_factor(
-    a: &Matrix,
+pub fn dist_pdgetrf_factor<T: Scalar>(
+    a: &Matrix<T>,
     cfg: DistPdgetrfConfig,
     mch: MachineConfig,
-) -> (SimReport, DistFactors) {
+) -> (SimReport, DistFactors<T>) {
     let (m, n) = (a.rows(), a.cols());
     let kn = m.min(n);
     let DistPdgetrfConfig { b, pr, pc } = cfg;
@@ -803,7 +822,7 @@ pub fn dist_pdgetrf_factor(
                     let r0 = st.lrow_at(gc);
                     let active = st.local.rows() - r0;
                     cm.compute(active as f64 * mach.gamma1, 0.0);
-                    let (mut best, mut best_g, mut best_v) = (f64::NEG_INFINITY, usize::MAX, 0.0);
+                    let (mut best, mut best_g, mut best_v) = (T::NEG_INFINITY, usize::MAX, T::ZERO);
                     for li in r0..st.local.rows() {
                         let v = st.local[(li, pl0 + jj)];
                         if v.abs() > best {
@@ -812,10 +831,10 @@ pub fn dist_pdgetrf_factor(
                             best_v = v;
                         }
                     }
-                    let mut pl = vec![best, best_g as f64, best_v];
+                    let mut pl = vec![best.to_f64(), best_g as f64, best_v.to_f64()];
                     if best_g != usize::MAX && jj + 1 < jb {
                         let li = global_to_local(best_g, b, pr).1;
-                        pl.extend((jj + 1..jb).map(|c| st.local[(li, pl0 + c)]));
+                        pl.extend((jj + 1..jb).map(|c| st.local[(li, pl0 + c)].to_f64()));
                     } else {
                         pl.extend(std::iter::repeat_n(0.0, jb - jj - 1));
                     }
@@ -836,9 +855,10 @@ pub fn dist_pdgetrf_factor(
                         }
                     });
                     let win = colg.bcast(cm, 0, red.unwrap_or(Payload::Empty), words).into_data();
-                    let (piv_abs, piv_g, piv_v) = (win[0], win[1] as usize, win[2]);
+                    let (piv_abs, piv_g, piv_v) =
+                        (T::from_f64(win[0]), win[1] as usize, T::from_f64(win[2]));
                     li_piv[jj] = piv_g - k;
-                    let eliminate = piv_abs != 0.0 && piv_abs.is_finite();
+                    let eliminate = piv_abs != T::ZERO && piv_abs.is_finite();
                     if !eliminate {
                         // DGETF2's INFO path: first zero pivot recorded,
                         // elimination skipped, sweep continues.
@@ -854,7 +874,7 @@ pub fn dist_pdgetrf_factor(
                         let r1 = st.lrow_at(gc + 1);
                         let below = st.local.rows() - r1;
                         if below > 0 {
-                            let inv = 1.0 / piv_v;
+                            let inv = piv_v.recip();
                             cm.compute(mach.gamma_div + below as f64 * mach.gamma1, below as f64);
                             scal(inv, &mut st.local.col_mut(pl0 + jj)[r1..]);
                             if jj + 1 < jb {
@@ -862,12 +882,12 @@ pub fn dist_pdgetrf_factor(
                                     mach.t_ger(below, jb - jj - 1),
                                     flops_ger(below, jb - jj - 1),
                                 );
-                                let urow: Vec<f64> = win[3..3 + (jb - jj - 1)].to_vec();
+                                let urow: Vec<T> = cast_slice(&win[3..3 + (jb - jj - 1)]);
                                 let mut v = st.local.view_mut();
                                 let (left, mut right) = v.rb_mut().split_at_col_mut(pl0 + jj + 1);
                                 let l_col = &left.col(pl0 + jj)[r1..];
                                 let trailing = right.submatrix_mut(r1, 0, below, jb - jj - 1);
-                                ger(-1.0, l_col, &urow, trailing);
+                                ger(-T::ONE, l_col, &urow, trailing);
                             }
                         }
                     }
@@ -1201,7 +1221,7 @@ mod tests {
     #[test]
     fn tslu_panel_matches_sequential_pivots() {
         let mut rng = StdRng::seed_from_u64(301);
-        let a = gen::randn(&mut rng, 96, 8);
+        let a: Matrix = gen::randn(&mut rng, 96, 8);
         for p in [1usize, 2, 4, 8] {
             let seq = tslu_pivots(a.view(), p, LocalLu::Classic);
             let (_rep, d) = sim_tslu_panel(&a, p, LocalLu::Classic, MachineConfig::ideal());
@@ -1227,7 +1247,7 @@ mod tests {
     #[test]
     fn pdgetf2_panel_is_bitwise_partial_pivoting() {
         let mut rng = StdRng::seed_from_u64(303);
-        let a = gen::randn(&mut rng, 48, 8);
+        let a: Matrix = gen::randn(&mut rng, 48, 8);
         for p in [1usize, 2, 3, 5] {
             let (_rep, d) = sim_pdgetf2_panel(&a, p, MachineConfig::ideal());
             let mut seq = a.clone();
@@ -1241,7 +1261,7 @@ mod tests {
     #[test]
     fn dist_pdgetrf_is_bitwise_sequential_getrf() {
         let mut rng = StdRng::seed_from_u64(304);
-        let a = gen::randn(&mut rng, 40, 40);
+        let a: Matrix = gen::randn(&mut rng, 40, 40);
         for &(pr, pc) in &[(1usize, 1usize), (2, 2), (2, 1), (1, 3), (3, 2)] {
             let (_rep, d) =
                 dist_pdgetrf_factor(&a, DistPdgetrfConfig { b: 8, pr, pc }, MachineConfig::ideal());
@@ -1283,7 +1303,7 @@ mod tests {
     #[test]
     fn dist_calu_pr1_matches_sequential_p1() {
         let mut rng = StdRng::seed_from_u64(306);
-        let a = gen::randn(&mut rng, 32, 32);
+        let a: Matrix = gen::randn(&mut rng, 32, 32);
         let (_rep, d) = dist_calu_factor(
             &a,
             DistCaluConfig { b: 8, pr: 1, pc: 2, local: LocalLu::Classic },
@@ -1354,7 +1374,7 @@ mod tests {
         assert!(d.first_singular.is_some());
 
         // And nonsingular inputs report None.
-        let good = gen::randn(&mut rng, n, n);
+        let good: Matrix = gen::randn(&mut rng, n, n);
         let (_rep, d) = dist_pdgetrf_factor(
             &good,
             DistPdgetrfConfig { b: 4, pr: 2, pc: 2 },

@@ -4,13 +4,13 @@
 
 use crate::calu::LuFactors;
 use calu_matrix::lapack::{getrf, GetrfOpts, PanelAlg};
-use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar};
 
 /// Factors a copy of `a` with blocked GEPP.
 ///
 /// # Errors
 /// Singular pivot.
-pub fn gepp_factor(a: &Matrix, block: usize) -> Result<LuFactors> {
+pub fn gepp_factor<T: Scalar>(a: &Matrix<T>, block: usize) -> Result<LuFactors<T>> {
     let mut lu = a.clone();
     let ipiv = gepp_inplace(lu.view_mut(), block, &mut NoObs)?;
     Ok(LuFactors { lu, ipiv })
@@ -20,8 +20,8 @@ pub fn gepp_factor(a: &Matrix, block: usize) -> Result<LuFactors> {
 ///
 /// # Errors
 /// Singular pivot.
-pub fn gepp_inplace<O: PivotObserver>(
-    a: MatViewMut<'_>,
+pub fn gepp_inplace<T: Scalar, O: PivotObserver<T>>(
+    a: MatViewMut<'_, T>,
     block: usize,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
@@ -59,7 +59,7 @@ mod tests {
         // Blocked GEPP is a reorganization of unblocked GEPP: any block
         // size gives the same pivots and (numerically) the same factors.
         let mut rng = StdRng::seed_from_u64(102);
-        let a0 = gen::randn(&mut rng, 60, 60);
+        let a0: Matrix = gen::randn(&mut rng, 60, 60);
         let f1 = gepp_factor(&a0, 1).unwrap();
         let f8 = gepp_factor(&a0, 8).unwrap();
         let f60 = gepp_factor(&a0, 60).unwrap();

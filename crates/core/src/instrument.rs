@@ -2,7 +2,7 @@
 //! Section 6.1 (Figure 2, Tables 1-2), collected through the
 //! [`PivotObserver`] hooks of the factorization kernels.
 
-use calu_matrix::{MatView, PivotObserver};
+use calu_matrix::{MatView, PivotObserver, Scalar};
 
 /// Collects growth, threshold, and multiplier statistics during a
 /// factorization.
@@ -60,20 +60,24 @@ impl PivotStats {
     }
 }
 
-impl PivotObserver for PivotStats {
-    fn on_pivot(&mut self, _step: usize, pivot: f64, col_max: f64) {
-        if col_max > 0.0 {
-            self.thresholds.push(pivot / col_max);
+/// `PivotStats` observes factorizations at *any* precision: event values
+/// are widened to `f64` on arrival (exact for `f32`), so one stats type
+/// serves the whole mixed-precision stack and cross-precision growth
+/// comparisons read apples-to-apples.
+impl<T: Scalar> PivotObserver<T> for PivotStats {
+    fn on_pivot(&mut self, _step: usize, pivot: T, col_max: T) {
+        if col_max > T::ZERO {
+            self.thresholds.push(pivot.to_f64() / col_max.to_f64());
         }
-        self.max_elem = self.max_elem.max(pivot);
+        self.max_elem = self.max_elem.max(pivot.to_f64());
     }
 
-    fn on_stage(&mut self, changed: &MatView<'_>) {
-        self.max_elem = self.max_elem.max(changed.max_abs());
+    fn on_stage(&mut self, changed: &MatView<'_, T>) {
+        self.max_elem = self.max_elem.max(changed.max_abs().to_f64());
     }
 
-    fn on_multipliers(&mut self, col_below_diag: &[f64]) {
-        self.max_l = self.max_l.max(calu_matrix::blas1::amax(col_below_diag));
+    fn on_multipliers(&mut self, col_below_diag: &[T]) {
+        self.max_l = self.max_l.max(calu_matrix::blas1::amax(col_below_diag).to_f64());
     }
 }
 

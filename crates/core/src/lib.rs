@@ -3,7 +3,7 @@
 //! The paper's primary contribution, in three execution flavors sharing one
 //! set of numerics:
 //!
-//! * **Sequential reference** ([`calu`], [`tslu`], [`tournament`]) — defines
+//! * **Sequential reference** ([`calu`], [`tslu`], [`mod@tournament`]) — defines
 //!   the algorithm: per panel, each of `p` block-rows elects `b` candidate
 //!   pivot rows by GEPP, a binary tournament elects the `b` winners, the
 //!   winners are swapped on top and the panel is factored *without*
@@ -23,6 +23,11 @@
 //! [`instrument::PivotStats`] plugs into any of them to collect the growth
 //! factor, pivot thresholds, and `|L|` bounds of the stability study
 //! (Section 6.1).
+//!
+//! Every flavor is generic over [`calu_matrix::Scalar`] (`f32`/`f64`,
+//! default `f64`), and [`solve::ir_solve`] combines the two: CALU-factor
+//! in `f32` on the task-graph runtime, then iteratively refine residuals
+//! in `f64` until the HPL accuracy gate passes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -43,7 +48,7 @@ pub use gepp::{gepp_factor, gepp_inplace};
 pub use instrument::PivotStats;
 pub use par::{par_calu_factor, par_calu_inplace};
 pub use rt::{runtime_calu_factor, runtime_calu_inplace, RuntimeOpts};
-pub use solve::RefineInfo;
+pub use solve::{ir_solve, IrOpts, IrReport, IrStep, RefineInfo};
 pub use tiled::{tiled_calu_factor, tiled_calu_inplace};
 pub use tournament::{reduce_pair, tournament, tournament_flat, Candidates};
 pub use tslu::{tslu_factor, tslu_pivots, LocalLu, TsluResult};

@@ -12,7 +12,7 @@
 
 use crate::calu::{CaluOpts, LuFactors};
 use crate::rt::{runtime_calu_inplace, RuntimeOpts};
-use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar};
 use calu_runtime::ExecutorKind;
 
 /// Factors a copy of `a` with CALU using the threaded runtime for the
@@ -20,7 +20,7 @@ use calu_runtime::ExecutorKind;
 ///
 /// # Errors
 /// Singular pivot.
-pub fn par_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
+pub fn par_calu_factor<T: Scalar>(a: &Matrix<T>, opts: CaluOpts) -> Result<LuFactors<T>> {
     let mut lu = a.clone();
     let ipiv = par_calu_inplace(lu.view_mut(), opts, &mut NoObs)?;
     Ok(LuFactors { lu, ipiv })
@@ -30,8 +30,8 @@ pub fn par_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
 ///
 /// # Errors
 /// Singular pivot.
-pub fn par_calu_inplace<O: PivotObserver + Send>(
-    a: MatViewMut<'_>,
+pub fn par_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
+    a: MatViewMut<'_, T>,
     opts: CaluOpts,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
@@ -57,7 +57,7 @@ mod tests {
     fn parallel_calu_matches_sequential_bitwise() {
         let mut rng = StdRng::seed_from_u64(121);
         for &(n, b, p) in &[(96, 16, 4), (130, 32, 8), (64, 64, 4)] {
-            let a0 = gen::randn(&mut rng, n, n);
+            let a0: Matrix = gen::randn(&mut rng, n, n);
             let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
             let seq = calu_factor(&a0, opts).unwrap();
             let par = par_calu_factor(&a0, opts).unwrap();

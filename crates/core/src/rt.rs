@@ -32,7 +32,9 @@
 
 use calu_matrix::blas3::{gemm, trsm};
 use calu_matrix::perm::apply_ipiv;
-use calu_matrix::{Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Side, Uplo};
+use calu_matrix::{
+    Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, Uplo,
+};
 use calu_runtime::{ExecReport, ExecutorKind, LuDag, LuShape, Task, TaskRunner};
 use std::sync::Mutex;
 
@@ -68,18 +70,18 @@ impl Default for RuntimeOpts {
 /// disjoint views out of it; the DAG's edges are the proof of
 /// disjointness among concurrently running tasks (every overlapping pair
 /// is ordered), which is exactly the invariant `MatViewMut` requires.
-struct SharedMat {
-    ptr: *mut f64,
+struct SharedMat<T> {
+    ptr: *mut T,
     rows: usize,
     cols: usize,
     ld: usize,
 }
 
-unsafe impl Send for SharedMat {}
-unsafe impl Sync for SharedMat {}
+unsafe impl<T: Send> Send for SharedMat<T> {}
+unsafe impl<T: Sync> Sync for SharedMat<T> {}
 
-impl SharedMat {
-    fn new(a: &mut MatViewMut<'_>) -> Self {
+impl<T: Scalar> SharedMat<T> {
+    fn new(a: &mut MatViewMut<'_, T>) -> Self {
         let rows = a.rows();
         let cols = a.cols();
         let ld = a.ld();
@@ -96,7 +98,7 @@ impl SharedMat {
     /// The caller must hold (via DAG ordering) exclusive access to the
     /// block's *elements* for the view's lifetime, and the block must be
     /// in range.
-    unsafe fn block(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatViewMut<'_> {
+    unsafe fn block(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatViewMut<'_, T> {
         debug_assert!(i + nr <= self.rows && j + nc <= self.cols);
         debug_assert!(nr > 0 && nc > 0, "tasks never touch empty blocks");
         unsafe { MatViewMut::from_raw_parts(self.ptr.add(j * self.ld + i), nr, nc, self.ld) }
@@ -141,25 +143,25 @@ impl SharedIpiv {
 /// Forwards observer callbacks through the shared mutex, locking per
 /// event rather than per task — a concurrent `Gemm` tile's `on_stage`
 /// never waits out a whole panel factorization, only one callback.
-struct MutexObs<'a, 'o, O: PivotObserver + Send>(&'a Mutex<&'o mut O>);
+struct MutexObs<'a, 'o, O>(&'a Mutex<&'o mut O>);
 
-impl<O: PivotObserver + Send> PivotObserver for MutexObs<'_, '_, O> {
-    fn on_pivot(&mut self, step: usize, pivot: f64, col_max: f64) {
+impl<T: Scalar, O: PivotObserver<T> + Send> PivotObserver<T> for MutexObs<'_, '_, O> {
+    fn on_pivot(&mut self, step: usize, pivot: T, col_max: T) {
         self.0.lock().expect("observer mutex poisoned").on_pivot(step, pivot, col_max);
     }
 
-    fn on_stage(&mut self, changed: &calu_matrix::MatView<'_>) {
+    fn on_stage(&mut self, changed: &calu_matrix::MatView<'_, T>) {
         self.0.lock().expect("observer mutex poisoned").on_stage(changed);
     }
 
-    fn on_multipliers(&mut self, col_below_diag: &[f64]) {
+    fn on_multipliers(&mut self, col_below_diag: &[T]) {
         self.0.lock().expect("observer mutex poisoned").on_multipliers(col_below_diag);
     }
 }
 
 /// Binds the LU kernels to runtime tasks over one matrix.
-struct LuRunner<'a, O: PivotObserver + Send> {
-    mat: SharedMat,
+struct LuRunner<'a, T, O> {
+    mat: SharedMat<T>,
     ipiv: SharedIpiv,
     shape: LuShape,
     opts: CaluOpts,
@@ -167,7 +169,7 @@ struct LuRunner<'a, O: PivotObserver + Send> {
     obs: Mutex<&'a mut O>,
 }
 
-impl<O: PivotObserver + Send> LuRunner<'_, O> {
+impl<T: Scalar, O: PivotObserver<T> + Send> LuRunner<'_, T, O> {
     /// Panel `k`'s pivot swaps, local to rows `k·nb..m`.
     ///
     /// # Safety
@@ -179,7 +181,7 @@ impl<O: PivotObserver + Send> LuRunner<'_, O> {
     }
 }
 
-impl<O: PivotObserver + Send> TaskRunner for LuRunner<'_, O> {
+impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
     fn run(&self, task: Task) -> Result<()> {
         let (m, nb) = (self.shape.m, self.shape.nb);
         match task {
@@ -226,7 +228,7 @@ impl<O: PivotObserver + Send> TaskRunner for LuRunner<'_, O> {
                 // all ordered before the next writer) L₁₁ of column k.
                 let l11 = unsafe { self.mat.block(base, base, jb, jb) };
                 let u12 = unsafe { self.mat.block(base, cols.start, jb, cols.len()) };
-                trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11.as_view(), u12);
+                trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11.as_view(), u12);
                 Ok(())
             }
             Task::Gemm { k, i, j } => {
@@ -241,7 +243,7 @@ impl<O: PivotObserver + Send> TaskRunner for LuRunner<'_, O> {
                 let u12 = unsafe { self.mat.block(base, cols.start, jb, cols.len()) };
                 let tile =
                     unsafe { self.mat.block(rows.start, cols.start, rows.len(), cols.len()) };
-                gemm(-1.0, l21.as_view(), u12.as_view(), 1.0, tile);
+                gemm(-T::ONE, l21.as_view(), u12.as_view(), T::ONE, tile);
                 let tile =
                     unsafe { self.mat.block(rows.start, cols.start, rows.len(), cols.len()) };
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
@@ -265,8 +267,8 @@ impl<O: PivotObserver + Send> TaskRunner for LuRunner<'_, O> {
 /// # Errors
 /// [`Error::SingularPivot`] with the **absolute** elimination step; all
 /// tasks depending on the failed panel are canceled.
-pub fn runtime_calu_inplace<O: PivotObserver + Send>(
-    mut a: MatViewMut<'_>,
+pub fn runtime_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
+    mut a: MatViewMut<'_, T>,
     opts: CaluOpts,
     rt: RuntimeOpts,
     obs: &mut O,
@@ -291,11 +293,11 @@ pub fn runtime_calu_inplace<O: PivotObserver + Send>(
 ///
 /// # Errors
 /// Singular pivot (exact zero) at the reported absolute step.
-pub fn runtime_calu_factor(
-    a: &Matrix,
+pub fn runtime_calu_factor<T: Scalar>(
+    a: &Matrix<T>,
     opts: CaluOpts,
     rt: RuntimeOpts,
-) -> Result<(LuFactors, ExecReport)> {
+) -> Result<(LuFactors<T>, ExecReport)> {
     let mut lu = a.clone();
     let (ipiv, report) = runtime_calu_inplace(lu.view_mut(), opts, rt, &mut NoObs)?;
     Ok((LuFactors { lu, ipiv }, report))
@@ -329,7 +331,7 @@ mod tests {
             (60, 100, 16, 4),
             (97, 97, 16, 3),
         ] {
-            let a0 = gen::randn(&mut rng, m, n);
+            let a0: Matrix = gen::randn(&mut rng, m, n);
             let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
             let seq = calu_factor(&a0, opts).unwrap();
             for depth in 1..=3 {
@@ -393,7 +395,7 @@ mod tests {
     #[test]
     fn runtime_unthrottled_depth_still_exact() {
         let mut rng = StdRng::seed_from_u64(903);
-        let a0 = gen::randn(&mut rng, 144, 144);
+        let a0: Matrix = gen::randn(&mut rng, 144, 144);
         let opts = CaluOpts { block: 16, p: 4, ..Default::default() };
         let seq = calu_factor(&a0, opts).unwrap();
         let rt = RuntimeOpts {
@@ -409,7 +411,7 @@ mod tests {
     #[test]
     fn runtime_report_covers_every_task() {
         let mut rng = StdRng::seed_from_u64(904);
-        let a0 = gen::randn(&mut rng, 96, 96);
+        let a0: Matrix = gen::randn(&mut rng, 96, 96);
         let opts = CaluOpts { block: 32, p: 4, ..Default::default() };
         let (_, rep) = runtime_calu_factor(&a0, opts, RuntimeOpts::default()).unwrap();
         let dag = LuDag::build(LuShape { m: 96, n: 96, nb: 32 }, 1);

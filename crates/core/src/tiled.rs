@@ -24,14 +24,14 @@
 
 use crate::calu::{CaluOpts, LuFactors};
 use crate::rt::{runtime_calu_inplace, RuntimeOpts};
-use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar};
 use calu_runtime::ExecutorKind;
 
 /// Factors a copy of `a` with lookahead-tiled CALU.
 ///
 /// # Errors
 /// Singular pivot (exact zero) at the reported absolute step.
-pub fn tiled_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
+pub fn tiled_calu_factor<T: Scalar>(a: &Matrix<T>, opts: CaluOpts) -> Result<LuFactors<T>> {
     let mut lu = a.clone();
     let ipiv = tiled_calu_inplace(lu.view_mut(), opts, &mut NoObs)?;
     Ok(LuFactors { lu, ipiv })
@@ -46,8 +46,8 @@ pub fn tiled_calu_factor(a: &Matrix, opts: CaluOpts) -> Result<LuFactors> {
 /// # Errors
 /// [`Error::SingularPivot`](calu_matrix::Error::SingularPivot) with the
 /// absolute elimination step.
-pub fn tiled_calu_inplace<O: PivotObserver + Send>(
-    a: MatViewMut<'_>,
+pub fn tiled_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
+    a: MatViewMut<'_, T>,
     opts: CaluOpts,
     obs: &mut O,
 ) -> Result<Vec<usize>> {
@@ -81,7 +81,7 @@ mod tests {
             (60, 100, 16, 4),
             (97, 97, 16, 3), // ragged tiles
         ] {
-            let a0 = gen::randn(&mut rng, m, n);
+            let a0: Matrix = gen::randn(&mut rng, m, n);
             let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
             let seq = calu_factor(&a0, opts).unwrap();
             let tiled = tiled_calu_factor(&a0, opts).unwrap();
@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn tiled_block_bigger_than_matrix() {
         let mut rng = StdRng::seed_from_u64(134);
-        let a0 = gen::randn(&mut rng, 40, 40);
+        let a0: Matrix = gen::randn(&mut rng, 40, 40);
         let opts = CaluOpts { block: 64, p: 4, ..Default::default() };
         let seq = calu_factor(&a0, opts).unwrap();
         let tiled = tiled_calu_factor(&a0, opts).unwrap();

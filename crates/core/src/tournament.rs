@@ -12,22 +12,22 @@
 
 use calu_matrix::lapack::getf2_info;
 use calu_matrix::perm::apply_ipiv;
-use calu_matrix::{Matrix, NoObs};
+use calu_matrix::{Matrix, NoObs, Scalar};
 
 /// A set of candidate pivot rows: the row values (as in the original
 /// matrix) and their global row indices, in pivot-preference order.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Candidates {
+pub struct Candidates<T = f64> {
     /// `k x b` block of candidate rows (`k <= b` — fewer when a block-row
     /// owns fewer than `b` rows).
-    pub block: Matrix,
+    pub block: Matrix<T>,
     /// Global row index of each candidate row.
     pub rows: Vec<usize>,
 }
 
-impl Candidates {
+impl<T: Scalar> Candidates<T> {
     /// Builds a candidate set; `rows.len()` must equal `block.rows()`.
-    pub fn new(block: Matrix, rows: Vec<usize>) -> Self {
+    pub fn new(block: Matrix<T>, rows: Vec<usize>) -> Self {
         assert_eq!(block.rows(), rows.len(), "one index per candidate row");
         Self { block, rows }
     }
@@ -57,7 +57,7 @@ impl Candidates {
     /// row space (`getf2`'s pivot order puts the independent rows first),
     /// so the tournament never fails — only the final no-pivot panel
     /// factorization can detect a genuinely singular panel.
-    pub fn from_block_row(block: &Matrix, global_rows: &[usize]) -> Self {
+    pub fn from_block_row(block: &Matrix<T>, global_rows: &[usize]) -> Self {
         assert_eq!(block.rows(), global_rows.len());
         let b = block.cols();
         let keep = block.rows().min(b);
@@ -77,7 +77,10 @@ impl Candidates {
     }
 
     /// Serializes to a flat payload: `[k, b, rows..., block column-major]`.
-    /// Row indices are exact in `f64` up to 2^53.
+    /// Row indices are exact in `f64` up to 2^53, and every `f32` block
+    /// value widens to `f64` exactly, so the round trip is lossless at
+    /// both precisions (the netsim moves `f64` words regardless of the
+    /// compute precision, like an MPI datatype pinned to `MPI_DOUBLE`).
     pub fn to_payload(&self) -> Vec<f64> {
         let k = self.len();
         let b = self.width();
@@ -85,7 +88,7 @@ impl Candidates {
         v.push(k as f64);
         v.push(b as f64);
         v.extend(self.rows.iter().map(|&r| r as f64));
-        v.extend_from_slice(self.block.as_slice());
+        v.extend(self.block.as_slice().iter().map(|&x| x.to_f64()));
         v
     }
 
@@ -99,7 +102,8 @@ impl Candidates {
         let b = v[1] as usize;
         assert_eq!(v.len(), 2 + k + k * b, "payload length mismatch");
         let rows: Vec<usize> = v[2..2 + k].iter().map(|&x| x as usize).collect();
-        let block = Matrix::from_col_major(k, b, v[2 + k..].to_vec());
+        let block =
+            Matrix::from_col_major(k, b, v[2 + k..].iter().map(|&x| T::from_f64(x)).collect());
         Self::new(block, rows)
     }
 }
@@ -114,7 +118,7 @@ impl Candidates {
 ///
 /// Never fails: a rank-deficient stack simply elects some dependent rows
 /// after the independent ones (see [`Candidates::from_block_row`]).
-pub fn reduce_pair(lo: &Candidates, hi: &Candidates) -> Candidates {
+pub fn reduce_pair<T: Scalar>(lo: &Candidates<T>, hi: &Candidates<T>) -> Candidates<T> {
     let b = lo.width();
     assert_eq!(hi.width(), b, "mismatched panel widths");
     let total = lo.len() + hi.len();
@@ -148,7 +152,7 @@ pub fn reduce_pair(lo: &Candidates, hi: &Candidates) -> Candidates {
 ///
 /// # Panics
 /// If `blocks` is empty.
-pub fn tournament(mut blocks: Vec<Candidates>) -> Candidates {
+pub fn tournament<T: Scalar>(mut blocks: Vec<Candidates<T>>) -> Candidates<T> {
     assert!(!blocks.is_empty(), "tournament needs at least one candidate set");
     let p = blocks.len();
     let p2 = calu_netsim::collectives::prev_pow2(p);
@@ -184,7 +188,7 @@ pub fn tournament(mut blocks: Vec<Candidates>) -> Candidates {
 ///
 /// # Panics
 /// If `blocks` is empty or widths mismatch.
-pub fn tournament_flat(blocks: Vec<Candidates>) -> Candidates {
+pub fn tournament_flat<T: Scalar>(blocks: Vec<Candidates<T>>) -> Candidates<T> {
     assert!(!blocks.is_empty(), "tournament needs at least one candidate set");
     let b = blocks[0].width();
     let total: usize = blocks.iter().map(Candidates::len).sum();

@@ -15,7 +15,7 @@
 use crate::tournament::{tournament, Candidates};
 use calu_matrix::lapack::{getf2, lu_nopiv, rgetf2_info};
 use calu_matrix::perm::apply_ipiv;
-use calu_matrix::{MatView, MatViewMut, Matrix, NoObs, PivotObserver, Result};
+use calu_matrix::{MatView, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar};
 
 /// Local LU algorithm used to elect each block-row's candidates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,7 +61,7 @@ pub fn partition_rows(m: usize, p: usize) -> Vec<std::ops::Range<usize>> {
 /// using a `p`-way tournament. Row indices are local to the panel view.
 ///
 /// Never fails — see [`Candidates::from_block_row`] on rank deficiency.
-pub fn tslu_pivots(panel: MatView<'_>, p: usize, local: LocalLu) -> Vec<usize> {
+pub fn tslu_pivots<T: Scalar>(panel: MatView<'_, T>, p: usize, local: LocalLu) -> Vec<usize> {
     tslu_pivots_with(panel, p, local, false)
 }
 
@@ -69,8 +69,8 @@ pub fn tslu_pivots(panel: MatView<'_>, p: usize, local: LocalLu) -> Vec<usize> {
 /// local factorizations (the shared-memory "multicore" direction named in
 /// the paper's future work). The elected pivots are bitwise identical to
 /// the sequential path — only wall-clock changes.
-pub fn tslu_pivots_with(
-    panel: MatView<'_>,
+pub fn tslu_pivots_with<T: Scalar>(
+    panel: MatView<'_, T>,
     p: usize,
     local: LocalLu,
     parallel: bool,
@@ -79,12 +79,12 @@ pub fn tslu_pivots_with(
     assert!(m >= 1 && b >= 1, "empty panel");
 
     let parts = partition_rows(m, p);
-    let elect = |range: &std::ops::Range<usize>| -> Candidates {
+    let elect = |range: &std::ops::Range<usize>| -> Candidates<T> {
         let rows: Vec<usize> = range.clone().collect();
         let block = panel.submatrix(range.start, 0, range.len(), b).to_matrix();
         local_candidates(&block, &rows, local)
     };
-    let blocks: Vec<Candidates> = if parallel && parts.len() > 1 {
+    let blocks: Vec<Candidates<T>> = if parallel && parts.len() > 1 {
         use rayon::prelude::*;
         parts.par_iter().map(elect).collect()
     } else {
@@ -94,11 +94,11 @@ pub fn tslu_pivots_with(
 }
 
 /// Elects candidates from one block-row with the chosen local LU.
-pub(crate) fn local_candidates(
-    block: &Matrix,
+pub(crate) fn local_candidates<T: Scalar>(
+    block: &Matrix<T>,
     global_rows: &[usize],
     local: LocalLu,
-) -> Candidates {
+) -> Candidates<T> {
     match local {
         LocalLu::Classic => Candidates::from_block_row(block, global_rows),
         LocalLu::Recursive => {
@@ -161,8 +161,8 @@ pub fn winners_to_ipiv(winners: &[usize], m: usize) -> Vec<usize> {
 /// # Errors
 /// A zero pivot in the no-pivot factorization after permutation (the panel
 /// columns are genuinely linearly dependent).
-pub fn tslu_factor<O: PivotObserver>(
-    panel: MatViewMut<'_>,
+pub fn tslu_factor<T: Scalar, O: PivotObserver<T>>(
+    panel: MatViewMut<'_, T>,
     p: usize,
     local: LocalLu,
     obs: &mut O,
@@ -176,8 +176,8 @@ pub fn tslu_factor<O: PivotObserver>(
 /// # Errors
 /// A zero pivot in the no-pivot factorization after permutation (the panel
 /// columns are genuinely linearly dependent).
-pub fn tslu_factor_with<O: PivotObserver>(
-    mut panel: MatViewMut<'_>,
+pub fn tslu_factor_with<T: Scalar, O: PivotObserver<T>>(
+    mut panel: MatViewMut<'_, T>,
     p: usize,
     local: LocalLu,
     parallel: bool,
@@ -197,7 +197,10 @@ pub fn tslu_factor_with<O: PivotObserver>(
 ///
 /// # Errors
 /// Propagates singular panels.
-pub fn gepp_panel<O: PivotObserver>(panel: MatViewMut<'_>, obs: &mut O) -> Result<TsluResult> {
+pub fn gepp_panel<T: Scalar, O: PivotObserver<T>>(
+    panel: MatViewMut<'_, T>,
+    obs: &mut O,
+) -> Result<TsluResult> {
     let m = panel.rows();
     let kn = m.min(panel.cols());
     let mut ipiv = vec![0usize; kn];
@@ -290,7 +293,7 @@ mod tests {
         // p = 1: the tournament is a single local GEPP — pivots must match
         // getf2 exactly (paper Section 2).
         let mut rng = StdRng::seed_from_u64(72);
-        let a0 = gen::randn(&mut rng, 50, 6);
+        let a0: Matrix = gen::randn(&mut rng, 50, 6);
         let mut a_t = a0.clone();
         let r = tslu_factor(a_t.view_mut(), 1, LocalLu::Classic, &mut NoObs).unwrap();
         let mut a_g = a0.clone();
@@ -303,7 +306,7 @@ mod tests {
     #[test]
     fn tslu_b1_equals_partial_pivoting_any_p() {
         let mut rng = StdRng::seed_from_u64(73);
-        let a0 = gen::randn(&mut rng, 64, 1);
+        let a0: Matrix = gen::randn(&mut rng, 64, 1);
         for p in [2usize, 4, 7, 8] {
             let mut a = a0.clone();
             let r = tslu_factor(a.view_mut(), p, LocalLu::Classic, &mut NoObs).unwrap();
@@ -316,7 +319,7 @@ mod tests {
     fn classic_and_recursive_elect_identical_pivots() {
         let mut rng = StdRng::seed_from_u64(74);
         for &(m, b, p) in &[(64, 8, 4), (90, 15, 4), (128, 32, 8)] {
-            let a0 = gen::randn(&mut rng, m, b);
+            let a0: Matrix = gen::randn(&mut rng, m, b);
             let pc = tslu_pivots(a0.view(), p, LocalLu::Classic);
             let pr = tslu_pivots(a0.view(), p, LocalLu::Recursive);
             assert_eq!(pc, pr, "m={m} b={b} p={p}");
@@ -369,7 +372,7 @@ mod tests {
     #[test]
     fn gepp_panel_winner_recovery() {
         let mut rng = StdRng::seed_from_u64(75);
-        let a0 = gen::randn(&mut rng, 30, 5);
+        let a0: Matrix = gen::randn(&mut rng, 30, 5);
         let mut a = a0.clone();
         let r = gepp_panel(a.view_mut(), &mut NoObs).unwrap();
         // Winners must be where the permuted rows came from.

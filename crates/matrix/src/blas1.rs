@@ -1,5 +1,8 @@
 //! Level-1 kernels (vector-vector), matching BLAS semantics where a BLAS
-//! routine of the same name exists.
+//! routine of the same name exists. Generic over [`Scalar`] (`IDAMAX`
+//! becomes `ISAMAX` at `T = f32`, and so on).
+
+use crate::scalar::Scalar;
 
 /// Index of the first element of maximum absolute value (BLAS `IDAMAX`
 /// semantics: ties resolve to the smallest index; NaNs are ignored unless
@@ -7,10 +10,10 @@
 ///
 /// # Panics
 /// If `x` is empty.
-pub fn iamax(x: &[f64]) -> usize {
+pub fn iamax<T: Scalar>(x: &[T]) -> usize {
     assert!(!x.is_empty(), "iamax of empty vector");
     let mut best_i = 0;
-    let mut best = f64::NEG_INFINITY;
+    let mut best = T::NEG_INFINITY;
     for (i, &v) in x.iter().enumerate() {
         let a = v.abs();
         if a > best {
@@ -26,9 +29,9 @@ pub fn iamax(x: &[f64]) -> usize {
 /// # Panics
 /// If lengths differ.
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    if alpha == 0.0 {
+    if alpha == T::ZERO {
         return;
     }
     for (yi, &xi) in y.iter_mut().zip(x) {
@@ -38,7 +41,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 
 /// `x *= alpha` (BLAS `DSCAL`).
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
     for xi in x.iter_mut() {
         *xi *= alpha;
     }
@@ -49,31 +52,31 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 /// # Panics
 /// If lengths differ.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     assert_eq!(x.len(), y.len(), "dot length mismatch");
     x.iter().zip(y).map(|(&a, &b)| a * b).sum()
 }
 
 /// Euclidean norm (BLAS `DNRM2`), with scaling to avoid overflow.
-pub fn nrm2(x: &[f64]) -> f64 {
-    let mx = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    if mx == 0.0 || !mx.is_finite() {
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    let mx = x.iter().fold(T::ZERO, |m, &v| m.max(v.abs()));
+    if mx == T::ZERO || !mx.is_finite() {
         return mx;
     }
-    let s: f64 = x.iter().map(|&v| (v / mx) * (v / mx)).sum();
+    let s: T = x.iter().map(|&v| (v / mx) * (v / mx)).sum();
     mx * s.sqrt()
 }
 
 /// Sum of absolute values (BLAS `DASUM`).
 #[inline]
-pub fn asum(x: &[f64]) -> f64 {
+pub fn asum<T: Scalar>(x: &[T]) -> T {
     x.iter().map(|v| v.abs()).sum()
 }
 
 /// Maximum absolute value of a vector (the `inf`-norm); 0 when empty.
 #[inline]
-pub fn amax(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+pub fn amax<T: Scalar>(x: &[T]) -> T {
+    x.iter().fold(T::ZERO, |m, &v| m.max(v.abs()))
 }
 
 /// Swap two vectors elementwise (BLAS `DSWAP`).
@@ -81,7 +84,7 @@ pub fn amax(x: &[f64]) -> f64 {
 /// # Panics
 /// If lengths differ.
 #[inline]
-pub fn swap(x: &mut [f64], y: &mut [f64]) {
+pub fn swap<T: Scalar>(x: &mut [T], y: &mut [T]) {
     assert_eq!(x.len(), y.len(), "swap length mismatch");
     x.swap_with_slice(y);
 }

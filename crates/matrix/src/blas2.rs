@@ -1,6 +1,7 @@
 //! Level-2 kernels (matrix-vector): `ger`, `gemv`, `trsv`, `trmv`.
 
 use crate::blas1::axpy;
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 use crate::{Diag, Uplo};
 
@@ -10,12 +11,12 @@ use crate::{Diag, Uplo};
 ///
 /// # Panics
 /// On dimension mismatch.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatViewMut<'_>) {
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], mut a: MatViewMut<'_, T>) {
     assert_eq!(x.len(), a.rows(), "ger: x length != rows");
     assert_eq!(y.len(), a.cols(), "ger: y length != cols");
     for (j, &yj) in y.iter().enumerate() {
         let s = alpha * yj;
-        if s != 0.0 {
+        if s != T::ZERO {
             axpy(s, x, a.col_mut(j));
         }
     }
@@ -25,10 +26,10 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatViewMut<'_>) {
 ///
 /// # Panics
 /// On dimension mismatch.
-pub fn gemv(alpha: f64, a: MatView<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv<T: Scalar>(alpha: T, a: MatView<'_, T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(x.len(), a.cols(), "gemv: x length != cols");
     assert_eq!(y.len(), a.rows(), "gemv: y length != rows");
-    if beta != 1.0 {
+    if beta != T::ONE {
         for yi in y.iter_mut() {
             *yi *= beta;
         }
@@ -42,7 +43,7 @@ pub fn gemv(alpha: f64, a: MatView<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 ///
 /// # Panics
 /// On dimension mismatch.
-pub fn gemv_t(alpha: f64, a: MatView<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+pub fn gemv_t<T: Scalar>(alpha: T, a: MatView<'_, T>, x: &[T], beta: T, y: &mut [T]) {
     assert_eq!(x.len(), a.rows(), "gemv_t: x length != rows");
     assert_eq!(y.len(), a.cols(), "gemv_t: y length != cols");
     for (j, yj) in y.iter_mut().enumerate() {
@@ -56,7 +57,7 @@ pub fn gemv_t(alpha: f64, a: MatView<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 ///
 /// # Panics
 /// If `A` is not square or sizes mismatch.
-pub fn trsv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
+pub fn trsv<T: Scalar>(uplo: Uplo, diag: Diag, a: MatView<'_, T>, x: &mut [T]) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trsv: A must be square");
     assert_eq!(x.len(), n, "trsv: x length != n");
@@ -67,7 +68,7 @@ pub fn trsv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
                     x[k] /= a.get(k, k);
                 }
                 let xk = x[k];
-                if xk != 0.0 {
+                if xk != T::ZERO {
                     let col = a.col(k);
                     for i in k + 1..n {
                         x[i] -= col[i] * xk;
@@ -81,7 +82,7 @@ pub fn trsv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
                     x[k] /= a.get(k, k);
                 }
                 let xk = x[k];
-                if xk != 0.0 {
+                if xk != T::ZERO {
                     let col = a.col(k);
                     for (i, xi) in x.iter_mut().enumerate().take(k) {
                         *xi -= col[i] * xk;
@@ -98,7 +99,7 @@ pub fn trsv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
 ///
 /// # Panics
 /// If `A` is not square or sizes mismatch.
-pub fn trsv_t(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
+pub fn trsv_t<T: Scalar>(uplo: Uplo, diag: Diag, a: MatView<'_, T>, x: &mut [T]) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trsv_t: A must be square");
     assert_eq!(x.len(), n, "trsv_t: x length != n");
@@ -123,7 +124,7 @@ pub fn trsv_t(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
             for k in (0..n).rev() {
                 let col = a.col(k);
                 let mut s = x[k];
-                for (i, xi) in x.iter().enumerate().skip(k + 1) {
+                for (i, &xi) in x.iter().enumerate().skip(k + 1) {
                     s -= col[i] * xi;
                 }
                 x[k] = match diag {
@@ -140,7 +141,7 @@ pub fn trsv_t(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
 ///
 /// # Panics
 /// If `A` is not square or sizes mismatch.
-pub fn trmv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
+pub fn trmv<T: Scalar>(uplo: Uplo, diag: Diag, a: MatView<'_, T>, x: &mut [T]) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trmv: A must be square");
     assert_eq!(x.len(), n, "trmv: x length != n");
@@ -152,7 +153,7 @@ pub fn trmv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
             for j in 0..n {
                 let xj = x[j];
                 let col = a.col(j);
-                if xj != 0.0 {
+                if xj != T::ZERO {
                     for (i, xi) in x.iter_mut().enumerate().take(j) {
                         *xi += col[i] * xj;
                     }
@@ -166,7 +167,7 @@ pub fn trmv(uplo: Uplo, diag: Diag, a: MatView<'_>, x: &mut [f64]) {
             for j in (0..n).rev() {
                 let xj = x[j];
                 let col = a.col(j);
-                if xj != 0.0 {
+                if xj != T::ZERO {
                     for i in j + 1..n {
                         x[i] += col[i] * xj;
                     }

@@ -8,6 +8,7 @@
 //! host — but it keeps the laptop-scale stability experiments fast.
 
 use crate::blas1::axpy;
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 use crate::{Diag, Side, Uplo};
 
@@ -24,7 +25,13 @@ const MC: usize = 256;
 ///
 /// # Panics
 /// On dimension mismatch.
-pub fn gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    mut c: MatViewMut<'_, T>,
+) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(b.rows(), k, "gemm: inner dimension mismatch");
@@ -32,7 +39,7 @@ pub fn gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatVie
     assert_eq!(c.cols(), n, "gemm: C cols mismatch");
 
     scale(beta, c.rb_mut());
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+    if alpha == T::ZERO || m == 0 || n == 0 || k == 0 {
         return;
     }
 
@@ -59,7 +66,13 @@ pub fn gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatVie
 
 /// `C = alpha * A * B + beta * C`, splitting columns of `C` across the rayon
 /// thread pool. Falls back to the serial path for small problems.
-pub fn par_gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatViewMut<'_>) {
+pub fn par_gemm<T: Scalar>(
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    c: MatViewMut<'_, T>,
+) {
     let n = b.cols();
     let work = (a.rows() as u64) * (a.cols() as u64) * (n as u64);
     // Below ~8 Mflop the spawn overhead dominates on small core counts.
@@ -70,7 +83,13 @@ pub fn par_gemm(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatVie
     par_gemm_cols(alpha, a, b, beta, c);
 }
 
-fn par_gemm_cols(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatViewMut<'_>) {
+fn par_gemm_cols<T: Scalar>(
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    c: MatViewMut<'_, T>,
+) {
     let n = c.cols();
     if n <= NC {
         gemm(alpha, a, b, beta, c);
@@ -87,7 +106,12 @@ fn par_gemm_cols(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, c: MatVi
 
 /// Inner blocked kernel: `C += alpha * A * B` over one cache block, rank-4
 /// updates down contiguous columns.
-fn block_kernel(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_>) {
+fn block_kernel<T: Scalar>(
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    mut c: MatViewMut<'_, T>,
+) {
     let kb = a.cols();
     let k4 = kb - kb % 4;
     for j in 0..b.cols() {
@@ -113,13 +137,13 @@ fn block_kernel(alpha: f64, a: MatView<'_>, b: MatView<'_>, mut c: MatViewMut<'_
     }
 }
 
-fn scale(beta: f64, mut c: MatViewMut<'_>) {
-    if beta == 1.0 {
+fn scale<T: Scalar>(beta: T, mut c: MatViewMut<'_, T>) {
+    if beta == T::ONE {
         return;
     }
     for j in 0..c.cols() {
-        if beta == 0.0 {
-            c.col_mut(j).fill(0.0);
+        if beta == T::ZERO {
+            c.col_mut(j).fill(T::ZERO);
         } else {
             crate::blas1::scal(beta, c.col_mut(j));
         }
@@ -138,14 +162,21 @@ fn scale(beta: f64, mut c: MatViewMut<'_>) {
 ///
 /// # Panics
 /// If `A` is not square or shapes mismatch.
-pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut b: MatViewMut<'_>) {
+pub fn trsm<T: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    alpha: T,
+    a: MatView<'_, T>,
+    mut b: MatViewMut<'_, T>,
+) {
     let n_tri = a.rows();
     assert_eq!(a.cols(), n_tri, "trsm: A must be square");
     match side {
         Side::Left => assert_eq!(b.rows(), n_tri, "trsm: B rows != A order"),
         Side::Right => assert_eq!(b.cols(), n_tri, "trsm: B cols != A order"),
     }
-    if alpha != 1.0 {
+    if alpha != T::ONE {
         scale(alpha, b.rb_mut());
     }
     if b.is_empty() {
@@ -162,7 +193,7 @@ pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut 
                         bcol[k] /= a.get(k, k);
                     }
                     let bk = bcol[k];
-                    if bk != 0.0 {
+                    if bk != T::ZERO {
                         let acol = a.col(k);
                         for i in k + 1..m {
                             bcol[i] -= acol[i] * bk;
@@ -180,7 +211,7 @@ pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut 
                         bcol[k] /= a.get(k, k);
                     }
                     let bk = bcol[k];
-                    if bk != 0.0 {
+                    if bk != T::ZERO {
                         let acol = a.col(k);
                         for (i, bi) in bcol.iter_mut().enumerate().take(k) {
                             *bi -= acol[i] * bk;
@@ -195,13 +226,13 @@ pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut 
             for j in 0..n {
                 for k in 0..j {
                     let u_kj = a.get(k, j);
-                    if u_kj != 0.0 {
+                    if u_kj != T::ZERO {
                         let (xk, xj) = b.two_cols_mut(k, j);
                         axpy(-u_kj, xk, xj);
                     }
                 }
                 if let Diag::NonUnit = diag {
-                    let inv = 1.0 / a.get(j, j);
+                    let inv = a.get(j, j).recip();
                     crate::blas1::scal(inv, b.col_mut(j));
                 }
             }
@@ -212,13 +243,13 @@ pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut 
             for j in (0..n).rev() {
                 for k in j + 1..n {
                     let l_kj = a.get(k, j);
-                    if l_kj != 0.0 {
+                    if l_kj != T::ZERO {
                         let (xj, xk) = b.two_cols_mut(j, k);
                         axpy(-l_kj, xk, xj);
                     }
                 }
                 if let Diag::NonUnit = diag {
-                    let inv = 1.0 / a.get(j, j);
+                    let inv = a.get(j, j).recip();
                     crate::blas1::scal(inv, b.col_mut(j));
                 }
             }
@@ -228,7 +259,13 @@ pub fn trsm(side: Side, uplo: Uplo, diag: Diag, alpha: f64, a: MatView<'_>, mut 
 
 /// Reference `gemm` as a naive triple loop; used by tests and property checks
 /// to validate the blocked kernel.
-pub fn gemm_naive(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: MatViewMut<'_>) {
+pub fn gemm_naive<T: Scalar>(
+    alpha: T,
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    beta: T,
+    mut c: MatViewMut<'_, T>,
+) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(b.rows(), k);
@@ -236,7 +273,7 @@ pub fn gemm_naive(alpha: f64, a: MatView<'_>, b: MatView<'_>, beta: f64, mut c: 
     assert_eq!(c.cols(), n);
     for j in 0..n {
         for i in 0..m {
-            let mut acc = 0.0;
+            let mut acc = T::ZERO;
             for l in 0..k {
                 acc += a.get(i, l) * b.get(l, j);
             }

@@ -6,7 +6,14 @@
 //! a classical worst-case growth matrix (for negative controls) — all
 //! deterministic given an RNG seed so every table in `EXPERIMENTS.md` is
 //! reproducible.
+//!
+//! All generators are generic over [`Scalar`]; sampling always happens in
+//! `f64` and is then rounded into the requested precision, so for any
+//! seed the `f32` ensemble is exactly the rounded `f64` ensemble — the
+//! property the mixed-precision experiments rely on when comparing
+//! factorizations of "the same" matrix at two precisions.
 
+use crate::scalar::Scalar;
 use crate::Matrix;
 use rand::Rng;
 
@@ -15,16 +22,16 @@ use rand::Rng;
 /// (We generate N(0,1) ourselves rather than pulling in `rand_distr`; the
 /// polar-free version below is branch-light and plenty fast for the
 /// experiment sizes.)
-pub fn randn(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+pub fn randn<T: Scalar>(rng: &mut impl Rng, rows: usize, cols: usize) -> Matrix<T> {
     let n = rows * cols;
     let mut data = Vec::with_capacity(n);
     while data.len() + 2 <= n {
         let (z0, z1) = box_muller(rng);
-        data.push(z0);
-        data.push(z1);
+        data.push(T::from_f64(z0));
+        data.push(T::from_f64(z1));
     }
     if data.len() < n {
-        data.push(box_muller(rng).0);
+        data.push(T::from_f64(box_muller(rng).0));
     }
     Matrix::from_col_major(rows, cols, data)
 }
@@ -40,8 +47,14 @@ fn box_muller(rng: &mut impl Rng) -> (f64, f64) {
 }
 
 /// Uniform entries on `[lo, hi)`.
-pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+pub fn uniform<T: Scalar>(
+    rng: &mut impl Rng,
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(lo..hi)))
 }
 
 /// Dense Toeplitz matrix `A[i][j] = c[i - j]` for `i >= j`, `r[j - i]` for
@@ -49,7 +62,7 @@ pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, lo: f64, hi: f64) -
 ///
 /// # Panics
 /// If `c[0] != r[0]` (the shared corner must agree) or either is empty.
-pub fn toeplitz(first_col: &[f64], first_row: &[f64]) -> Matrix {
+pub fn toeplitz<T: Scalar>(first_col: &[T], first_row: &[T]) -> Matrix<T> {
     assert!(!first_col.is_empty() && !first_row.is_empty());
     assert_eq!(first_col[0], first_row[0], "corner element must agree");
     Matrix::from_fn(first_col.len(), first_row.len(), |i, j| {
@@ -63,14 +76,14 @@ pub fn toeplitz(first_col: &[f64], first_row: &[f64]) -> Matrix {
 
 /// Random dense Toeplitz matrix with N(0,1) diagonals (the paper's "dense
 /// Toeplitz" stability ensemble).
-pub fn randn_toeplitz(rng: &mut impl Rng, n: usize) -> Matrix {
-    let mut c: Vec<f64> = (0..n).map(|_| box_muller(rng).0).collect();
-    let mut r: Vec<f64> = (0..n).map(|_| box_muller(rng).0).collect();
+pub fn randn_toeplitz<T: Scalar>(rng: &mut impl Rng, n: usize) -> Matrix<T> {
+    let mut c: Vec<T> = (0..n).map(|_| T::from_f64(box_muller(rng).0)).collect();
+    let mut r: Vec<T> = (0..n).map(|_| T::from_f64(box_muller(rng).0)).collect();
     r[0] = c[0];
     // Guard against a degenerate zero corner for tiny n.
-    if c[0] == 0.0 {
-        c[0] = 1.0;
-        r[0] = 1.0;
+    if c[0] == T::ZERO {
+        c[0] = T::ONE;
+        r[0] = T::ONE;
     }
     toeplitz(&c, &r)
 }
@@ -78,11 +91,11 @@ pub fn randn_toeplitz(rng: &mut impl Rng, n: usize) -> Matrix {
 /// Row-diagonally-dominant random matrix (always nonsingular; LU with any
 /// reasonable pivoting succeeds with growth ~1). Used as an easy ensemble in
 /// tests.
-pub fn diag_dominant(rng: &mut impl Rng, n: usize) -> Matrix {
-    let mut a = randn(rng, n, n);
+pub fn diag_dominant<T: Scalar>(rng: &mut impl Rng, n: usize) -> Matrix<T> {
+    let mut a: Matrix<T> = randn(rng, n, n);
     for i in 0..n {
-        let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
-        a[(i, i)] = row_sum + 1.0;
+        let row_sum: T = (0..n).map(|j| a[(i, j)].abs()).sum();
+        a[(i, i)] = row_sum + T::ONE;
     }
     a
 }
@@ -91,19 +104,19 @@ pub fn diag_dominant(rng: &mut impl Rng, n: usize) -> Matrix {
 /// ones on the diagonal and last column, `-1` strictly below the diagonal.
 /// Partial pivoting produces growth `2^(n-1)`; used as a stress control in
 /// the growth-factor experiments.
-pub fn wilkinson(n: usize) -> Matrix {
+pub fn wilkinson<T: Scalar>(n: usize) -> Matrix<T> {
     // The "identical branches" are the point: last column and diagonal are
     // both 1, but they are distinct structural features of the matrix.
     #[allow(clippy::if_same_then_else)]
     Matrix::from_fn(n, n, |i, j| {
         if j == n - 1 {
-            1.0
+            T::ONE
         } else if i == j {
-            1.0
+            T::ONE
         } else if i > j {
-            -1.0
+            -T::ONE
         } else {
-            0.0
+            T::ZERO
         }
     })
 }
@@ -112,16 +125,16 @@ pub fn wilkinson(n: usize) -> Matrix {
 /// `-c·s^i` above it (`s² + c² = 1`, `theta` sets the split). Famously
 /// ill-conditioned with *no* small pivot until the very end — a classic
 /// stress test for condition estimators and threshold statistics.
-pub fn kahan(n: usize, theta: f64) -> Matrix {
+pub fn kahan<T: Scalar>(n: usize, theta: f64) -> Matrix<T> {
     let (s, c) = (theta.sin(), theta.cos());
     Matrix::from_fn(n, n, |i, j| {
         let scale = s.powi(i as i32);
         if i == j {
-            scale
+            T::from_f64(scale)
         } else if j > i {
-            -c * scale
+            T::from_f64(-c * scale)
         } else {
-            0.0
+            T::ZERO
         }
     })
 }
@@ -130,18 +143,18 @@ pub fn kahan(n: usize, theta: f64) -> Matrix {
 /// subdiagonal entries are `-h` for a tunable `h ∈ (0, 1]` — growth
 /// `(1 + h)^(n-1)`, letting the growth-factor experiments sweep a dial
 /// between benign and catastrophic rather than only the extreme point.
-pub fn gfpp(n: usize, h: f64) -> Matrix {
+pub fn gfpp<T: Scalar>(n: usize, h: f64) -> Matrix<T> {
     assert!(h > 0.0 && h <= 1.0, "h must be in (0, 1]");
     #[allow(clippy::if_same_then_else)]
     Matrix::from_fn(n, n, |i, j| {
         if j == n - 1 {
-            1.0
+            T::ONE
         } else if i == j {
-            1.0
+            T::ONE
         } else if i > j {
-            -h
+            T::from_f64(-h)
         } else {
-            0.0
+            T::ZERO
         }
     })
 }
@@ -153,17 +166,17 @@ pub fn gfpp(n: usize, h: f64) -> Matrix {
 ///
 /// # Panics
 /// If `cond < 1` or `n == 0`.
-pub fn randsvd(rng: &mut impl Rng, n: usize, cond: f64) -> Matrix {
+pub fn randsvd<T: Scalar>(rng: &mut impl Rng, n: usize, cond: f64) -> Matrix<T> {
     assert!(cond >= 1.0 && n > 0);
     let mut a = Matrix::from_fn(n, n, |i, j| {
         if i == j {
             if n == 1 {
-                1.0
+                T::ONE
             } else {
-                cond.powf(-(i as f64) / (n as f64 - 1.0))
+                T::from_f64(cond.powf(-(i as f64) / (n as f64 - 1.0)))
             }
         } else {
-            0.0
+            T::ZERO
         }
     });
     // Two-sided random orthogonal mixing: A := H_k ... H_1 A G_1 ... G_k.
@@ -184,48 +197,50 @@ pub fn randsvd(rng: &mut impl Rng, n: usize, cond: f64) -> Matrix {
 ///
 /// # Panics
 /// If `n` is not a power of two.
-pub fn hadamard(n: usize) -> Matrix {
+pub fn hadamard<T: Scalar>(n: usize) -> Matrix<T> {
     assert!(n.is_power_of_two(), "Sylvester construction needs a power of two");
     Matrix::from_fn(n, n, |i, j| {
         // H[i][j] = (-1)^(popcount(i & j)).
         if (i & j).count_ones() % 2 == 0 {
-            1.0
+            T::ONE
         } else {
-            -1.0
+            -T::ONE
         }
     })
 }
 
-fn random_unit_vector(rng: &mut impl Rng, n: usize) -> Vec<f64> {
+fn random_unit_vector<T: Scalar>(rng: &mut impl Rng, n: usize) -> Vec<T> {
     loop {
         let v: Vec<f64> = (0..n).map(|_| box_muller(rng).0).collect();
         let norm = crate::blas1::nrm2(&v);
         if norm > 1e-8 {
-            return v.into_iter().map(|x| x / norm).collect();
+            return v.into_iter().map(|x| T::from_f64(x / norm)).collect();
         }
     }
 }
 
 /// `A := (I - 2 v v^T) A` for unit `v`.
-fn householder_left(a: &mut Matrix, v: &[f64]) {
+fn householder_left<T: Scalar>(a: &mut Matrix<T>, v: &[T]) {
     let n = a.rows();
     debug_assert_eq!(v.len(), n);
+    let two = T::from_f64(2.0);
     for j in 0..a.cols() {
         let col = a.col_mut(j);
-        let dot: f64 = col.iter().zip(v).map(|(c, vi)| c * vi).sum();
-        for (c, vi) in col.iter_mut().zip(v) {
-            *c -= 2.0 * dot * vi;
+        let dot: T = col.iter().zip(v).map(|(&c, &vi)| c * vi).sum();
+        for (c, &vi) in col.iter_mut().zip(v) {
+            *c -= two * dot * vi;
         }
     }
 }
 
 /// `A := A (I - 2 v v^T)` for unit `v`.
-fn householder_right(a: &mut Matrix, v: &[f64]) {
+fn householder_right<T: Scalar>(a: &mut Matrix<T>, v: &[T]) {
     let m = a.rows();
     let n = a.cols();
     debug_assert_eq!(v.len(), n);
+    let two = T::from_f64(2.0);
     // row_dot[i] = sum_j a[i][j] v[j]
-    let mut row_dot = vec![0.0_f64; m];
+    let mut row_dot = vec![T::ZERO; m];
     for (j, &vj) in v.iter().enumerate() {
         for (rd, &aij) in row_dot.iter_mut().zip(a.col(j)) {
             *rd += aij * vj;
@@ -233,21 +248,21 @@ fn householder_right(a: &mut Matrix, v: &[f64]) {
     }
     for (j, &vj) in v.iter().enumerate() {
         for (aij, &rd) in a.col_mut(j).iter_mut().zip(&row_dot) {
-            *aij -= 2.0 * rd * vj;
+            *aij -= two * rd * vj;
         }
     }
 }
 
 /// Builds `b = A * x` for a known solution `x` (HPL-style verification).
-pub fn rhs_for_solution(a: &Matrix, x: &[f64]) -> Vec<f64> {
-    let mut b = vec![0.0; a.rows()];
-    crate::blas2::gemv(1.0, a.view(), x, 0.0, &mut b);
+pub fn rhs_for_solution<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Vec<T> {
+    let mut b = vec![T::ZERO; a.rows()];
+    crate::blas2::gemv(T::ONE, a.view(), x, T::ZERO, &mut b);
     b
 }
 
 /// Uniform `[-0.5, 0.5)` right-hand side as generated by HPL's driver.
-pub fn hpl_rhs(rng: &mut impl Rng, n: usize) -> Vec<f64> {
-    (0..n).map(|_| rng.gen::<f64>() - 0.5).collect()
+pub fn hpl_rhs<T: Scalar>(rng: &mut impl Rng, n: usize) -> Vec<T> {
+    (0..n).map(|_| T::from_f64(rng.gen::<f64>() - 0.5)).collect()
 }
 
 #[cfg(test)]
@@ -269,7 +284,7 @@ mod tests {
 
     #[test]
     fn randn_is_deterministic_for_seed() {
-        let a = randn(&mut StdRng::seed_from_u64(1), 10, 10);
+        let a: Matrix = randn(&mut StdRng::seed_from_u64(1), 10, 10);
         let b = randn(&mut StdRng::seed_from_u64(1), 10, 10);
         assert_eq!(a, b);
     }
@@ -288,7 +303,7 @@ mod tests {
 
     #[test]
     fn wilkinson_structure() {
-        let w = wilkinson(4);
+        let w: Matrix = wilkinson(4);
         assert_eq!(w[(0, 3)], 1.0);
         assert_eq!(w[(2, 2)], 1.0);
         assert_eq!(w[(3, 0)], -1.0);
@@ -298,7 +313,7 @@ mod tests {
     #[test]
     fn diag_dominant_is_dominant() {
         let mut rng = StdRng::seed_from_u64(9);
-        let a = diag_dominant(&mut rng, 20);
+        let a: Matrix = diag_dominant(&mut rng, 20);
         for i in 0..20 {
             let off: f64 = (0..20).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
             assert!(a[(i, i)].abs() > off);
@@ -307,7 +322,7 @@ mod tests {
 
     #[test]
     fn kahan_is_upper_triangular_with_graded_diagonal() {
-        let k = kahan(5, 1.2);
+        let k: Matrix = kahan(5, 1.2);
         for i in 0..5 {
             for j in 0..i {
                 assert_eq!(k[(i, j)], 0.0);
@@ -325,11 +340,11 @@ mod tests {
         use crate::lapack::getf2;
         use crate::NoObs;
         // h = 1 reproduces Wilkinson exactly.
-        assert_eq!(gfpp(6, 1.0), wilkinson(6));
+        assert_eq!(gfpp::<f64>(6, 1.0), wilkinson(6));
         // Growth of GEPP on gfpp(n, h) is (1 + h)^(n-1) in the last column.
         let n = 12;
         let h = 0.5;
-        let mut a = gfpp(n, h);
+        let mut a: Matrix = gfpp(n, h);
         let mut ipiv = vec![0usize; n];
         getf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap();
         let last = a[(n - 1, n - 1)];
@@ -347,7 +362,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let n = 16;
         let cond = 1e6;
-        let a = randsvd(&mut rng, n, cond);
+        let a: Matrix = randsvd(&mut rng, n, cond);
         let anorm = mat_norm_1(a.view());
         let mut lu = a.clone();
         let mut ipiv = vec![0usize; n];
@@ -361,7 +376,7 @@ mod tests {
 
     #[test]
     fn hadamard_columns_are_orthogonal() {
-        let h = hadamard(8);
+        let h: Matrix = hadamard(8);
         for i in 0..8 {
             for j in 0..8 {
                 let dot: f64 = (0..8).map(|k| h[(k, i)] * h[(k, j)]).sum();
@@ -375,7 +390,7 @@ mod tests {
         use crate::lapack::getf2;
         use crate::NoObs;
         let n = 16;
-        let mut a = hadamard(n);
+        let mut a: Matrix = hadamard(n);
         let mut ipiv = vec![0usize; n];
         getf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap();
         let max_u = a.max_abs();
@@ -385,6 +400,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn hadamard_rejects_non_power_of_two() {
-        let _ = hadamard(6);
+        let _: Matrix = hadamard(6);
     }
 }

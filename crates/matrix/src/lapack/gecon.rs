@@ -8,6 +8,7 @@
 
 use crate::lapack::{getrs, getrs_t};
 use crate::norms::vec_norm_1;
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// Maximum Hager iterations (LAPACK uses 5; convergence is almost always
@@ -23,15 +24,15 @@ const ITMAX: usize = 5;
 ///
 /// # Panics
 /// If the factors are not square.
-pub fn inv_norm1_est(lu: MatView<'_>, ipiv: &[usize]) -> f64 {
+pub fn inv_norm1_est<T: Scalar>(lu: MatView<'_, T>, ipiv: &[usize]) -> T {
     let n = lu.rows();
     assert_eq!(lu.cols(), n, "inv_norm1_est: factors must be square");
     if n == 0 {
-        return 0.0;
+        return T::ZERO;
     }
 
     // Start with the uniform vector: est = ||A^{-1} e/n||_1.
-    let mut x = vec![1.0 / n as f64; n];
+    let mut x = vec![T::from_usize(n).recip(); n];
     getrs(lu, ipiv, &mut x);
     let mut est = vec_norm_1(&x);
     if n == 1 {
@@ -41,11 +42,12 @@ pub fn inv_norm1_est(lu: MatView<'_>, ipiv: &[usize]) -> f64 {
     let mut visited = vec![false; n];
     for _ in 0..ITMAX {
         // ξ = sign(x); z = A^{-T} ξ.
-        let mut z: Vec<f64> = x.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        let mut z: Vec<T> =
+            x.iter().map(|&v| if v >= T::ZERO { T::ONE } else { -T::ONE }).collect();
         getrs_t(lu, ipiv, &mut z);
 
         // j = argmax |z_j|; stop when z stops finding a steeper column.
-        let (mut j_best, mut z_best) = (0usize, 0.0_f64);
+        let (mut j_best, mut z_best) = (0usize, T::ZERO);
         for (j, &zj) in z.iter().enumerate() {
             if zj.abs() > z_best {
                 z_best = zj.abs();
@@ -58,8 +60,8 @@ pub fn inv_norm1_est(lu: MatView<'_>, ipiv: &[usize]) -> f64 {
         visited[j_best] = true;
 
         // x = e_{j_best}; new estimate = ||A^{-1} e_j||_1 (column norm).
-        x.iter_mut().for_each(|v| *v = 0.0);
-        x[j_best] = 1.0;
+        x.iter_mut().for_each(|v| *v = T::ZERO);
+        x[j_best] = T::ONE;
         getrs(lu, ipiv, &mut x);
         let new_est = vec_norm_1(&x);
         if new_est <= est {
@@ -70,14 +72,14 @@ pub fn inv_norm1_est(lu: MatView<'_>, ipiv: &[usize]) -> f64 {
 
     // LAPACK's final safeguard: an alternating, graded probe vector that
     // defeats adversarial sign cancellation.
-    let mut v: Vec<f64> = (0..n)
+    let mut v: Vec<T> = (0..n)
         .map(|i| {
             let s = if i % 2 == 0 { 1.0 } else { -1.0 };
-            s * (1.0 + i as f64 / (n as f64 - 1.0))
+            T::from_f64(s * (1.0 + i as f64 / (n as f64 - 1.0)))
         })
         .collect();
     getrs(lu, ipiv, &mut v);
-    est.max(2.0 * vec_norm_1(&v) / (3.0 * n as f64))
+    est.max(T::from_f64(2.0) * vec_norm_1(&v) / (T::from_f64(3.0) * T::from_usize(n)))
 }
 
 /// Reciprocal 1-norm condition estimate `rcond = 1 / (||A||_1 ||A^{-1}||_1)`
@@ -87,19 +89,19 @@ pub fn inv_norm1_est(lu: MatView<'_>, ipiv: &[usize]) -> f64 {
 ///
 /// # Panics
 /// If the factors are not square or `anorm < 0`.
-pub fn gecon(lu: MatView<'_>, ipiv: &[usize], anorm: f64) -> f64 {
-    assert!(anorm >= 0.0, "gecon: anorm must be non-negative");
-    if anorm == 0.0 {
-        return 0.0;
+pub fn gecon<T: Scalar>(lu: MatView<'_, T>, ipiv: &[usize], anorm: T) -> T {
+    assert!(anorm >= T::ZERO, "gecon: anorm must be non-negative");
+    if anorm == T::ZERO {
+        return T::ZERO;
     }
     if lu.rows() == 0 {
-        return 1.0;
+        return T::ONE;
     }
     let inv_norm = inv_norm1_est(lu, ipiv);
-    if inv_norm == 0.0 || !inv_norm.is_finite() {
-        return 0.0;
+    if inv_norm == T::ZERO || !inv_norm.is_finite() {
+        return T::ZERO;
     }
-    (1.0 / inv_norm) / anorm
+    inv_norm.recip() / anorm
 }
 
 #[cfg(test)]

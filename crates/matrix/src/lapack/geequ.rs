@@ -6,35 +6,36 @@
 //! not the units the user happened to pick.
 
 use crate::error::{Error, Result};
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 
 /// Equilibration scalings for a matrix: `diag(r) * A * diag(c)` has rows
 /// and columns with unit max-entry.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Equilibration {
+pub struct Equilibration<T = f64> {
     /// Row scale factors `r` (length `m`).
-    pub r: Vec<f64>,
+    pub r: Vec<T>,
     /// Column scale factors `c` (length `n`).
-    pub c: Vec<f64>,
+    pub c: Vec<T>,
     /// `min_i max_j |a_ij| r_i` over `max_i ...` — LAPACK's `ROWCND`;
     /// near 1 means rows were already balanced.
-    pub rowcnd: f64,
+    pub rowcnd: T,
     /// Same for columns (`COLCND`).
-    pub colcnd: f64,
+    pub colcnd: T,
     /// `max |a_ij|` of the input.
-    pub amax: f64,
+    pub amax: T,
 }
 
-impl Equilibration {
+impl<T: Scalar> Equilibration<T> {
     /// LAPACK's heuristic for whether row scaling is worth applying
     /// (`ROWCND < 0.1` in `DGESVX`).
     pub fn rows_need_scaling(&self) -> bool {
-        self.rowcnd < 0.1
+        self.rowcnd < T::from_f64(0.1)
     }
 
     /// Same heuristic for columns.
     pub fn cols_need_scaling(&self) -> bool {
-        self.colcnd < 0.1
+        self.colcnd < T::from_f64(0.1)
     }
 }
 
@@ -43,11 +44,11 @@ impl Equilibration {
 /// # Errors
 /// [`Error::SingularPivot`] naming the first identically-zero row or
 /// column (such a matrix is exactly singular; LAPACK reports it in `INFO`).
-pub fn geequ(a: MatView<'_>) -> Result<Equilibration> {
+pub fn geequ<T: Scalar>(a: MatView<'_, T>) -> Result<Equilibration<T>> {
     let (m, n) = (a.rows(), a.cols());
-    let mut r = vec![0.0_f64; m];
-    let mut c = vec![0.0_f64; n];
-    let mut amax = 0.0_f64;
+    let mut r = vec![T::ZERO; m];
+    let mut c = vec![T::ZERO; n];
+    let mut amax = T::ZERO;
 
     for j in 0..n {
         for (i, &v) in a.col(j).iter().enumerate() {
@@ -60,35 +61,35 @@ pub fn geequ(a: MatView<'_>) -> Result<Equilibration> {
             }
         }
     }
-    let (mut rmin, mut rmax) = (f64::INFINITY, 0.0_f64);
+    let (mut rmin, mut rmax) = (T::INFINITY, T::ZERO);
     for (i, ri) in r.iter_mut().enumerate() {
-        if *ri == 0.0 {
+        if *ri == T::ZERO {
             return Err(Error::SingularPivot { step: i });
         }
         rmin = rmin.min(*ri);
         rmax = rmax.max(*ri);
-        *ri = 1.0 / *ri;
+        *ri = ri.recip();
     }
     let rowcnd = rmin / rmax;
 
     for (j, cj) in c.iter_mut().enumerate() {
-        let mut best = 0.0_f64;
+        let mut best = T::ZERO;
         for (i, &v) in a.col(j).iter().enumerate() {
             let scaled = v.abs() * r[i];
             if scaled > best {
                 best = scaled;
             }
         }
-        if best == 0.0 {
+        if best == T::ZERO {
             return Err(Error::SingularPivot { step: j });
         }
-        *cj = 1.0 / best;
+        *cj = best.recip();
     }
-    let cmin = c.iter().copied().fold(f64::INFINITY, f64::min);
-    let cmax = c.iter().copied().fold(0.0_f64, f64::max);
+    let cmin = c.iter().copied().fold(T::INFINITY, T::min);
+    let cmax = c.iter().copied().fold(T::ZERO, T::max);
     // c holds reciprocals, so COLCND = min(1/c) / max(1/c) = cmin/cmax
     // inverted: min over max of the *scaled column maxima*.
-    let colcnd = (1.0 / cmax) / (1.0 / cmin);
+    let colcnd = cmax.recip() / cmin.recip();
 
     Ok(Equilibration { r, c, rowcnd, colcnd, amax })
 }
@@ -98,7 +99,7 @@ pub fn geequ(a: MatView<'_>) -> Result<Equilibration> {
 ///
 /// # Panics
 /// If the scale vectors don't match `A`'s shape.
-pub fn laqge(mut a: MatViewMut<'_>, eq: &Equilibration) {
+pub fn laqge<T: Scalar>(mut a: MatViewMut<'_, T>, eq: &Equilibration<T>) {
     assert_eq!(eq.r.len(), a.rows(), "laqge: row scale length");
     assert_eq!(eq.c.len(), a.cols(), "laqge: col scale length");
     for j in 0..a.cols() {
@@ -111,7 +112,7 @@ pub fn laqge(mut a: MatViewMut<'_>, eq: &Equilibration) {
 
 /// Undoes equilibration on a solution vector: if `(diag(r) A diag(c)) y =
 /// diag(r) b` was solved, then `x = diag(c) y` solves `A x = b`.
-pub fn unscale_solution(x: &mut [f64], eq: &Equilibration) {
+pub fn unscale_solution<T: Scalar>(x: &mut [T], eq: &Equilibration<T>) {
     assert_eq!(x.len(), eq.c.len(), "unscale: length mismatch");
     for (xi, &ci) in x.iter_mut().zip(&eq.c) {
         *xi *= ci;
@@ -131,7 +132,7 @@ mod tests {
     fn equilibrated_matrix_has_unit_row_and_col_maxima() {
         let mut rng = StdRng::seed_from_u64(251);
         // Wildly scaled: row i multiplied by 10^(i-3), col j by 10^(2j).
-        let mut a = gen::randn(&mut rng, 6, 5);
+        let mut a: Matrix = gen::randn(&mut rng, 6, 5);
         for i in 0..6 {
             for j in 0..5 {
                 a[(i, j)] *= 10.0_f64.powi(i as i32 - 3) * 10.0_f64.powi(2 * j as i32);
@@ -154,7 +155,7 @@ mod tests {
     #[test]
     fn balanced_matrix_reports_good_cnd() {
         let mut rng = StdRng::seed_from_u64(252);
-        let a = gen::uniform(&mut rng, 20, 20, 0.5, 2.0);
+        let a: Matrix = gen::uniform(&mut rng, 20, 20, 0.5, 2.0);
         let eq = geequ(a.view()).unwrap();
         assert!(eq.rowcnd > 0.1, "rowcnd {}", eq.rowcnd);
         assert!(eq.colcnd > 0.1, "colcnd {}", eq.colcnd);

@@ -4,6 +4,7 @@ use crate::blas1::{iamax, scal};
 use crate::blas2::ger;
 use crate::error::{Error, Result};
 use crate::observer::PivotObserver;
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 
 /// Factors `A = P * L * U` in place with partial pivoting, one column at a
@@ -22,7 +23,11 @@ use crate::view::MatViewMut;
 ///
 /// # Panics
 /// If `ipiv.len() != min(m, n)`.
-pub fn getf2<O: PivotObserver>(a: MatViewMut<'_>, ipiv: &mut [usize], obs: &mut O) -> Result<()> {
+pub fn getf2<T: Scalar, O: PivotObserver<T>>(
+    a: MatViewMut<'_, T>,
+    ipiv: &mut [usize],
+    obs: &mut O,
+) -> Result<()> {
     match getf2_info(a, ipiv, obs) {
         None => Ok(()),
         Some(step) => Err(Error::SingularPivot { step }),
@@ -38,8 +43,8 @@ pub fn getf2<O: PivotObserver>(a: MatViewMut<'_>, ipiv: &mut [usize], obs: &mut 
 /// (the winners still span the block's row space), which is why the
 /// tournament uses this variant and only the final no-pivot panel
 /// factorization enforces non-singularity.
-pub fn getf2_info<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
+pub fn getf2_info<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
     ipiv: &mut [usize],
     obs: &mut O,
 ) -> Option<usize> {
@@ -51,7 +56,7 @@ pub fn getf2_info<O: PivotObserver>(
     }
     let mut info = None;
     // Scratch for the U row gathered once per step (rows are strided).
-    let mut urow = vec![0.0_f64; n.saturating_sub(1)];
+    let mut urow = vec![T::ZERO; n.saturating_sub(1)];
 
     #[allow(clippy::needless_range_loop)] // LAPACK-style column sweep
     for j in 0..kn {
@@ -60,18 +65,18 @@ pub fn getf2_info<O: PivotObserver>(
         // Partial pivoting uses the column max itself as pivot.
         obs.on_pivot(j, col_max, col_max);
         ipiv[j] = p;
-        if col_max == 0.0 || !col_max.is_finite() {
+        if col_max == T::ZERO || !col_max.is_finite() {
             info = info.or(Some(j));
         }
         // When col_max == 0 the whole remaining column is zero: the
         // elimination is skipped (DGETF2 does the same) and the rank-1
         // update would be a no-op, so it is skipped too.
-        let eliminate = col_max != 0.0;
+        let eliminate = col_max != T::ZERO;
         if eliminate {
             if p != j {
                 a.swap_rows(j, p);
             }
-            let inv = 1.0 / a.get(j, j);
+            let inv = a.get(j, j).recip();
             scal(inv, &mut a.col_mut(j)[j + 1..]);
             obs.on_multipliers(&a.col(j)[j + 1..]);
         }
@@ -86,7 +91,7 @@ pub fn getf2_info<O: PivotObserver>(
             let l_col = &left.col(j)[j + 1..];
             let trailing = right.submatrix_mut(j + 1, 0, m - j - 1, width);
             if eliminate {
-                ger(-1.0, l_col, &urow[..width], trailing);
+                ger(-T::ONE, l_col, &urow[..width], trailing);
             }
             obs.on_stage(&right.submatrix(j + 1, 0, m - j - 1, width));
         }
@@ -147,7 +152,7 @@ mod tests {
     #[test]
     fn multipliers_bounded_by_one() {
         let mut rng = StdRng::seed_from_u64(12);
-        let mut a = gen::randn(&mut rng, 50, 20);
+        let mut a: Matrix = gen::randn(&mut rng, 50, 20);
         let mut ipiv = vec![0; 20];
         getf2(a.view_mut(), &mut ipiv, &mut NoObs).unwrap();
         let l = a.unit_lower();

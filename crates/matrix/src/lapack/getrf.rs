@@ -6,6 +6,7 @@ use crate::blas3::{gemm, par_gemm, trsm};
 use crate::error::Result;
 use crate::observer::PivotObserver;
 use crate::perm::apply_ipiv;
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 use crate::{Diag, Side, Uplo};
 
@@ -46,8 +47,8 @@ impl Default for GetrfOpts {
 /// # Errors
 /// [`Error::SingularPivot`](crate::Error::SingularPivot) from the panel
 /// factorization (step index made absolute).
-pub fn getrf<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
+pub fn getrf<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
     ipiv: &mut [usize],
     opts: GetrfOpts,
     obs: &mut O,
@@ -100,15 +101,15 @@ pub fn getrf<O: PivotObserver>(
             let right = right.into_submatrix(k, 0, m - k, n - k - jb);
             let (mut u12, mut a22) = right.split_at_row_mut(jb);
             let l11 = left.submatrix(k, k, jb, jb);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
+            trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12.rb_mut());
 
             if k + jb < m {
                 // A22 -= L21 * U12.
                 let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
                 if opts.parallel {
-                    par_gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
+                    par_gemm(-T::ONE, l21, u12.as_view(), T::ONE, a22.rb_mut());
                 } else {
-                    gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
+                    gemm(-T::ONE, l21, u12.as_view(), T::ONE, a22.rb_mut());
                 }
                 obs.on_stage(&a22.as_view());
             }
@@ -165,7 +166,7 @@ mod tests {
     #[test]
     fn recursive_panel_gives_same_result() {
         let mut rng = StdRng::seed_from_u64(32);
-        let a0 = gen::randn(&mut rng, 90, 90);
+        let a0: Matrix = gen::randn(&mut rng, 90, 90);
         let mut a1 = a0.clone();
         let mut a2 = a0.clone();
         let mut ip1 = vec![0; 90];
@@ -191,7 +192,7 @@ mod tests {
     #[test]
     fn parallel_update_matches_serial() {
         let mut rng = StdRng::seed_from_u64(33);
-        let a0 = gen::randn(&mut rng, 160, 160);
+        let a0: Matrix = gen::randn(&mut rng, 160, 160);
         let mut a1 = a0.clone();
         let mut a2 = a0.clone();
         let mut ip1 = vec![0; 160];
@@ -230,7 +231,7 @@ mod tests {
         // Construct a matrix whose 3rd column is a copy of the 1st: rank
         // deficiency appears at global step 2 regardless of block size.
         let mut rng = StdRng::seed_from_u64(35);
-        let mut a = gen::randn(&mut rng, 6, 6);
+        let mut a: Matrix = gen::randn(&mut rng, 6, 6);
         for i in 0..6 {
             let v = a[(i, 0)];
             a[(i, 2)] = v;

@@ -8,6 +8,7 @@
 use crate::blas1::scal;
 use crate::blas2::{gemv, trmv};
 use crate::error::{Error, Result};
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 use crate::{Diag, Uplo};
 
@@ -19,21 +20,21 @@ use crate::{Diag, Uplo};
 ///
 /// # Panics
 /// If `a` is not square.
-pub fn trtri_upper(mut a: MatViewMut<'_>, diag: Diag) -> Result<()> {
+pub fn trtri_upper<T: Scalar>(mut a: MatViewMut<'_, T>, diag: Diag) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "trtri_upper: A must be square");
     for j in 0..n {
         let ajj = match diag {
             Diag::NonUnit => {
                 let d = a.get(j, j);
-                if d == 0.0 || !d.is_finite() {
+                if d == T::ZERO || !d.is_finite() {
                     return Err(Error::SingularPivot { step: j });
                 }
-                let inv = 1.0 / d;
+                let inv = d.recip();
                 a.set(j, j, inv);
                 -inv
             }
-            Diag::Unit => -1.0,
+            Diag::Unit => -T::ONE,
         };
         // a[0..j, j] := ajj * U(0..j, 0..j) * a[0..j, j], with the leading
         // block already inverted (DTRTI2's column sweep).
@@ -56,7 +57,7 @@ pub fn trtri_upper(mut a: MatViewMut<'_>, diag: Diag) -> Result<()> {
 ///
 /// # Panics
 /// If `a` is not square or `ipiv.len() != n`.
-pub fn getri(mut a: MatViewMut<'_>, ipiv: &[usize]) -> Result<()> {
+pub fn getri<T: Scalar>(mut a: MatViewMut<'_, T>, ipiv: &[usize]) -> Result<()> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "getri: A must be square");
     assert_eq!(ipiv.len(), n, "getri: ipiv length must be n");
@@ -70,20 +71,20 @@ pub fn getri(mut a: MatViewMut<'_>, ipiv: &[usize]) -> Result<()> {
     // Step 2: solve A^{-1} L = U^{-1} by sweeping columns right to left:
     // save L's subdiagonal column j, zero it, and subtract the trailing
     // columns' contribution (DGETRI's gemv sweep).
-    let mut work = vec![0.0_f64; n];
+    let mut work = vec![T::ZERO; n];
     for j in (0..n.saturating_sub(1)).rev() {
         let tail = n - j - 1;
         {
             let cj = a.col_mut(j);
             work[..tail].copy_from_slice(&cj[j + 1..]);
             for v in &mut cj[j + 1..] {
-                *v = 0.0;
+                *v = T::ZERO;
             }
         }
         // a[:, j] -= a[:, j+1..n] * work  (full-height gemv).
         let (left, right) = a.rb_mut().split_at_col_mut(j + 1);
         let mut left = left;
-        gemv(-1.0, right.as_view(), &work[..tail], 1.0, left.col_mut(j));
+        gemv(-T::ONE, right.as_view(), &work[..tail], T::ONE, left.col_mut(j));
     }
 
     // Step 3: apply the row interchanges as *column* swaps in reverse

@@ -3,6 +3,7 @@
 use crate::blas2::{trsv, trsv_t};
 use crate::blas3::trsm;
 use crate::perm::{apply_ipiv, apply_ipiv_vec};
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 use crate::{Diag, Side, Uplo};
 
@@ -11,7 +12,7 @@ use crate::{Diag, Side, Uplo};
 ///
 /// # Panics
 /// If shapes mismatch.
-pub fn getrs(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
+pub fn getrs<T: Scalar>(lu: MatView<'_, T>, ipiv: &[usize], b: &mut [T]) {
     let n = lu.rows();
     assert_eq!(lu.cols(), n, "getrs: factors must be square");
     assert_eq!(b.len(), n, "getrs: rhs length mismatch");
@@ -27,7 +28,7 @@ pub fn getrs(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
 ///
 /// # Panics
 /// If shapes mismatch.
-pub fn getrs_t(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
+pub fn getrs_t<T: Scalar>(lu: MatView<'_, T>, ipiv: &[usize], b: &mut [T]) {
     let n = lu.rows();
     assert_eq!(lu.cols(), n, "getrs_t: factors must be square");
     assert_eq!(b.len(), n, "getrs_t: rhs length mismatch");
@@ -45,13 +46,13 @@ pub fn getrs_t(lu: MatView<'_>, ipiv: &[usize], b: &mut [f64]) {
 ///
 /// # Panics
 /// If shapes mismatch.
-pub fn getrs_mat(lu: MatView<'_>, ipiv: &[usize], mut b: MatViewMut<'_>) {
+pub fn getrs_mat<T: Scalar>(lu: MatView<'_, T>, ipiv: &[usize], mut b: MatViewMut<'_, T>) {
     let n = lu.rows();
     assert_eq!(lu.cols(), n, "getrs_mat: factors must be square");
     assert_eq!(b.rows(), n, "getrs_mat: rhs rows mismatch");
     apply_ipiv(b.rb_mut(), ipiv);
-    trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, lu, b.rb_mut());
-    trsm(Side::Left, Uplo::Upper, Diag::NonUnit, 1.0, lu, b);
+    trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, lu, b.rb_mut());
+    trsm(Side::Left, Uplo::Upper, Diag::NonUnit, T::ONE, lu, b);
 }
 
 #[cfg(test)]
@@ -95,7 +96,7 @@ mod tests {
         let mut bm = b0.clone();
         getrs_mat(lu.view(), &ipiv, bm.view_mut());
         for j in 0..3 {
-            let mut bv = b0.col(j).to_vec();
+            let mut bv: Vec<f64> = b0.col(j).to_vec();
             getrs(lu.view(), &ipiv, &mut bv);
             for (a, b) in bv.iter().zip(bm.col(j)) {
                 assert!((a - b).abs() < 1e-12);

@@ -12,6 +12,7 @@ use crate::blas2::ger;
 use crate::blas3::{gemm, trsm};
 use crate::error::{Error, Result};
 use crate::observer::PivotObserver;
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 use crate::{Diag, Side, Uplo};
 
@@ -19,19 +20,22 @@ use crate::{Diag, Side, Uplo};
 ///
 /// # Errors
 /// [`Error::SingularPivot`] if a diagonal pivot is zero or non-finite.
-pub fn lu_nopiv<O: PivotObserver>(mut a: MatViewMut<'_>, obs: &mut O) -> Result<()> {
+pub fn lu_nopiv<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
+    obs: &mut O,
+) -> Result<()> {
     let (m, n) = (a.rows(), a.cols());
     let kn = m.min(n);
-    let mut urow = vec![0.0_f64; n.saturating_sub(1)];
+    let mut urow = vec![T::ZERO; n.saturating_sub(1)];
 
     for j in 0..kn {
         let col_max = amax(&a.col(j)[j..]);
         let pivot = a.get(j, j);
         obs.on_pivot(j, pivot.abs(), col_max);
-        if pivot == 0.0 || !pivot.is_finite() {
+        if pivot == T::ZERO || !pivot.is_finite() {
             return Err(Error::SingularPivot { step: j });
         }
-        let inv = 1.0 / pivot;
+        let inv = pivot.recip();
         scal(inv, &mut a.col_mut(j)[j + 1..]);
         obs.on_multipliers(&a.col(j)[j + 1..]);
 
@@ -43,7 +47,7 @@ pub fn lu_nopiv<O: PivotObserver>(mut a: MatViewMut<'_>, obs: &mut O) -> Result<
             let (left, mut right) = a.rb_mut().split_at_col_mut(j + 1);
             let l_col = &left.col(j)[j + 1..];
             let trailing = right.submatrix_mut(j + 1, 0, m - j - 1, width);
-            ger(-1.0, l_col, &urow[..width], trailing);
+            ger(-T::ONE, l_col, &urow[..width], trailing);
             obs.on_stage(&right.submatrix(j + 1, 0, m - j - 1, width));
         }
     }
@@ -55,8 +59,8 @@ pub fn lu_nopiv<O: PivotObserver>(mut a: MatViewMut<'_>, obs: &mut O) -> Result<
 ///
 /// # Errors
 /// [`Error::SingularPivot`] with the absolute step index.
-pub fn lu_nopiv_blocked<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
+pub fn lu_nopiv_blocked<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
     nb: usize,
     obs: &mut O,
 ) -> Result<()> {
@@ -78,10 +82,10 @@ pub fn lu_nopiv_blocked<O: PivotObserver>(
             let right = right.into_submatrix(k, 0, m - k, n - k - jb);
             let (mut u12, mut a22) = right.split_at_row_mut(jb);
             let l11 = left.submatrix(k, k, jb, jb);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, u12.rb_mut());
+            trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12.rb_mut());
             if k + jb < m {
                 let l21 = left.submatrix(k + jb, k, m - k - jb, jb);
-                gemm(-1.0, l21, u12.as_view(), 1.0, a22.rb_mut());
+                gemm(-T::ONE, l21, u12.as_view(), T::ONE, a22.rb_mut());
                 obs.on_stage(&a22.as_view());
             }
         }
@@ -121,7 +125,7 @@ mod tests {
     #[test]
     fn blocked_matches_unblocked() {
         let mut rng = StdRng::seed_from_u64(42);
-        let a0 = gen::diag_dominant(&mut rng, 70);
+        let a0: Matrix = gen::diag_dominant(&mut rng, 70);
         let mut a1 = a0.clone();
         let mut a2 = a0.clone();
         lu_nopiv(a1.view_mut(), &mut NoObs).unwrap();

@@ -9,6 +9,7 @@ use crate::blas3::{gemm, trsm};
 use crate::error::Result;
 use crate::observer::PivotObserver;
 use crate::perm::apply_ipiv;
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 use crate::{Diag, Side, Uplo};
 
@@ -25,7 +26,11 @@ const BASE_WIDTH: usize = 4;
 ///
 /// # Panics
 /// If `m < n` (panels in LU are always tall) or `ipiv.len() != n`.
-pub fn rgetf2<O: PivotObserver>(a: MatViewMut<'_>, ipiv: &mut [usize], obs: &mut O) -> Result<()> {
+pub fn rgetf2<T: Scalar, O: PivotObserver<T>>(
+    a: MatViewMut<'_, T>,
+    ipiv: &mut [usize],
+    obs: &mut O,
+) -> Result<()> {
     match rgetf2_info(a, ipiv, obs) {
         None => Ok(()),
         Some(step) => Err(crate::Error::SingularPivot { step }),
@@ -41,8 +46,8 @@ pub fn rgetf2<O: PivotObserver>(a: MatViewMut<'_>, ipiv: &mut [usize], obs: &mut
 ///
 /// # Panics
 /// If `m < n` (panels in LU are always tall) or `ipiv.len() != n`.
-pub fn rgetf2_info<O: PivotObserver>(
-    mut a: MatViewMut<'_>,
+pub fn rgetf2_info<T: Scalar, O: PivotObserver<T>>(
+    mut a: MatViewMut<'_, T>,
     ipiv: &mut [usize],
     obs: &mut O,
 ) -> Option<usize> {
@@ -76,11 +81,11 @@ pub fn rgetf2_info<O: PivotObserver>(
         let (left, right) = a.rb_mut().split_at_col_mut(n1);
         let (mut r_top, mut r_bot) = right.split_at_row_mut(n1);
         let l11 = left.submatrix(0, 0, n1, n1);
-        trsm(Side::Left, Uplo::Lower, Diag::Unit, 1.0, l11, r_top.rb_mut());
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, r_top.rb_mut());
 
         // A22 -= L21 * U12.
         let l21 = left.submatrix(n1, 0, m - n1, n1);
-        gemm(-1.0, l21, r_top.as_view(), 1.0, r_bot.rb_mut());
+        gemm(-T::ONE, l21, r_top.as_view(), T::ONE, r_bot.rb_mut());
         obs.on_stage(&r_bot.as_view());
     }
 
@@ -140,7 +145,7 @@ mod tests {
         // choose exactly the same pivot rows as the classic one.
         let mut rng = StdRng::seed_from_u64(22);
         for &(m, n) in &[(30, 8), (64, 33), (128, 50)] {
-            let a0 = gen::randn(&mut rng, m, n);
+            let a0: Matrix = gen::randn(&mut rng, m, n);
             let mut a_c = a0.clone();
             let mut a_r = a0.clone();
             let mut ip_c = vec![0; n];
@@ -165,7 +170,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "tall matrix")]
     fn wide_input_panics() {
-        let mut a = Matrix::zeros(3, 5);
+        let mut a: Matrix = Matrix::zeros(3, 5);
         let mut ipiv = vec![0; 5];
         let _ = rgetf2(a.view_mut(), &mut ipiv, &mut NoObs);
     }

@@ -19,6 +19,9 @@
 //! * [`gen`] — seeded matrix ensembles used by the paper's experiments
 //!   (normal, uniform, Toeplitz, plus worst-case growth matrices).
 //! * [`perm`] — pivot-vector (`ipiv`) and permutation algebra.
+//! * [`scalar`] — the [`Scalar`] trait (`f32`/`f64`): every kernel above is
+//!   generic over the element type, with `f64` as the default type
+//!   parameter so the classic double-precision API reads unchanged.
 //! * [`observer`] — a zero-cost instrumentation hook that the stability
 //!   experiments use to track element growth and pivot thresholds at every
 //!   elimination stage.
@@ -42,11 +45,13 @@ pub mod mat;
 pub mod norms;
 pub mod observer;
 pub mod perm;
+pub mod scalar;
 pub mod view;
 
 pub use error::{Error, Result};
 pub use mat::Matrix;
 pub use observer::{NoObs, PivotObserver};
+pub use scalar::Scalar;
 pub use view::{MatView, MatViewMut};
 
 /// Side on which a triangular matrix multiplies in [`blas3::trsm`].

@@ -1,5 +1,6 @@
 //! Owned column-major matrix storage.
 
+use crate::scalar::Scalar;
 use crate::view::{MatView, MatViewMut};
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -11,29 +12,29 @@ use std::ops::{Index, IndexMut};
 /// [`Matrix::view_mut`], so that the exact same kernels run on owned
 /// matrices, panels, and block-cyclic local storage.
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<T = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
 }
 
-impl Matrix {
+impl<T: Scalar> Matrix<T> {
     /// Allocates an `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
     }
 
     /// The `n x n` identity.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = T::ONE;
         }
         m
     }
 
     /// Builds a matrix from a function of `(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for j in 0..cols {
             for i in 0..rows {
@@ -47,7 +48,7 @@ impl Matrix {
     ///
     /// # Panics
     /// If the length does not match the shape.
-    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length != rows*cols");
         Self { rows, cols, data }
     }
@@ -57,7 +58,7 @@ impl Matrix {
     ///
     /// # Panics
     /// If rows have inconsistent lengths.
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[T]]) -> Self {
         let r = rows.len();
         let c = if r == 0 { 0 } else { rows[0].len() };
         for row in rows {
@@ -86,55 +87,55 @@ impl Matrix {
 
     /// Immutable view of the whole matrix.
     #[inline(always)]
-    pub fn view(&self) -> MatView<'_> {
+    pub fn view(&self) -> MatView<'_, T> {
         MatView::from_slice(&self.data, self.rows, self.cols, self.rows.max(1))
     }
 
     /// Mutable view of the whole matrix.
     #[inline(always)]
-    pub fn view_mut(&mut self) -> MatViewMut<'_> {
+    pub fn view_mut(&mut self) -> MatViewMut<'_, T> {
         MatViewMut::from_slice(&mut self.data, self.rows, self.cols, self.rows.max(1))
     }
 
     /// Column `j` as a contiguous slice.
     #[inline(always)]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         &self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Column `j` as a mutable contiguous slice.
     #[inline(always)]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
     /// Underlying column-major buffer.
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[T] {
         &self.data
     }
 
     /// Underlying column-major buffer, mutably.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
     }
 
     /// Consumes the matrix, returning its buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<T> {
         self.data
     }
 
     /// Returns the transpose as a new matrix.
-    pub fn transposed(&self) -> Matrix {
+    pub fn transposed(&self) -> Matrix<T> {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
     /// Extracts row `i` as a `Vec`.
-    pub fn row(&self, i: usize) -> Vec<f64> {
+    pub fn row(&self, i: usize) -> Vec<T> {
         (0..self.cols).map(|j| self[(i, j)]).collect()
     }
 
     /// Element-wise absolute value.
-    pub fn abs(&self) -> Matrix {
+    pub fn abs(&self) -> Matrix<T> {
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -143,62 +144,74 @@ impl Matrix {
     }
 
     /// Maximum absolute entry (0 for empty).
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    pub fn max_abs(&self) -> T {
+        self.data.iter().fold(T::ZERO, |m, &x| m.max(x.abs()))
     }
 
     /// Frobenius-style elementwise comparison: max |a_ij - b_ij|.
     ///
     /// # Panics
     /// If the shapes differ.
-    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> T {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data.iter().zip(&other.data).fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(T::ZERO, |m, (&a, &b)| m.max((a - b).abs()))
     }
 
     /// The strictly-lower-triangular part with unit diagonal (the `L` factor
     /// stored in a packed LU), as an `m x min(m,n)` matrix.
-    pub fn unit_lower(&self) -> Matrix {
+    pub fn unit_lower(&self) -> Matrix<T> {
         let k = self.rows.min(self.cols);
         Matrix::from_fn(self.rows, k, |i, j| {
             if i == j {
-                1.0
+                T::ONE
             } else if i > j {
                 self[(i, j)]
             } else {
-                0.0
+                T::ZERO
             }
         })
     }
 
     /// The upper-triangular part (the `U` factor stored in a packed LU), as
     /// a `min(m,n) x n` matrix.
-    pub fn upper(&self) -> Matrix {
+    pub fn upper(&self) -> Matrix<T> {
         let k = self.rows.min(self.cols);
-        Matrix::from_fn(k, self.cols, |i, j| if j >= i { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(k, self.cols, |i, j| if j >= i { self[(i, j)] } else { T::ZERO })
+    }
+
+    /// Rounds every element into precision `U` (`f64 → f32` demotes with
+    /// IEEE round-to-nearest; `f32 → f64` is exact). The mixed-precision
+    /// solver uses this to hand a working copy to the fast low-precision
+    /// factorization.
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
+        }
     }
 }
 
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
 
     #[inline(always)]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &T {
         debug_assert!(i < self.rows && j < self.cols);
         &self.data[j * self.rows + i]
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline(always)]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
         debug_assert!(i < self.rows && j < self.cols);
         &mut self.data[j * self.rows + i]
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
         let show_rows = self.rows.min(8);
@@ -206,7 +219,7 @@ impl fmt::Debug for Matrix {
         for i in 0..show_rows {
             write!(f, "  ")?;
             for j in 0..show_cols {
-                write!(f, "{:>10.4} ", self[(i, j)])?;
+                write!(f, "{:>10.4?} ", self[(i, j)])?;
             }
             if show_cols < self.cols {
                 write!(f, "...")?;
@@ -264,7 +277,7 @@ mod tests {
 
     #[test]
     fn identity_is_identity() {
-        let i3 = Matrix::identity(3);
+        let i3: Matrix = Matrix::identity(3);
         for i in 0..3 {
             for j in 0..3 {
                 assert_eq!(i3[(i, j)], if i == j { 1.0 } else { 0.0 });

@@ -8,6 +8,7 @@
 //! [`PivotObserver`]; the default [`NoObs`] has empty inlined methods that
 //! compile away.
 
+use crate::scalar::Scalar;
 use crate::view::MatView;
 
 /// Receives callbacks from factorization kernels at every elimination event.
@@ -16,7 +17,7 @@ use crate::view::MatView;
 /// need. Implementations used for growth tracking should expect
 /// `on_stage` to be called with the sub-block that changed at each stage
 /// (after a rank-1 update or after a blocked trailing update).
-pub trait PivotObserver {
+pub trait PivotObserver<T: Scalar = f64> {
     /// A pivot was selected at global elimination step `step`.
     ///
     /// * `pivot` — absolute value of the pivot actually used,
@@ -25,21 +26,21 @@ pub trait PivotObserver {
     ///   CALU's ca-pivoting the ratio `pivot / col_max` is the *threshold*
     ///   the paper reports (min observed ≈ 0.33, i.e. `|L| <= 3`).
     #[inline(always)]
-    fn on_pivot(&mut self, step: usize, pivot: f64, col_max: f64) {
+    fn on_pivot(&mut self, step: usize, pivot: T, col_max: T) {
         let _ = (step, pivot, col_max);
     }
 
     /// Part of the matrix was updated; `changed` views the entries holding
     /// freshly-computed intermediate values `a_ij^{(k)}`.
     #[inline(always)]
-    fn on_stage(&mut self, changed: &MatView<'_>) {
+    fn on_stage(&mut self, changed: &MatView<'_, T>) {
         let _ = changed;
     }
 
     /// A multiplier column was produced (entries of `L` below the diagonal),
     /// reported so `max |L|` can be tracked.
     #[inline(always)]
-    fn on_multipliers(&mut self, col_below_diag: &[f64]) {
+    fn on_multipliers(&mut self, col_below_diag: &[T]) {
         let _ = col_below_diag;
     }
 }
@@ -48,21 +49,21 @@ pub trait PivotObserver {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoObs;
 
-impl PivotObserver for NoObs {}
+impl<T: Scalar> PivotObserver<T> for NoObs {}
 
-impl<T: PivotObserver + ?Sized> PivotObserver for &mut T {
+impl<T: Scalar, O: PivotObserver<T> + ?Sized> PivotObserver<T> for &mut O {
     #[inline(always)]
-    fn on_pivot(&mut self, step: usize, pivot: f64, col_max: f64) {
+    fn on_pivot(&mut self, step: usize, pivot: T, col_max: T) {
         (**self).on_pivot(step, pivot, col_max)
     }
 
     #[inline(always)]
-    fn on_stage(&mut self, changed: &MatView<'_>) {
+    fn on_stage(&mut self, changed: &MatView<'_, T>) {
         (**self).on_stage(changed)
     }
 
     #[inline(always)]
-    fn on_multipliers(&mut self, col_below_diag: &[f64]) {
+    fn on_multipliers(&mut self, col_below_diag: &[T]) {
         (**self).on_multipliers(col_below_diag)
     }
 }

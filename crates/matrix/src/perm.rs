@@ -7,12 +7,13 @@
 //! `perm[i] = p` means row `i` of the permuted matrix is row `p` of the
 //! original (`(P A)[i, :] = A[perm[i], :]`).
 
+use crate::scalar::Scalar;
 use crate::view::MatViewMut;
 
 /// Applies the transposition sequence `ipiv` to the rows of `a`
 /// (LAPACK `DLASWP` with increment +1): for `i` in order, swap rows
 /// `i` and `ipiv[i]`.
-pub fn apply_ipiv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
+pub fn apply_ipiv<T: Scalar>(mut a: MatViewMut<'_, T>, ipiv: &[usize]) {
     for (i, &p) in ipiv.iter().enumerate() {
         if p != i {
             a.swap_rows(i, p);
@@ -22,7 +23,7 @@ pub fn apply_ipiv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
 
 /// Applies the inverse of the transposition sequence (LAPACK `DLASWP` with
 /// increment -1): for `i` in reverse order, swap rows `i` and `ipiv[i]`.
-pub fn apply_ipiv_inv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
+pub fn apply_ipiv_inv<T: Scalar>(mut a: MatViewMut<'_, T>, ipiv: &[usize]) {
     for (i, &p) in ipiv.iter().enumerate().rev() {
         if p != i {
             a.swap_rows(i, p);
@@ -31,7 +32,7 @@ pub fn apply_ipiv_inv(mut a: MatViewMut<'_>, ipiv: &[usize]) {
 }
 
 /// Applies the transposition sequence to a vector.
-pub fn apply_ipiv_vec(x: &mut [f64], ipiv: &[usize]) {
+pub fn apply_ipiv_vec<T: Scalar>(x: &mut [T], ipiv: &[usize]) {
     for (i, &p) in ipiv.iter().enumerate() {
         if p != i {
             x.swap(i, p);
@@ -90,7 +91,7 @@ pub fn is_permutation(perm: &[usize]) -> bool {
 ///
 /// # Panics
 /// If `perm.len() != src.rows()` or `perm` indexes out of range.
-pub fn permute_rows(src: &crate::Matrix, perm: &[usize]) -> crate::Matrix {
+pub fn permute_rows<T: Scalar>(src: &crate::Matrix<T>, perm: &[usize]) -> crate::Matrix<T> {
     assert_eq!(perm.len(), src.rows());
     crate::Matrix::from_fn(src.rows(), src.cols(), |i, j| src[(perm[i], j)])
 }

@@ -20,43 +20,44 @@
 //! so kernels built on top are safe code. Element accesses are
 //! bounds-checked with `debug_assert!` (tests run with debug assertions on).
 
+use crate::scalar::Scalar;
 use std::fmt;
 use std::marker::PhantomData;
 
 /// Immutable view of a column-major matrix block.
 #[derive(Clone, Copy)]
-pub struct MatView<'a> {
-    ptr: *const f64,
+pub struct MatView<'a, T = f64> {
+    ptr: *const T,
     rows: usize,
     cols: usize,
     ld: usize,
-    _marker: PhantomData<&'a f64>,
+    _marker: PhantomData<&'a T>,
 }
 
 /// Mutable view of a column-major matrix block.
-pub struct MatViewMut<'a> {
-    ptr: *mut f64,
+pub struct MatViewMut<'a, T = f64> {
+    ptr: *mut T,
     rows: usize,
     cols: usize,
     ld: usize,
-    _marker: PhantomData<&'a mut f64>,
+    _marker: PhantomData<&'a mut T>,
 }
 
-// A view is semantically a (slice of) shared f64s; a mutable view is
+// A view is semantically a (slice of) shared scalars; a mutable view is
 // semantically an exclusive slice. Both patterns are Send/Sync exactly like
-// `&[f64]` / `&mut [f64]`.
-unsafe impl Send for MatView<'_> {}
-unsafe impl Sync for MatView<'_> {}
-unsafe impl Send for MatViewMut<'_> {}
-unsafe impl Sync for MatViewMut<'_> {}
+// `&[T]` / `&mut [T]`.
+unsafe impl<T: Sync> Send for MatView<'_, T> {}
+unsafe impl<T: Sync> Sync for MatView<'_, T> {}
+unsafe impl<T: Send> Send for MatViewMut<'_, T> {}
+unsafe impl<T: Sync> Sync for MatViewMut<'_, T> {}
 
-impl<'a> MatView<'a> {
+impl<'a, T: Scalar> MatView<'a, T> {
     /// Builds a view over `data` interpreted as column-major with leading
     /// dimension `ld`.
     ///
     /// # Panics
     /// If the slice is too short for the shape or `ld < rows`.
-    pub fn from_slice(data: &'a [f64], rows: usize, cols: usize, ld: usize) -> Self {
+    pub fn from_slice(data: &'a [T], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
         if cols > 0 && rows > 0 {
             let need = (cols - 1) * ld + rows;
@@ -91,7 +92,7 @@ impl<'a> MatView<'a> {
 
     /// Element `(i, j)`.
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -103,13 +104,13 @@ impl<'a> MatView<'a> {
 
     /// Column `j` as a contiguous slice of length `rows`.
     #[inline(always)]
-    pub fn col(&self, j: usize) -> &'a [f64] {
+    pub fn col(&self, j: usize) -> &'a [T] {
         debug_assert!(j < self.cols, "column {j} out of {}", self.cols);
         unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
     }
 
     /// Sub-block of shape `nrows x ncols` starting at `(i, j)`.
-    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatView<'a> {
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatView<'a, T> {
         assert!(i + nrows <= self.rows, "row range {i}+{nrows} out of {}", self.rows);
         assert!(j + ncols <= self.cols, "col range {j}+{ncols} out of {}", self.cols);
         MatView {
@@ -122,17 +123,17 @@ impl<'a> MatView<'a> {
     }
 
     /// Splits into `(top, bottom)` at row `i`.
-    pub fn split_at_row(&self, i: usize) -> (MatView<'a>, MatView<'a>) {
+    pub fn split_at_row(&self, i: usize) -> (MatView<'a, T>, MatView<'a, T>) {
         (self.submatrix(0, 0, i, self.cols), self.submatrix(i, 0, self.rows - i, self.cols))
     }
 
     /// Splits into `(left, right)` at column `j`.
-    pub fn split_at_col(&self, j: usize) -> (MatView<'a>, MatView<'a>) {
+    pub fn split_at_col(&self, j: usize) -> (MatView<'a, T>, MatView<'a, T>) {
         (self.submatrix(0, 0, self.rows, j), self.submatrix(0, j, self.rows, self.cols - j))
     }
 
     /// Copies the viewed block into an owned [`crate::Matrix`].
-    pub fn to_matrix(&self) -> crate::Matrix {
+    pub fn to_matrix(&self) -> crate::Matrix<T> {
         let mut m = crate::Matrix::zeros(self.rows, self.cols);
         for j in 0..self.cols {
             m.col_mut(j).copy_from_slice(self.col(j));
@@ -141,8 +142,8 @@ impl<'a> MatView<'a> {
     }
 
     /// Maximum absolute value over the block (0 for an empty block).
-    pub fn max_abs(&self) -> f64 {
-        let mut best = 0.0_f64;
+    pub fn max_abs(&self) -> T {
+        let mut best = T::ZERO;
         for j in 0..self.cols {
             for &x in self.col(j) {
                 let a = x.abs();
@@ -155,12 +156,12 @@ impl<'a> MatView<'a> {
     }
 }
 
-impl<'a> MatViewMut<'a> {
+impl<'a, T: Scalar> MatViewMut<'a, T> {
     /// Builds a mutable view over `data` (column-major, leading dimension `ld`).
     ///
     /// # Panics
     /// If the slice is too short for the shape or `ld < rows`.
-    pub fn from_slice(data: &'a mut [f64], rows: usize, cols: usize, ld: usize) -> Self {
+    pub fn from_slice(data: &'a mut [T], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
         if cols > 0 && rows > 0 {
             let need = (cols - 1) * ld + rows;
@@ -187,7 +188,7 @@ impl<'a> MatViewMut<'a> {
     /// `j < cols`, that `[ptr + j·ld, ptr + j·ld + rows)` is valid,
     /// writable, and not accessed through any other reference or view
     /// (the usual `MatViewMut` invariants), and that `ld ≥ rows.max(1)`.
-    pub unsafe fn from_raw_parts(ptr: *mut f64, rows: usize, cols: usize, ld: usize) -> Self {
+    pub unsafe fn from_raw_parts(ptr: *mut T, rows: usize, cols: usize, ld: usize) -> Self {
         debug_assert!(ld >= rows.max(1), "leading dimension {ld} < rows {rows}");
         Self { ptr, rows, cols, ld, _marker: PhantomData }
     }
@@ -218,7 +219,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Element `(i, j)`.
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -230,7 +231,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Sets element `(i, j)` to `v`.
     #[inline(always)]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(
             i < self.rows && j < self.cols,
             "index ({i},{j}) out of {}x{}",
@@ -242,14 +243,14 @@ impl<'a> MatViewMut<'a> {
 
     /// Column `j` as an immutable contiguous slice.
     #[inline(always)]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[T] {
         debug_assert!(j < self.cols, "column {j} out of {}", self.cols);
         unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
     }
 
     /// Column `j` as a mutable contiguous slice.
     #[inline(always)]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
         debug_assert!(j < self.cols, "column {j} out of {}", self.cols);
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
     }
@@ -258,7 +259,7 @@ impl<'a> MatViewMut<'a> {
     ///
     /// # Panics
     /// If `j1 == j2` or either is out of range.
-    pub fn two_cols_mut(&mut self, j1: usize, j2: usize) -> (&mut [f64], &mut [f64]) {
+    pub fn two_cols_mut(&mut self, j1: usize, j2: usize) -> (&mut [T], &mut [T]) {
         assert!(j1 != j2, "two_cols_mut requires distinct columns");
         assert!(j1 < self.cols && j2 < self.cols);
         unsafe {
@@ -270,7 +271,7 @@ impl<'a> MatViewMut<'a> {
 
     /// Reborrows as an immutable view with a shorter lifetime.
     #[inline(always)]
-    pub fn as_view(&self) -> MatView<'_> {
+    pub fn as_view(&self) -> MatView<'_, T> {
         MatView {
             ptr: self.ptr,
             rows: self.rows,
@@ -283,7 +284,7 @@ impl<'a> MatViewMut<'a> {
     /// Reborrows mutably with a shorter lifetime (so a view can be passed to
     /// a kernel without being consumed).
     #[inline(always)]
-    pub fn rb_mut(&mut self) -> MatViewMut<'_> {
+    pub fn rb_mut(&mut self) -> MatViewMut<'_, T> {
         MatViewMut {
             ptr: self.ptr,
             rows: self.rows,
@@ -295,7 +296,13 @@ impl<'a> MatViewMut<'a> {
 
     /// Mutable sub-block of shape `nrows x ncols` starting at `(i, j)`,
     /// consuming the view (use [`Self::rb_mut`] first to keep it).
-    pub fn into_submatrix(self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatViewMut<'a> {
+    pub fn into_submatrix(
+        self,
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    ) -> MatViewMut<'a, T> {
         assert!(i + nrows <= self.rows, "row range {i}+{nrows} out of {}", self.rows);
         assert!(j + ncols <= self.cols, "col range {j}+{ncols} out of {}", self.cols);
         MatViewMut {
@@ -314,17 +321,17 @@ impl<'a> MatViewMut<'a> {
         j: usize,
         nrows: usize,
         ncols: usize,
-    ) -> MatViewMut<'_> {
+    ) -> MatViewMut<'_, T> {
         self.rb_mut().into_submatrix(i, j, nrows, ncols)
     }
 
     /// Immutable sub-block.
-    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatView<'_> {
+    pub fn submatrix(&self, i: usize, j: usize, nrows: usize, ncols: usize) -> MatView<'_, T> {
         self.as_view().submatrix(i, j, nrows, ncols)
     }
 
     /// Splits into disjoint `(top, bottom)` mutable views at row `i`.
-    pub fn split_at_row_mut(self, i: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+    pub fn split_at_row_mut(self, i: usize) -> (MatViewMut<'a, T>, MatViewMut<'a, T>) {
         assert!(i <= self.rows);
         let top = MatViewMut {
             ptr: self.ptr,
@@ -344,7 +351,7 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Splits into disjoint `(left, right)` mutable views at column `j`.
-    pub fn split_at_col_mut(self, j: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+    pub fn split_at_col_mut(self, j: usize) -> (MatViewMut<'a, T>, MatViewMut<'a, T>) {
         assert!(j <= self.cols);
         let left = MatViewMut {
             ptr: self.ptr,
@@ -378,7 +385,7 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Fills the whole block with `v`.
-    pub fn fill(&mut self, v: f64) {
+    pub fn fill(&mut self, v: T) {
         for j in 0..self.cols {
             self.col_mut(j).fill(v);
         }
@@ -388,7 +395,7 @@ impl<'a> MatViewMut<'a> {
     ///
     /// # Panics
     /// If the shapes differ.
-    pub fn copy_from(&mut self, src: MatView<'_>) {
+    pub fn copy_from(&mut self, src: MatView<'_, T>) {
         assert_eq!(self.rows, src.rows(), "copy_from: row mismatch");
         assert_eq!(self.cols, src.cols(), "copy_from: col mismatch");
         for j in 0..self.cols {
@@ -397,18 +404,18 @@ impl<'a> MatViewMut<'a> {
     }
 
     /// Copies the viewed block into an owned [`crate::Matrix`].
-    pub fn to_matrix(&self) -> crate::Matrix {
+    pub fn to_matrix(&self) -> crate::Matrix<T> {
         self.as_view().to_matrix()
     }
 }
 
-impl fmt::Debug for MatView<'_> {
+impl<T> fmt::Debug for MatView<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "MatView({}x{}, ld={})", self.rows, self.cols, self.ld)
     }
 }
 
-impl fmt::Debug for MatViewMut<'_> {
+impl<T> fmt::Debug for MatViewMut<'_, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "MatViewMut({}x{}, ld={})", self.rows, self.cols, self.ld)
     }
@@ -475,7 +482,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "row range")]
     fn submatrix_out_of_range_panics() {
-        let m = Matrix::zeros(3, 3);
+        let m: Matrix = Matrix::zeros(3, 3);
         let _ = m.view().submatrix(2, 0, 2, 1);
     }
 
@@ -503,7 +510,7 @@ mod tests {
 
     #[test]
     fn empty_views_are_legal() {
-        let m = Matrix::zeros(4, 4);
+        let m: Matrix = Matrix::zeros(4, 4);
         let v = m.view();
         let e1 = v.submatrix(2, 2, 0, 2);
         let e2 = v.submatrix(0, 4, 4, 0);

@@ -1,5 +1,5 @@
 //! Growth-factor analysis (Trefethen & Schreiber 1990, the paper's
-//! reference [10]).
+//! reference \[10\]).
 //!
 //! Figure 2 (left) plots the measured `gT` for ca-pivoting against the
 //! empirical laws `n^(2/3)` (partial pivoting) and `2·n^(2/3)`; the growth

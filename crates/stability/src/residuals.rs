@@ -15,8 +15,8 @@
 //! column.
 
 use calu_matrix::blas2::gemv;
-use calu_matrix::norms::{mat_norm_1, mat_norm_inf, vec_norm_1, vec_norm_inf};
-use calu_matrix::Matrix;
+use calu_matrix::norms::{mat_norm_inf, vec_norm_inf};
+use calu_matrix::{Matrix, Scalar};
 
 /// The three HPL residuals for a computed solution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,39 +36,36 @@ impl HplReport {
     }
 }
 
-/// Residual vector `r = b − A x`.
-pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+/// Residual vector `r = b − A x`, computed at the matrix's precision.
+pub fn residual<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> Vec<T> {
     let mut r = b.to_vec();
-    gemv(-1.0, a.view(), x, 1.0, &mut r);
+    gemv(-T::ONE, a.view(), x, T::ONE, &mut r);
     r
 }
 
-/// The three HPL residual tests.
+/// The three HPL residual tests, at the working precision `T`: residual
+/// and norms are computed in `T`, and ε is `T::EPSILON` — so the gate asks
+/// the same question at every precision ("is the error a small multiple of
+/// this arithmetic's unit roundoff?"). A well-converged `f32` solve passes
+/// the `f32` gate with the same ~O(1) values an `f64` solve shows on the
+/// `f64` gate.
 ///
 /// # Panics
 /// On dimension mismatch.
-pub fn hpl_tests(a: &Matrix, x: &[f64], b: &[f64]) -> HplReport {
-    let n = a.rows() as f64;
+pub fn hpl_tests<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> HplReport {
     let r = residual(a, x, b);
-    let rn = vec_norm_inf(&r);
-    let eps = f64::EPSILON;
-    let a1 = mat_norm_1(a.view());
-    let ainf = mat_norm_inf(a.view());
-    HplReport {
-        hpl1: rn / (eps * a1 * n),
-        hpl2: rn / (eps * a1 * vec_norm_1(x)),
-        hpl3: rn / (eps * ainf * vec_norm_inf(x) * n),
-    }
+    let [hpl1, hpl2, hpl3] = calu_matrix::norms::hpl_residuals(a.view(), x, &r);
+    HplReport { hpl1, hpl2, hpl3 }
 }
 
 /// Componentwise (Oettli-Prager) backward error
 /// `wb = max_i |r_i| / (|A|·|x| + |b|)_i`; entries with a zero denominator
 /// are skipped (they have a zero numerator too for consistent systems).
-pub fn componentwise_backward_error(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+pub fn componentwise_backward_error<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
     let r = residual(a, x, b);
     // denom = |A| |x| + |b|.
     let n = a.rows();
-    let mut denom = vec![0.0_f64; n];
+    let mut denom = vec![T::ZERO; n];
     for (j, xv) in x.iter().enumerate() {
         let xj = xv.abs();
         for (d, &v) in denom.iter_mut().zip(a.col(j)) {
@@ -80,21 +77,21 @@ pub fn componentwise_backward_error(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     }
     let mut wb = 0.0_f64;
     for (ri, di) in r.iter().zip(&denom) {
-        if *di > 0.0 {
-            wb = wb.max(ri.abs() / di);
+        if *di > T::ZERO {
+            wb = wb.max((ri.abs() / *di).to_f64());
         }
     }
     wb
 }
 
 /// Normwise backward error `||Ax − b||_inf / (||A||_inf ||x||_inf + ||b||_inf)`.
-pub fn backward_error_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+pub fn backward_error_inf<T: Scalar>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
     let r = residual(a, x, b);
     let denom = mat_norm_inf(a.view()) * vec_norm_inf(x) + vec_norm_inf(b);
-    if denom == 0.0 {
+    if denom == T::ZERO {
         0.0
     } else {
-        vec_norm_inf(&r) / denom
+        (vec_norm_inf(&r) / denom).to_f64()
     }
 }
 
@@ -123,7 +120,7 @@ mod tests {
     fn calu_solution_passes_hpl_gates() {
         let mut rng = StdRng::seed_from_u64(171);
         let n = 128;
-        let a = gen::randn(&mut rng, n, n);
+        let a: Matrix = gen::randn(&mut rng, n, n);
         let b = gen::hpl_rhs(&mut rng, n);
         let f = calu_factor(&a, CaluOpts { block: 16, p: 8, ..Default::default() }).unwrap();
         let x = f.solve(&b);
@@ -137,7 +134,7 @@ mod tests {
     fn perturbed_solution_fails_gates() {
         let mut rng = StdRng::seed_from_u64(172);
         let n = 64;
-        let a = gen::randn(&mut rng, n, n);
+        let a: Matrix = gen::randn(&mut rng, n, n);
         let b = gen::hpl_rhs(&mut rng, n);
         let f = calu_factor(&a, CaluOpts::default()).unwrap();
         let mut x = f.solve(&b);

@@ -8,7 +8,7 @@
 
 use calu_repro::core::dist::{dist_calu_factor, DistCaluConfig};
 use calu_repro::core::{LocalLu, LuFactors};
-use calu_repro::matrix::gen;
+use calu_repro::matrix::{gen, Matrix};
 use calu_repro::netsim::MachineConfig;
 use calu_repro::stability::backward_error_inf;
 use rand::rngs::StdRng;
@@ -24,7 +24,7 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(7);
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let b_rhs = gen::hpl_rhs(&mut rng, n);
 
     let (report, d) = dist_calu_factor(&a, cfg, machine);

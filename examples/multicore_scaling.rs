@@ -7,7 +7,7 @@
 //! Run: `cargo run --release --example multicore_scaling [n]`
 
 use calu_repro::core::{calu_factor, gepp_factor, par_calu_factor, CaluOpts};
-use calu_repro::matrix::gen;
+use calu_repro::matrix::{gen, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -26,7 +26,7 @@ fn time<F: FnMut()>(mut f: F) -> f64 {
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(768);
     let mut rng = StdRng::seed_from_u64(99);
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let opts = CaluOpts { block: 64, p: 4, ..Default::default() };
 
     let t_gepp = time(|| {

@@ -7,7 +7,7 @@
 //! Run: `cargo run --release --example runtime_dag`
 
 use calu_repro::core::{calu_factor, runtime_calu_factor, CaluOpts, RuntimeOpts};
-use calu_repro::matrix::gen;
+use calu_repro::matrix::{gen, Matrix};
 use calu_repro::netsim::{render_gantt, MachineConfig};
 use calu_repro::runtime::{modeled_time, ExecutorKind, LuDag, LuShape, Task};
 use rand::rngs::StdRng;
@@ -56,7 +56,7 @@ fn main() {
 
     // --- 4. A real run on the threaded executor, traced.
     let mut rng = StdRng::seed_from_u64(7);
-    let a = gen::randn(&mut rng, m, n);
+    let a: Matrix = gen::randn(&mut rng, m, n);
     let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
     let rt = RuntimeOpts {
         lookahead: 2,

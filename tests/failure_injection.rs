@@ -94,7 +94,7 @@ fn runtime_singularity_in_looked_ahead_panel_still_sequentially_first() {
 
 #[test]
 fn zero_matrix_fails_at_step_zero() {
-    let a = Matrix::zeros(16, 16);
+    let a: Matrix = Matrix::zeros(16, 16);
     let e = calu_factor(&a, CaluOpts { block: 4, p: 2, ..Default::default() }).unwrap_err();
     assert_eq!(e, Error::SingularPivot { step: 0 });
 }
@@ -177,7 +177,7 @@ fn wilkinson_block_rows_regression() {
     // block-row rank 1, so local GEPPs hit exact zero pivots mid-panel.
     // CALU must factor it and reproduce the 2^(n-1) growth.
     let n = 24;
-    let a = gen::wilkinson(n);
+    let a: Matrix = gen::wilkinson(n);
     for p in [2usize, 4, 8] {
         let f = calu_factor(&a, CaluOpts { block: 8, p, ..Default::default() })
             .unwrap_or_else(|e| panic!("p={p}: {e}"));

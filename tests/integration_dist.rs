@@ -18,7 +18,7 @@ use rand::SeedableRng;
 #[test]
 fn dist_tslu_elects_sequential_pivots() {
     let mut rng = StdRng::seed_from_u64(2001);
-    let a = gen::randn(&mut rng, 256, 16);
+    let a: Matrix = gen::randn(&mut rng, 256, 16);
     for p in [2usize, 4, 8, 16] {
         let seq = tslu_pivots(a.view(), p, LocalLu::Recursive);
         let (_rep, d) = sim_tslu_panel(&a, p, LocalLu::Recursive, MachineConfig::power5());
@@ -29,7 +29,7 @@ fn dist_tslu_elects_sequential_pivots() {
 #[test]
 fn dist_pdgetf2_is_partial_pivoting() {
     let mut rng = StdRng::seed_from_u64(2002);
-    let a = gen::randn(&mut rng, 128, 16);
+    let a: Matrix = gen::randn(&mut rng, 128, 16);
     let (_rep, d) = sim_pdgetf2_panel(&a, 8, MachineConfig::xt4());
     let mut seq = a.clone();
     let mut ipiv = vec![0usize; 16];
@@ -72,7 +72,7 @@ fn dist_calu_matches_sequential_when_layout_is_contiguous() {
     // With pr=1 the panel is on one rank: pivots equal sequential CALU's
     // with p=1 (both are partial pivoting).
     let mut rng = StdRng::seed_from_u64(2004);
-    let a = gen::randn(&mut rng, 64, 64);
+    let a: Matrix = gen::randn(&mut rng, 64, 64);
     let (_rep, d) = dist_calu_factor(
         &a,
         DistCaluConfig { b: 16, pr: 1, pc: 4, local: LocalLu::Classic },

@@ -44,7 +44,7 @@ fn calu_reconstructs_across_ensembles() {
 fn calu_matches_gepp_solution_quality() {
     let mut rng = StdRng::seed_from_u64(1002);
     let n = 200;
-    let a = gen::randn(&mut rng, n, n);
+    let a: Matrix = gen::randn(&mut rng, n, n);
     let b = gen::hpl_rhs(&mut rng, n);
 
     let fc = calu_factor(&a, CaluOpts { block: 32, p: 8, ..Default::default() }).unwrap();
@@ -82,7 +82,7 @@ fn all_three_flavors_agree() {
     // Sequential, rayon-parallel: identical factors. (The simulated
     // distributed flavor is exercised in integration_dist.rs.)
     let mut rng = StdRng::seed_from_u64(1004);
-    let a = gen::randn(&mut rng, 150, 150);
+    let a: Matrix = gen::randn(&mut rng, 150, 150);
     let opts = CaluOpts { block: 25, p: 5, local: LocalLu::Recursive, parallel_update: false };
     let f_seq = calu_factor(&a, opts).unwrap();
     let f_par = par_calu_factor(&a, opts).unwrap();

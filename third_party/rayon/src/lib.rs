@@ -29,48 +29,86 @@
 //!   up front; imbalanced workloads are not rebalanced. (The task-graph
 //!   runtime in `calu-runtime` has its own shared-pool scheduler and does
 //!   not rely on this crate.)
-//! * The limit caps only threads spawned *by this crate*: `join(a, b)`
-//!   under a limit of `n ≥ 2` runs `a` on the calling thread and may
-//!   spawn one more, but it never tracks a global census across sibling
-//!   `join`s — deeply nested unbalanced trees can briefly exceed the cap.
 //! * `spawn`, `scope`, `ParallelSlice`, bridges, and the rest of rayon's
 //!   surface are absent.
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An installed pool's context: the configured limit plus a census of
+/// threads currently executing pool work (the installing thread counts as
+/// one). The census is shared by every thread this crate spawns under the
+/// install, so *nested* `join`s and `par_iter`s draw from one global
+/// budget instead of each independently spawning up to the limit — a
+/// depth-`d` nest of parallel calls stays at `limit` threads, not
+/// `limit^d`.
+#[derive(Clone)]
+struct PoolCtx {
+    limit: usize,
+    active: Arc<AtomicUsize>,
+}
+
+impl PoolCtx {
+    /// Tries to reserve one worker slot; on success the caller must
+    /// [`Self::release`] it when the worker finishes.
+    fn try_reserve(&self) -> bool {
+        self.active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
+                if a < self.limit {
+                    Some(a + 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 thread_local! {
-    /// Concurrency limit installed by [`ThreadPool::install`]; `None`
-    /// means "host parallelism".
-    static POOL_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Pool context installed by [`ThreadPool::install`]; `None` means
+    /// "no pool" (host parallelism, no census).
+    static POOL: RefCell<Option<PoolCtx>> = const { RefCell::new(None) };
+}
+
+fn pool_ctx() -> Option<PoolCtx> {
+    POOL.with_borrow(|p| p.clone())
 }
 
 /// The concurrency limit in effect on this thread: the installed pool
 /// size, or the host's available parallelism outside any pool.
 pub fn current_num_threads() -> usize {
-    POOL_LIMIT
-        .get()
+    pool_ctx()
+        .map(|c| c.limit)
         .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))
         .max(1)
 }
 
-/// Runs `f` on a scoped thread that inherits the caller's pool limit
+/// Runs `f` on a scoped thread that inherits the caller's pool context
 /// (`std::thread::scope` does not propagate thread-locals by itself).
 fn spawn_inheriting<'scope, 'env, R: Send + 'scope>(
     s: &'scope std::thread::Scope<'scope, 'env>,
     f: impl FnOnce() -> R + Send + 'scope,
 ) -> std::thread::ScopedJoinHandle<'scope, R> {
-    let limit = POOL_LIMIT.get();
+    let ctx = pool_ctx();
     s.spawn(move || {
-        POOL_LIMIT.set(limit);
+        POOL.set(ctx);
         f()
     })
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
-/// Under an installed pool limit of 1 both run sequentially on the
-/// calling thread.
+///
+/// Under an installed pool the second closure is spawned only when the
+/// pool's *global* worker budget has a free slot (the slot is returned
+/// when the closure finishes); otherwise — including under a limit of 1 —
+/// both run sequentially on the calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -82,6 +120,23 @@ where
         let ra = a();
         let rb = b();
         return (ra, rb);
+    }
+    if let Some(ctx) = pool_ctx() {
+        if !ctx.try_reserve() {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        }
+        let release = ctx.clone();
+        return std::thread::scope(|s| {
+            let hb = spawn_inheriting(s, move || {
+                let r = b();
+                release.release();
+                r
+            });
+            let ra = a();
+            (ra, hb.join().expect("rayon-compat join: task panicked"))
+        });
     }
     std::thread::scope(|s| {
         let hb = spawn_inheriting(s, b);
@@ -137,8 +192,14 @@ pub mod prelude {
     }
 
     impl<'a, T: Sync, F> ParMap<'a, T, F> {
-        /// Runs the map across threads (at most the installed pool limit)
-        /// and collects in input order.
+        /// Runs the map across threads and collects in input order.
+        ///
+        /// Under an installed pool the worker count is bounded by the
+        /// pool's **global** budget, not just the per-call limit: the
+        /// caller keeps the first chunk, each further chunk spawns only
+        /// if a budget slot is free (returned when the chunk finishes),
+        /// and chunks that find the budget exhausted run inline on the
+        /// caller — so nested `par_iter`s never multiply past the limit.
         pub fn collect<C, R>(self) -> C
         where
             F: Fn(&'a T) -> R + Sync,
@@ -152,18 +213,46 @@ pub mod prelude {
             }
             let chunk = n.div_ceil(threads);
             let f = &self.f;
+            let ctx = crate::pool_ctx();
             let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .items
-                    .chunks(chunk)
-                    .map(|c| {
-                        crate::spawn_inheriting(s, move || c.iter().map(f).collect::<Vec<R>>())
-                    })
-                    .collect();
-                handles
+                // (chunk index, handle) for spawned chunks; inline results
+                // are computed on the caller after the spawns are in flight.
+                let mut handles = Vec::new();
+                let mut inline = Vec::new();
+                for (i, c) in self.items.chunks(chunk).enumerate() {
+                    let reserved = if i == 0 {
+                        false // the caller works too; it holds its own slot
+                    } else {
+                        match &ctx {
+                            Some(ctx) => ctx.try_reserve(),
+                            None => true,
+                        }
+                    };
+                    if reserved {
+                        let release = ctx.clone();
+                        handles.push((
+                            i,
+                            crate::spawn_inheriting(s, move || {
+                                let r = c.iter().map(f).collect::<Vec<R>>();
+                                if let Some(ctx) = release {
+                                    ctx.release();
+                                }
+                                r
+                            }),
+                        ));
+                    } else {
+                        inline.push((i, c));
+                    }
+                }
+                let mut parts: Vec<(usize, Vec<R>)> = inline
                     .into_iter()
-                    .map(|h| h.join().expect("rayon-compat map: task panicked"))
-                    .collect()
+                    .map(|(i, c)| (i, c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for (i, h) in handles {
+                    parts.push((i, h.join().expect("rayon-compat map: task panicked")));
+                }
+                parts.sort_by_key(|(i, _)| *i);
+                parts.into_iter().map(|(_, v)| v).collect()
             });
             out.drain(..).flatten().collect()
         }
@@ -228,15 +317,20 @@ impl ThreadPool {
         }
     }
 
-    /// Runs `f` inside the pool: on a fresh scoped thread whose
-    /// thread-local concurrency limit is this pool's size, inherited by
-    /// every nested `join`/`par_iter` spawn (see the crate docs for the
-    /// remaining gaps vs. real rayon).
+    /// Runs `f` inside the pool: on a fresh scoped thread carrying a pool
+    /// context (size limit + shared worker census, inherited by every
+    /// nested `join`/`par_iter` spawn), so this crate's primitives are
+    /// globally capped at the pool size no matter how deeply they nest
+    /// (see the crate docs for the remaining gaps vs. real rayon).
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        let limit = self.current_num_threads();
+        let ctx = PoolCtx {
+            limit: self.current_num_threads(),
+            // The installing thread itself occupies one slot.
+            active: Arc::new(AtomicUsize::new(1)),
+        };
         std::thread::scope(|s| {
             s.spawn(|| {
-                POOL_LIMIT.set(Some(limit));
+                POOL.set(Some(ctx));
                 f()
             })
             .join()
@@ -332,5 +426,69 @@ mod tests {
     #[test]
     fn outside_a_pool_the_host_limit_applies() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_par_iters_share_one_global_budget() {
+        // Regression: an installed limit of 2 must bound the *total*
+        // concurrent worker count even when par_iters nest — before the
+        // shared census, each nesting level independently spawned up to
+        // the limit (4x4 -> up to 4 concurrent workers here).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let outer: Vec<usize> = (0..4).collect();
+        let total: usize = pool.install(|| {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<usize> = (0..4).collect();
+                    let vals: Vec<usize> = inner
+                        .par_iter()
+                        .map(|&j| {
+                            let now = active.fetch_add(1, Ordering::AcqRel) + 1;
+                            peak.fetch_max(now, Ordering::AcqRel);
+                            std::thread::sleep(std::time::Duration::from_millis(3));
+                            active.fetch_sub(1, Ordering::AcqRel);
+                            i * 4 + j
+                        })
+                        .collect();
+                    vals.into_iter().sum::<usize>()
+                })
+                .collect::<Vec<usize>, usize>()
+                .into_iter()
+                .sum()
+        });
+        assert_eq!(total, (0..16).sum::<usize>(), "nesting must not drop or duplicate work");
+        let p = peak.load(Ordering::Acquire);
+        assert!(p <= 2, "pool of 2 ran {p} workers concurrently");
+        assert!(p >= 1);
+    }
+
+    #[test]
+    fn nested_joins_share_one_global_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let leaf = || {
+            let now = active.fetch_add(1, Ordering::AcqRel) + 1;
+            peak.fetch_max(now, Ordering::AcqRel);
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            active.fetch_sub(1, Ordering::AcqRel);
+            1usize
+        };
+        let total = pool.install(|| {
+            let pair = || {
+                let (a, b) = super::join(leaf, leaf);
+                a + b
+            };
+            let (l, r) = super::join(pair, pair);
+            l + r
+        });
+        assert_eq!(total, 4);
+        let p = peak.load(Ordering::Acquire);
+        assert!(p <= 2, "pool of 2 ran {p} join arms concurrently");
     }
 }
