@@ -1,0 +1,239 @@
+//! Storage-layout performance record: flat column-major vs tile-major
+//! runtime CALU, written as `BENCH_layout.json` so CI and later sessions
+//! can diff performance.
+//!
+//! Two kinds of evidence per `(n, executor)` cell, because the container
+//! running CI may be single-core and its host cache does not match the
+//! modeled machine:
+//!
+//! * **measured**: wall-clock of the flat-storage runtime CALU
+//!   ([`calu_core::runtime_calu_inplace`]) vs the tile-backed path
+//!   ([`calu_core::runtime_calu_tiles`]) on this host, each factoring a
+//!   working copy cloned *outside* the timed region. Factors are
+//!   asserted bitwise identical between the two paths before timing.
+//! * **modeled**: total cache traffic of the task DAG under the XT4
+//!   cost model's 2 MB cache for each [`TileLocality`], plus the
+//!   layout-aware task-time totals — the layout claim that does not
+//!   depend on the host. (At these sizes a laptop-class LLC may hold the
+//!   whole matrix, leaving the measured delta inside noise; the modeled
+//!   difference is the durable record.)
+//!
+//! As in `BENCH_runtime.json`, `"measured_speedup_valid": false` flags a
+//! single-core host: the threaded-executor rows then measure executor
+//! overhead, not a parallel win (see EXPERIMENTS.md).
+//!
+//! Usage: `layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]`
+//! (defaults: n=0 meaning the 512 and 1024 record sizes, nb=128, reps=1,
+//! threads=0 = host, out=BENCH_layout.json).
+
+use calu_core::{runtime_calu_inplace, runtime_calu_tiles, CaluOpts, RuntimeOpts};
+use calu_matrix::{gen, Matrix, NoObs, TileMatrix};
+use calu_netsim::MachineConfig;
+use calu_runtime::{
+    modeled_cache_traffic, modeled_time_layout, ExecutorKind, LuDag, LuShape, TileLocality,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    nb: usize,
+    reps: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { n: 0, nb: 128, reps: 1, threads: 0, out: "BENCH_layout.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}; try --help");
+                std::process::exit(2);
+            })
+        };
+        let parsed = |v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value {v:?}; try --help");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--n" => args.n = parsed(val()),
+            "--nb" => args.nb = parsed(val()),
+            "--reps" => args.reps = parsed(val()),
+            "--threads" => args.threads = parsed(val()),
+            "--out" => args.out = val(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Row {
+    n: usize,
+    executor: &'static str,
+    flat_s: f64,
+    tiled_s: f64,
+    traffic_flat_mb: f64,
+    traffic_tiled_mb: f64,
+    modeled_flat_s: f64,
+    modeled_tiled_s: f64,
+}
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes: Vec<usize> = if args.n == 0 { vec![512, 1024] } else { vec![args.n] };
+    let nb = args.nb;
+    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mch = MachineConfig::xt4(); // 2 MB cache: 512^2+ doubles spill it
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    println!("layout_calu: nb={nb}, host_threads={host_threads}, reps={}", args.reps);
+    println!(
+        "{:>6} {:>9} {:>11} {:>11} {:>9} {:>11} {:>11} {:>8}",
+        "n", "executor", "flat", "tile", "measured", "traffic(F)", "traffic(T)", "modeled"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let a: Matrix = gen::randn(&mut rng, n, n);
+        let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
+        let shape = LuShape { m: n, n, nb };
+        let tiles0 = TileMatrix::from_matrix(&a, nb, nb);
+
+        // Correctness gate before any timing: both layouts, bitwise.
+        let seq = calu_core::calu_factor(&a, opts).expect("factorization succeeds");
+        {
+            let mut t = tiles0.clone();
+            let (ipiv, _) =
+                runtime_calu_tiles(&mut t, opts, RuntimeOpts::default(), &mut NoObs).unwrap();
+            assert_eq!(ipiv, seq.ipiv, "tile pivots diverge at n={n}");
+            assert_eq!(
+                t.to_matrix().max_abs_diff(&seq.lu),
+                0.0,
+                "tile factors must be bitwise identical at n={n}"
+            );
+        }
+
+        let dag = LuDag::build(shape, 1);
+        let traffic = |loc: TileLocality| -> f64 {
+            dag.tasks().iter().map(|&t| modeled_cache_traffic(&shape, t, &mch, loc)).sum()
+        };
+        let modeled = |loc: TileLocality| -> f64 {
+            dag.tasks().iter().map(|&t| modeled_time_layout(&shape, t, &mch, loc)).sum()
+        };
+        let (tf, tt) = (traffic(TileLocality::Flat), traffic(TileLocality::TileMajor));
+        let (mf, mt) = (modeled(TileLocality::Flat), modeled(TileLocality::TileMajor));
+
+        for (name, executor) in [
+            ("serial", ExecutorKind::Serial),
+            ("threaded", ExecutorKind::Threaded { threads: args.threads }),
+        ] {
+            let rt = RuntimeOpts { lookahead: 1, executor, parallel_panel: false };
+            // Both timed regions factor a pre-cloned working copy in
+            // place — the clone stays outside the timer on both paths.
+            let flat_s = best_of(args.reps, || {
+                let mut w = a.clone();
+                let t0 = Instant::now();
+                let (ipiv, _) = runtime_calu_inplace(w.view_mut(), opts, rt, &mut NoObs)
+                    .expect("flat run succeeds");
+                let dt = t0.elapsed().as_secs_f64();
+                assert_eq!(ipiv.len(), n);
+                dt
+            });
+            let tiled_s = best_of(args.reps, || {
+                let mut t = tiles0.clone();
+                let t0 = Instant::now();
+                let (ipiv, _) =
+                    runtime_calu_tiles(&mut t, opts, rt, &mut NoObs).expect("tile run succeeds");
+                let dt = t0.elapsed().as_secs_f64();
+                assert_eq!(ipiv.len(), n);
+                dt
+            });
+            println!(
+                "{:>6} {:>9} {:>9.1}ms {:>9.1}ms {:>8.2}x {:>9.1}MB {:>9.1}MB {:>7.2}x",
+                n,
+                name,
+                flat_s * 1e3,
+                tiled_s * 1e3,
+                flat_s / tiled_s,
+                tf / 1e6,
+                tt / 1e6,
+                mf / mt
+            );
+            rows.push(Row {
+                n,
+                executor: name,
+                flat_s,
+                tiled_s,
+                traffic_flat_mb: tf / 1e6,
+                traffic_tiled_mb: tt / 1e6,
+                modeled_flat_s: mf,
+                modeled_tiled_s: mt,
+            });
+        }
+    }
+
+    let exec_threads = if args.threads == 0 { host_threads } else { args.threads };
+    let measured_valid = exec_threads > 1 && host_threads > 1;
+    if !measured_valid {
+        println!(
+            "\nsingle-core host ({host_threads} thread): threaded rows measure executor \
+             overhead, not parallel wins, and the host LLC may hold the whole matrix — the \
+             layout claim is the modeled cache-traffic cut of {:.2}x (XT4 cache model)",
+            rows.iter().map(|r| r.traffic_flat_mb / r.traffic_tiled_mb).fold(0.0, f64::max)
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"layout_calu\",");
+    let _ = writeln!(json, "  \"nb\": {nb},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"executor_threads\": {exec_threads},");
+    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_valid},");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"model\": \"xt4\",");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"executor\": \"{}\", \"flat_s\": {:.6}, \"tiled_s\": {:.6}, \
+             \"measured_speedup\": {:.4}, \"modeled_traffic_flat_mb\": {:.3}, \
+             \"modeled_traffic_tiled_mb\": {:.3}, \"modeled_traffic_ratio\": {:.4}, \
+             \"modeled_time_flat_s\": {:.6}, \"modeled_time_tiled_s\": {:.6}}}{comma}",
+            r.n,
+            r.executor,
+            r.flat_s,
+            r.tiled_s,
+            r.flat_s / r.tiled_s,
+            r.traffic_flat_mb,
+            r.traffic_tiled_mb,
+            r.traffic_flat_mb / r.traffic_tiled_mb,
+            r.modeled_flat_s,
+            r.modeled_tiled_s
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    println!("wrote {}", args.out);
+}

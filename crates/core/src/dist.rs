@@ -26,9 +26,8 @@ use calu_matrix::blas3::{gemm, trsm};
 use calu_matrix::lapack::lu_nopiv;
 use calu_matrix::perm::ipiv_to_perm;
 use calu_matrix::scalar::cast_slice;
-use calu_matrix::{Diag, Matrix, NoObs, Scalar, Side, Uplo};
+use calu_matrix::{Diag, Matrix, NoObs, Scalar, Side, TileLayout, TileMatrix, Uplo};
 use calu_netsim::collectives::ceil_log2;
-use calu_netsim::grid::{global_to_local, numroc};
 use calu_netsim::machine::{flops_gemm, flops_ger, flops_getf2, flops_trsm_left, flops_trsm_right};
 use calu_netsim::{run_sim, Grid, Group, Link, MachineConfig, Payload, SimComm, SimReport};
 
@@ -140,14 +139,6 @@ pub struct SkelCfg {
 // ---------------------------------------------------------------------------
 // Shared helpers
 // ---------------------------------------------------------------------------
-
-/// Number of items with global index in `[0, hi)` owned by `proc` under a
-/// block-cyclic deal of block `nb` over `nprocs` — equivalently, the local
-/// index of the first owned item with global index `>= hi`.
-#[inline]
-fn owned_below(hi: usize, nb: usize, proc: usize, nprocs: usize) -> usize {
-    numroc(hi, nb, proc, nprocs)
-}
 
 /// Local LU time for an `m x n` block under `local`.
 #[inline]
@@ -425,47 +416,53 @@ pub fn sim_pdgetf2_panel<T: Scalar>(
 // ---------------------------------------------------------------------------
 
 /// Per-rank state for the 2D real-data sweeps.
+///
+/// Local storage is a [`TileMatrix`]: the tiles this rank owns under the
+/// block-cyclic deal, packed dense — local tile `(lti, ltj)` *is* global
+/// tile `(lti·Pr + prow, ltj·Pc + pcol)`, so the data a `Gemm(k,i,j)`
+/// runtime task would touch in shared memory and the data this rank
+/// updates in the distributed sweep are the same contiguous tiles. All
+/// owner / local-index arithmetic goes through the global
+/// [`TileLayout`]'s ownership map (one source of truth with the
+/// shared-memory layer; the hand-rolled copies this module used to carry
+/// are gone).
 struct Rank2d<T> {
     prow: usize,
     pcol: usize,
-    pr: usize,
-    pc: usize,
     b: usize,
-    /// Local block-cyclic storage (owned rows x owned cols).
-    local: Matrix<T>,
+    /// Global tile layout with the block-cyclic `(Pr, Pc)` ownership map.
+    layout: TileLayout,
+    /// Local block-cyclic storage (owned rows x owned cols, `b x b` tiles).
+    local: TileMatrix<T>,
 }
 
 impl<T: Scalar> Rank2d<T> {
     fn new(a: &Matrix<T>, b: usize, pr: usize, pc: usize, rank: usize) -> Self {
         let grid = Grid::new(pr, pc);
         let (prow, pcol) = grid.coords(rank);
-        let (m, n) = (a.rows(), a.cols());
-        let lr = numroc(m, b, prow, pr);
-        let lc = numroc(n, b, pcol, pc);
-        let local = Matrix::from_fn(lr, lc, |li, lj| {
-            let gi = calu_netsim::grid::local_to_global(li, b, prow, pr);
-            let gj = calu_netsim::grid::local_to_global(lj, b, pcol, pc);
-            a[(gi, gj)]
+        let layout = TileLayout::new(a.rows(), a.cols(), b, b).with_grid(pr, pc);
+        let local = TileMatrix::from_fn(layout.local_layout(prow, pcol), |li, lj| {
+            a[(layout.global_row(prow, li), layout.global_col(pcol, lj))]
         });
-        Self { prow, pcol, pr, pc, b, local }
+        Self { prow, pcol, b, layout, local }
     }
 
     /// Local index of the first owned row with global index `>= g`.
     #[inline]
     fn lrow_at(&self, g: usize) -> usize {
-        owned_below(g, self.b, self.prow, self.pr)
+        self.layout.local_rows_below(self.prow, g)
     }
 
     /// Local index of the first owned column with global index `>= g`.
     #[inline]
     fn lcol_at(&self, g: usize) -> usize {
-        owned_below(g, self.b, self.pcol, self.pc)
+        self.layout.local_cols_below(self.pcol, g)
     }
 
     /// Global index of owned row `li`.
     #[inline]
     fn grow(&self, li: usize) -> usize {
-        calu_netsim::grid::local_to_global(li, self.b, self.prow, self.pr)
+        self.layout.global_row(self.prow, li)
     }
 
     /// Exchanges (or locally swaps) the values of global rows `r1 != r2`
@@ -480,20 +477,13 @@ impl<T: Scalar> Rank2d<T> {
         tag: u64,
     ) {
         debug_assert!(r1 != r2);
-        let o1 = (r1 / self.b) % self.pr;
-        let o2 = (r2 / self.b) % self.pr;
+        let o1 = self.layout.row_owner(r1);
+        let o2 = self.layout.row_owner(r2);
         let width = c1 - c0;
         if o1 == o2 {
             if self.prow == o1 {
-                let (l1, l2) = (
-                    global_to_local(r1, self.b, self.pr).1,
-                    global_to_local(r2, self.b, self.pr).1,
-                );
-                for lj in c0..c1 {
-                    let t = self.local[(l1, lj)];
-                    self.local[(l1, lj)] = self.local[(l2, lj)];
-                    self.local[(l2, lj)] = t;
-                }
+                let (l1, l2) = (self.layout.local_row(r1), self.layout.local_row(r2));
+                self.local.swap_rows_in_cols(l1, l2, c0..c1);
             }
             return;
         }
@@ -508,7 +498,7 @@ impl<T: Scalar> Rank2d<T> {
             return;
         }
         let peer = grid.rank_of(peer_prow, self.pcol);
-        let li = global_to_local(my_g, self.b, self.pr).1;
+        let li = self.layout.local_row(my_g);
         let row: Vec<f64> = (c0..c1).map(|lj| self.local[(li, lj)].to_f64()).collect();
         let (got, _w) = cm.sendrecv(peer, tag, width, Payload::Data(row), Link::Col);
         for (o, v) in got.into_data().into_iter().enumerate() {
@@ -519,7 +509,12 @@ impl<T: Scalar> Rank2d<T> {
     /// Shared trailing update for both real-data 2D sweeps: broadcast the
     /// packed panel along process rows, `trsm` the `U12` block row on the
     /// diagonal process row, broadcast it down process columns, and `gemm`
-    /// the local trailing block.
+    /// the local trailing block — tile by tile. The per-tile loops are
+    /// element-for-element the flat kernels' arithmetic: column splits of
+    /// the left `trsm` solve each right-hand-side column independently,
+    /// and `gemm`'s per-element accumulation over the shared inner
+    /// dimension `jb` is unchanged by any `m`/`n` partition, so the
+    /// factors stay bitwise identical to the flat-storage sweeps.
     #[allow(clippy::too_many_arguments)]
     fn trailing_update(
         &mut self,
@@ -532,10 +527,11 @@ impl<T: Scalar> Rank2d<T> {
         cpcol: usize,
     ) {
         let mach = cm.machine().clone();
+        let (lr, lc) = (self.local.rows(), self.local.cols());
         let lr_k = self.lrow_at(k);
-        let lr_panel = self.local.rows() - lr_k;
+        let lr_panel = lr - lr_k;
         let lc_right0 = self.lcol_at(k + jb);
-        let lc_right = self.local.cols() - lc_right0;
+        let lc_right = lc - lc_right0;
 
         // Panel broadcast along process rows (each process row carries its
         // own rows of the panel, so the payload matches the local rows).
@@ -543,8 +539,8 @@ impl<T: Scalar> Rank2d<T> {
         let mine = if self.pcol == cpcol {
             let pl0 = self.lcol_at(k);
             let mut v = Vec::with_capacity(panel_words);
-            for lj in pl0..pl0 + jb.min(self.local.cols() - pl0) {
-                v.extend(self.local.col(lj)[lr_k..].iter().map(|&x| x.to_f64()));
+            for lj in pl0..pl0 + jb.min(lc - pl0) {
+                v.extend((lr_k..lr).map(|li| self.local[(li, lj)].to_f64()));
             }
             Payload::Data(v)
         } else {
@@ -557,22 +553,27 @@ impl<T: Scalar> Rank2d<T> {
         if lc_right == 0 {
             return;
         }
+        let lay = self.local.layout();
 
-        // U12 on the diagonal process row.
+        // U12 on the diagonal process row, one column tile at a time.
         let diag_l0 = self.lrow_at(k); // first jb local rows are k..k+jb on cprow
         if self.prow == cprow {
             cm.compute(mach.t_trsm_left(jb, lc_right), flops_trsm_left(jb, lc_right));
             let l11 = panel_l.view().submatrix(0, 0, jb, jb);
-            let u12 = self.local.view_mut().into_submatrix(diag_l0, lc_right0, jb, lc_right);
-            trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12);
+            let (ti_d, i0) = (diag_l0 / self.b, diag_l0 % self.b);
+            for (tj, cr) in lay.col_tile_span(lc_right0..lc) {
+                let mut t = self.local.tile_mut(ti_d, tj);
+                let u12 = t.submatrix_mut(i0, cr.start, jb, cr.len());
+                trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12);
+            }
         }
 
         // Broadcast U12 down process columns.
         let u_words = jb * lc_right;
         let mine = if self.prow == cprow {
             let mut v = Vec::with_capacity(u_words);
-            for lj in lc_right0..self.local.cols() {
-                v.extend(self.local.col(lj)[diag_l0..diag_l0 + jb].iter().map(|&x| x.to_f64()));
+            for lj in lc_right0..lc {
+                v.extend((diag_l0..diag_l0 + jb).map(|li| self.local[(li, lj)].to_f64()));
             }
             Payload::Data(v)
         } else {
@@ -584,14 +585,21 @@ impl<T: Scalar> Rank2d<T> {
             cast_slice(&colg.bcast(cm, cprow, mine, u_words).into_data()),
         );
 
-        // Local trailing gemm: rows with global >= k + jb.
+        // Local trailing gemm, tile by tile: rows with global >= k + jb.
         let lr_b0 = self.lrow_at(k + jb);
-        let lr_below = self.local.rows() - lr_b0;
+        let lr_below = lr - lr_b0;
         if lr_below > 0 {
             cm.compute(mach.t_gemm(lr_below, lc_right, jb), flops_gemm(lr_below, lc_right, jb));
-            let l21 = panel_l.view().submatrix(lr_b0 - lr_k, 0, lr_below, jb);
-            let a22 = self.local.view_mut().into_submatrix(lr_b0, lc_right0, lr_below, lc_right);
-            gemm(-T::ONE, l21, u12.view(), T::ONE, a22);
+            for (ti, rr) in lay.row_tile_span(lr_b0..lr) {
+                let l21 = panel_l.view().submatrix(ti * self.b + rr.start - lr_k, 0, rr.len(), jb);
+                for (tj, cr) in lay.col_tile_span(lc_right0..lc) {
+                    let u12v =
+                        u12.view().submatrix(0, tj * self.b + cr.start - lc_right0, jb, cr.len());
+                    let mut t = self.local.tile_mut(ti, tj);
+                    let a22 = t.submatrix_mut(rr.start, cr.start, rr.len(), cr.len());
+                    gemm(-T::ONE, l21, u12v, T::ONE, a22);
+                }
+            }
         }
     }
 }
@@ -600,34 +608,22 @@ impl<T: Scalar> Rank2d<T> {
 /// report is the minimum over ranks: only the panel-owning process column
 /// observes a given panel's zero pivot, so rank 0 alone is not enough.
 fn assemble_factors<T: Scalar>(
-    m: usize,
-    n: usize,
-    b: usize,
-    pr: usize,
-    pc: usize,
-    results: Vec<(Matrix<T>, Vec<usize>, Option<usize>)>,
+    layout: TileLayout,
+    results: Vec<(TileMatrix<T>, Vec<usize>, Option<usize>)>,
 ) -> DistFactors<T> {
     let first_singular = results.iter().filter_map(|r| r.2).min();
     let ipiv = results[0].1.clone();
-    let mats: Vec<Matrix<T>> = results.into_iter().map(|r| r.0).collect();
-    let lu = assemble_2d(m, n, b, pr, pc, &mats);
+    let parts: Vec<TileMatrix<T>> = results.into_iter().map(|r| r.0).collect();
+    let lu = assemble_2d(layout, &parts);
     DistFactors { lu, ipiv, first_singular }
 }
 
-/// Assembles per-rank block-cyclic pieces into one global matrix.
-fn assemble_2d<T: Scalar>(
-    m: usize,
-    n: usize,
-    b: usize,
-    pr: usize,
-    pc: usize,
-    parts: &[Matrix<T>],
-) -> Matrix<T> {
-    let grid = Grid::new(pr, pc);
-    Matrix::from_fn(m, n, |i, j| {
-        let (orow, li) = global_to_local(i, b, pr);
-        let (ocol, lj) = global_to_local(j, b, pc);
-        parts[grid.rank_of(orow, ocol)][(li, lj)]
+/// Assembles per-rank block-cyclic pieces into one global matrix, reading
+/// owners and local indices off the layout's ownership map.
+fn assemble_2d<T: Scalar>(layout: TileLayout, parts: &[TileMatrix<T>]) -> Matrix<T> {
+    Matrix::from_fn(layout.rows(), layout.cols(), |i, j| {
+        let owner = layout.owner(i / layout.mb(), j / layout.nb());
+        parts[owner][(layout.local_row(i), layout.local_col(j))]
     })
 }
 
@@ -673,7 +669,7 @@ pub fn dist_calu_factor<T: Scalar>(
                 let lr_k = st.lrow_at(k);
                 let lrows = st.local.rows() - lr_k;
                 let pl0 = st.lcol_at(k);
-                let block = st.local.view().submatrix(lr_k, pl0, lrows, jb).to_matrix();
+                let block = st.local.submatrix_copy(lr_k, pl0, lrows, jb);
                 let idx: Vec<usize> = (lr_k..st.local.rows()).map(|li| st.grow(li) - k).collect();
                 cm.compute(t_local_lu(&mach, local, lrows.max(1), jb), flops_getf2(lrows, jb));
                 let cand = if lrows > 0 {
@@ -727,7 +723,7 @@ pub fn dist_calu_factor<T: Scalar>(
                     let d0 = st.lrow_at(k);
                     let mut v = Vec::with_capacity(w_words);
                     for lj in pl0..pl0 + jb {
-                        v.extend(st.local.col(lj)[d0..d0 + jb].iter().map(|&x| x.to_f64()));
+                        v.extend((d0..d0 + jb).map(|li| st.local[(li, lj)].to_f64()));
                     }
                     Payload::Data(v)
                 } else {
@@ -759,9 +755,16 @@ pub fn dist_calu_factor<T: Scalar>(
                 let lr_below = st.local.rows() - lb0;
                 cm.compute(mach.t_trsm_right(lr_below, jb), flops_trsm_right(lr_below, jb));
                 if lr_below > 0 {
+                    // Per row tile: a right-side solve works row by row,
+                    // so row splits are element-exact.
                     let u11 = w.view().submatrix(0, 0, jb, jb);
-                    let l21 = st.local.view_mut().into_submatrix(lb0, pl0, lr_below, jb);
-                    trsm(Side::Right, Uplo::Upper, Diag::NonUnit, T::ONE, u11, l21);
+                    let lay = st.local.layout();
+                    let (tjc, jc) = (pl0 / b, pl0 % b);
+                    for (ti, rr) in lay.row_tile_span(lb0..st.local.rows()) {
+                        let mut t = st.local.tile_mut(ti, tjc);
+                        let l21 = t.submatrix_mut(rr.start, jc, rr.len(), jb);
+                        trsm(Side::Right, Uplo::Upper, Diag::NonUnit, T::ONE, u11, l21);
+                    }
                 }
             }
 
@@ -774,7 +777,7 @@ pub fn dist_calu_factor<T: Scalar>(
         (st.local, ipiv, first_singular)
     });
 
-    (report, assemble_factors(m, n, b, pr, pc, results))
+    (report, assemble_factors(TileLayout::new(m, n, b, b).with_grid(pr, pc), results))
 }
 
 /// Real-data ScaLAPACK-style `PDGETRF` on the same 2D block-cyclic layout:
@@ -833,7 +836,7 @@ pub fn dist_pdgetrf_factor<T: Scalar>(
                     }
                     let mut pl = vec![best.to_f64(), best_g as f64, best_v.to_f64()];
                     if best_g != usize::MAX && jj + 1 < jb {
-                        let li = global_to_local(best_g, b, pr).1;
+                        let li = st.layout.local_row(best_g);
                         pl.extend((jj + 1..jb).map(|c| st.local[(li, pl0 + c)].to_f64()));
                     } else {
                         pl.extend(std::iter::repeat_n(0.0, jb - jj - 1));
@@ -870,24 +873,39 @@ pub fn dist_pdgetrf_factor<T: Scalar>(
                             let tag = 0x5046_0000_0000 + ib * 4096 + jj as u64;
                             st.swap_global_rows(cm, &grid, (gc, piv_g), (pl0, pl0 + jb), tag);
                         }
-                        // Scale + rank-1 update on my sub-pivot rows.
+                        // Scale + rank-1 update on my sub-pivot rows,
+                        // walking the column's tile segments (elementwise
+                        // identical to the flat column sweep).
                         let r1 = st.lrow_at(gc + 1);
-                        let below = st.local.rows() - r1;
+                        let lr = st.local.rows();
+                        let below = lr - r1;
                         if below > 0 {
                             let inv = piv_v.recip();
                             cm.compute(mach.gamma_div + below as f64 * mach.gamma1, below as f64);
-                            scal(inv, &mut st.local.col_mut(pl0 + jj)[r1..]);
+                            st.local.for_each_col_segment_mut(pl0 + jj, r1..lr, |_, seg| {
+                                scal(inv, seg);
+                            });
                             if jj + 1 < jb {
                                 cm.compute(
                                     mach.t_ger(below, jb - jj - 1),
                                     flops_ger(below, jb - jj - 1),
                                 );
                                 let urow: Vec<T> = cast_slice(&win[3..3 + (jb - jj - 1)]);
-                                let mut v = st.local.view_mut();
-                                let (left, mut right) = v.rb_mut().split_at_col_mut(pl0 + jj + 1);
-                                let l_col = &left.col(pl0 + jj)[r1..];
-                                let trailing = right.submatrix_mut(r1, 0, below, jb - jj - 1);
-                                ger(-T::ONE, l_col, &urow, trailing);
+                                // The panel's columns live in one column
+                                // tile (pl0 is tile-aligned, jb <= b); the
+                                // rank-1 update runs per row tile, with
+                                // the multiplier column and the trailing
+                                // block split out of the same tile view.
+                                let lay = st.local.layout();
+                                let (tjc, jc) = (pl0 / b, pl0 % b);
+                                for (ti, rr) in lay.row_tile_span(r1..lr) {
+                                    let t = st.local.tile_mut(ti, tjc);
+                                    let (left, mut right) = t.split_at_col_mut(jc + jj + 1);
+                                    let l_col = &left.col(jc + jj)[rr.clone()];
+                                    let trailing =
+                                        right.submatrix_mut(rr.start, 0, rr.len(), jb - jj - 1);
+                                    ger(-T::ONE, l_col, &urow, trailing);
+                                }
                             }
                         }
                     }
@@ -933,7 +951,7 @@ pub fn dist_pdgetrf_factor<T: Scalar>(
         (st.local, ipiv, first_singular)
     });
 
-    (report, assemble_factors(m, n, b, pr, pc, results))
+    (report, assemble_factors(TileLayout::new(m, n, b, b).with_grid(pr, pc), results))
 }
 
 // ---------------------------------------------------------------------------
@@ -1048,6 +1066,7 @@ fn skeleton_2d(cfg: SkelCfg, mch: MachineConfig, alg: Alg2d, lookahead: bool) ->
     let SkelCfg { m, n, b, pr, pc, local, swap } = cfg;
     assert!(b > 0 && pr > 0 && pc > 0, "block and grid must be positive");
     let grid = Grid::new(pr, pc);
+    let layout = TileLayout::new(m, n, b, b).with_grid(pr, pc);
     let kn = m.min(n);
 
     let (report, _) = run_sim(grid.size(), mch, |cm| {
@@ -1056,8 +1075,8 @@ fn skeleton_2d(cfg: SkelCfg, mch: MachineConfig, alg: Alg2d, lookahead: bool) ->
         let (prow, pcol) = grid.coords(rank);
         let colg = grid.col_group(rank);
         let rowg = grid.row_group(rank);
-        let lr_total = numroc(m, b, prow, pr);
-        let lc_total = numroc(n, b, pcol, pc);
+        let lr_total = layout.local_rows(prow);
+        let lc_total = layout.local_cols(pcol);
 
         let mut k = 0;
         let mut ib = 0usize;
@@ -1065,9 +1084,9 @@ fn skeleton_2d(cfg: SkelCfg, mch: MachineConfig, alg: Alg2d, lookahead: bool) ->
             let jb = b.min(kn - k);
             let cprow = ib % pr;
             let cpcol = ib % pc;
-            let lr_panel = lr_total - owned_below(k, b, prow, pr);
-            let lr_below = lr_total - owned_below(k + jb, b, prow, pr);
-            let lc_right = lc_total - owned_below(k + jb, b, pcol, pc);
+            let lr_panel = lr_total - layout.local_rows_below(prow, k);
+            let lr_below = lr_total - layout.local_rows_below(prow, k + jb);
+            let lc_right = lc_total - layout.local_cols_below(pcol, k + jb);
 
             // --- Panel factorization on the owning process column. Under
             // look-ahead the election needs no flush: the previous
@@ -1103,9 +1122,9 @@ fn skeleton_2d(cfg: SkelCfg, mch: MachineConfig, alg: Alg2d, lookahead: bool) ->
                         let mut t = 0.0;
                         let mut fl = 0.0;
                         for jj in 0..jb {
-                            let active = lr_total - owned_below(k + jj, b, prow, pr);
+                            let active = lr_total - layout.local_rows_below(prow, k + jj);
                             t += active as f64 * mach.gamma1;
-                            let below = lr_total - owned_below(k + jj + 1, b, prow, pr);
+                            let below = lr_total - layout.local_rows_below(prow, k + jj + 1);
                             if below > 0 {
                                 t += mach.gamma_div + below as f64 * mach.gamma1;
                                 fl += below as f64;
@@ -1381,6 +1400,43 @@ mod tests {
             MachineConfig::ideal(),
         );
         assert_eq!(d.first_singular, None);
+    }
+
+    #[test]
+    fn tile_layout_ownership_map_matches_netsim_grid_math() {
+        // The hand-rolled owner/local-index helpers this module used to
+        // carry were thin wrappers over calu-netsim's ScaLAPACK functions;
+        // they now route through TileLayout. Assert the two formulations
+        // agree everywhere so the dedupe is behavior-preserving.
+        use calu_netsim::grid::{global_to_local, local_to_global, numroc};
+        let (m, n, b, pr, pc) = (131, 77, 8, 3, 2);
+        let layout = TileLayout::new(m, n, b, b).with_grid(pr, pc);
+        for i in 0..m {
+            let (owner, li) = global_to_local(i, b, pr);
+            assert_eq!(layout.row_owner(i), owner);
+            assert_eq!(layout.local_row(i), li);
+        }
+        for j in 0..n {
+            let (owner, lj) = global_to_local(j, b, pc);
+            assert_eq!(layout.col_owner(j), owner);
+            assert_eq!(layout.local_col(j), lj);
+        }
+        for prow in 0..pr {
+            assert_eq!(layout.local_rows(prow), numroc(m, b, prow, pr));
+            for hi in 0..=m {
+                assert_eq!(layout.local_rows_below(prow, hi), numroc(hi, b, prow, pr), "hi={hi}");
+            }
+            for li in 0..layout.local_rows(prow) {
+                assert_eq!(layout.global_row(prow, li), local_to_global(li, b, prow, pr));
+            }
+        }
+        // Tile owners follow the grid's column-major rank order.
+        let grid = Grid::new(pr, pc);
+        for ti in 0..layout.tile_rows() {
+            for tj in 0..layout.tile_cols() {
+                assert_eq!(layout.owner(ti, tj), grid.rank_of(ti % pr, tj % pc));
+            }
+        }
     }
 
     #[test]

@@ -47,8 +47,11 @@ pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
 pub use gepp::{gepp_factor, gepp_inplace};
 pub use instrument::PivotStats;
 pub use par::{par_calu_factor, par_calu_inplace};
-pub use rt::{runtime_calu_factor, runtime_calu_inplace, RuntimeOpts};
+pub use rt::{
+    runtime_calu_factor, runtime_calu_inplace, runtime_calu_tiles, runtime_calu_tiles_factor,
+    RuntimeOpts,
+};
 pub use solve::{ir_solve, IrOpts, IrReport, IrStep, RefineInfo};
-pub use tiled::{tiled_calu_factor, tiled_calu_inplace};
+pub use tiled::{tiled_calu_factor, tiled_calu_inplace, tiled_calu_tiles};
 pub use tournament::{reduce_pair, tournament, tournament_flat, Candidates};
 pub use tslu::{tslu_factor, tslu_pivots, LocalLu, TsluResult};

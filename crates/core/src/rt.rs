@@ -33,7 +33,8 @@
 use calu_matrix::blas3::{gemm, trsm};
 use calu_matrix::perm::apply_ipiv;
 use calu_matrix::{
-    Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, Uplo,
+    Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, TileLayout,
+    TileMatrix, Uplo,
 };
 use calu_runtime::{ExecReport, ExecutorKind, LuDag, LuShape, Task, TaskRunner};
 use std::sync::Mutex;
@@ -138,6 +139,38 @@ impl SharedIpiv {
         debug_assert!(range.end <= self.len);
         unsafe { std::slice::from_raw_parts(self.ptr.add(range.start), range.len()) }
     }
+
+    /// Panel `k`'s pivot swaps, local to rows `k·nb..m` — the read-back
+    /// both the flat and the tile runner use in their `Swap` tasks.
+    ///
+    /// # Safety
+    /// The caller's task must be DAG-ordered after `Panel(k)`.
+    unsafe fn read_local(&self, shape: &LuShape, k: usize) -> Vec<usize> {
+        let base = k * shape.nb;
+        let jb = shape.panel_width(k);
+        unsafe { self.read(base..base + jb) }.iter().map(|&p| p - base).collect()
+    }
+
+    /// Publishes a panel's elected pivots (local to the panel) into their
+    /// absolute slots — the write-back both runners' `Panel` tasks use.
+    ///
+    /// # Safety
+    /// Only the `Panel` task owning the slots at `base` may call this.
+    unsafe fn publish(&self, base: usize, local: &[usize]) {
+        let slots = unsafe { self.write(base..base + local.len()) };
+        for (slot, &p) in slots.iter_mut().zip(local) {
+            *slot = p + base;
+        }
+    }
+}
+
+/// Rebases a panel kernel's `SingularPivot` step (local to the panel
+/// starting at row `base`) to the absolute elimination step.
+fn rebase_singular(base: usize) -> impl Fn(Error) -> Error {
+    move |e| match e {
+        Error::SingularPivot { step } => Error::SingularPivot { step: step + base },
+        other => other,
+    }
 }
 
 /// Forwards observer callbacks through the shared mutex, locking per
@@ -169,18 +202,6 @@ struct LuRunner<'a, T, O> {
     obs: Mutex<&'a mut O>,
 }
 
-impl<T: Scalar, O: PivotObserver<T> + Send> LuRunner<'_, T, O> {
-    /// Panel `k`'s pivot swaps, local to rows `k·nb..m`.
-    ///
-    /// # Safety
-    /// Caller's task must be DAG-ordered after `Panel(k)`.
-    unsafe fn local_ipiv(&self, k: usize) -> Vec<usize> {
-        let base = k * self.shape.nb;
-        let jb = self.shape.panel_width(k);
-        unsafe { self.ipiv.read(base..base + jb) }.iter().map(|&p| p - base).collect()
-    }
-}
-
 impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
     fn run(&self, task: Task) -> Result<()> {
         let (m, nb) = (self.shape.m, self.shape.nb);
@@ -200,19 +221,13 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
                     self.parallel_panel,
                     &mut obs,
                 )
-                .map_err(|e| match e {
-                    Error::SingularPivot { step } => Error::SingularPivot { step: step + base },
-                    other => other,
-                })?;
-                let slots = unsafe { self.ipiv.write(base..base + jb) };
-                for (slot, &p) in slots.iter_mut().zip(&r.ipiv) {
-                    *slot = p + base;
-                }
+                .map_err(rebase_singular(base))?;
+                unsafe { self.ipiv.publish(base, &r.ipiv) };
                 Ok(())
             }
             Task::Swap { k, j } => {
                 let base = k * nb;
-                let local = unsafe { self.local_ipiv(k) };
+                let local = unsafe { self.ipiv.read_local(&self.shape, k) };
                 let cols = self.shape.update_col_range(k, j);
                 // SAFETY: Swap(k,j) owns rows base..m of block column j.
                 let block = unsafe { self.mat.block(base, cols.start, m - base, cols.len()) };
@@ -246,6 +261,169 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
                 gemm(-T::ONE, l21.as_view(), u12.as_view(), T::ONE, tile);
                 let tile =
                     unsafe { self.mat.block(rows.start, cols.start, rows.len(), cols.len()) };
+                self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Shared-mutable handle to a [`TileMatrix`] being factored — the
+/// tile-major counterpart of [`SharedMat`]. Tasks carve views out of
+/// single tiles (every operand of `Trsm`/`Gemm` lives inside one tile,
+/// which is the point of the layout); only the cross-tile row swaps and
+/// the panel gather/scatter walk several tiles, and the DAG's edges
+/// order every overlapping pair of tasks.
+struct SharedTiles<T> {
+    ptr: *mut T,
+    layout: TileLayout,
+}
+
+unsafe impl<T: Send> Send for SharedTiles<T> {}
+unsafe impl<T: Sync> Sync for SharedTiles<T> {}
+
+impl<T: Scalar> SharedTiles<T> {
+    fn new(a: &mut TileMatrix<T>) -> Self {
+        Self { ptr: a.as_mut_slice().as_mut_ptr(), layout: a.layout() }
+    }
+
+    /// Mutable view of the `nr x nc` block at `(i0, j0)` *inside tile
+    /// `(ti, tj)`* (tile-local coordinates). The view's leading dimension
+    /// is the tile height, so the block is cache-contained.
+    ///
+    /// # Safety
+    /// The caller must hold (via DAG ordering) exclusive access to the
+    /// block's elements for the view's lifetime, and the block must be in
+    /// range of the tile.
+    unsafe fn tile_block(
+        &self,
+        ti: usize,
+        tj: usize,
+        i0: usize,
+        j0: usize,
+        nr: usize,
+        nc: usize,
+    ) -> MatViewMut<'_, T> {
+        let h = self.layout.tile_height(ti);
+        debug_assert!(i0 + nr <= h && j0 + nc <= self.layout.tile_width(tj));
+        debug_assert!(nr > 0 && nc > 0, "tasks never touch empty blocks");
+        let off = self.layout.tile_offset(ti, tj) + j0 * h + i0;
+        unsafe { MatViewMut::from_raw_parts(self.ptr.add(off), nr, nc, h) }
+    }
+
+    /// Swaps global rows `r1` and `r2` across the global column range
+    /// `cols`, crossing tile boundaries — the same element swaps a flat
+    /// `swap_rows` performs.
+    ///
+    /// # Safety
+    /// The caller's task must own both rows over `cols` (DAG-ordered
+    /// against every other toucher).
+    unsafe fn swap_rows_in_cols(&self, r1: usize, r2: usize, cols: std::ops::Range<usize>) {
+        if r1 == r2 {
+            return;
+        }
+        for j in cols {
+            unsafe {
+                let a = self.ptr.add(self.layout.elem_offset(r1, j));
+                let b = self.ptr.add(self.layout.elem_offset(r2, j));
+                std::ptr::swap(a, b);
+            }
+        }
+    }
+}
+
+/// Binds the LU kernels to runtime tasks over tile-major storage. The
+/// task set, DAG, and executors are exactly those of [`LuRunner`]; only
+/// operand addressing differs — `Trsm`/`Gemm` bodies read and write
+/// single contiguous tiles, and the panel gathers its column of tiles
+/// into a scratch panel (tile-major LU's explicit panel copy), factors
+/// it with the byte-identical sequential kernel, and scatters back.
+struct LuTileRunner<'a, T, O> {
+    tiles: SharedTiles<T>,
+    ipiv: SharedIpiv,
+    shape: LuShape,
+    opts: CaluOpts,
+    parallel_panel: bool,
+    obs: Mutex<&'a mut O>,
+}
+
+impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuTileRunner<'_, T, O> {
+    fn run(&self, task: Task) -> Result<()> {
+        let (m, nb) = (self.shape.m, self.shape.nb);
+        let rb = self.shape.row_blocks();
+        match task {
+            Task::Panel { k } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                // Gather the column of tiles into one contiguous scratch
+                // panel (lossless copies), run the byte-identical
+                // sequential TSLU on it, scatter back. The copies are the
+                // storage layout's explicit panel communication; the
+                // arithmetic is untouched, so factors stay bitwise equal.
+                let mut scratch = Matrix::<T>::zeros(m - base, jb);
+                for ti in k..rb {
+                    let h = self.shape.row_range(ti).len();
+                    // SAFETY: Panel(k) exclusively owns rows base..m of
+                    // block column k (and its ipiv slots).
+                    let src = unsafe { self.tiles.tile_block(ti, k, 0, 0, h, jb) };
+                    let r0 = ti * nb - base;
+                    scratch.view_mut().into_submatrix(r0, 0, h, jb).copy_from(src.as_view());
+                }
+                let mut obs = MutexObs(&self.obs);
+                let r = tslu_factor_with(
+                    scratch.view_mut(),
+                    self.opts.p,
+                    self.opts.local,
+                    self.parallel_panel,
+                    &mut obs,
+                )
+                .map_err(rebase_singular(base))?;
+                for ti in k..rb {
+                    let h = self.shape.row_range(ti).len();
+                    let mut dst = unsafe { self.tiles.tile_block(ti, k, 0, 0, h, jb) };
+                    let r0 = ti * nb - base;
+                    dst.copy_from(scratch.view().submatrix(r0, 0, h, jb));
+                }
+                unsafe { self.ipiv.publish(base, &r.ipiv) };
+                Ok(())
+            }
+            Task::Swap { k, j } => {
+                let base = k * nb;
+                let local = unsafe { self.ipiv.read_local(&self.shape, k) };
+                let cols = self.shape.update_col_range(k, j);
+                // SAFETY: Swap(k,j) owns rows base..m of these columns.
+                for (i, &p) in local.iter().enumerate() {
+                    if p != i {
+                        unsafe {
+                            self.tiles.swap_rows_in_cols(base + i, base + p, cols.clone());
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Task::Trsm { k, j } => {
+                let jb = self.shape.panel_width(k);
+                let cols = self.shape.update_col_range(k, j);
+                let j0 = cols.start - j * nb;
+                // SAFETY: Trsm(k,j) owns rows 0..jb of these columns of
+                // tile (k,j); L₁₁ (tile (k,k)) is stable under readers.
+                let l11 = unsafe { self.tiles.tile_block(k, k, 0, 0, jb, jb) };
+                let u12 = unsafe { self.tiles.tile_block(k, j, 0, j0, jb, cols.len()) };
+                trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11.as_view(), u12);
+                Ok(())
+            }
+            Task::Gemm { k, i, j } => {
+                let jb = self.shape.panel_width(k);
+                let h = self.shape.row_range(i).len();
+                let w = self.shape.col_range(j).len();
+                // SAFETY: Gemm(k,i,j) owns tile (i,j); L₂₁ (tile (i,k))
+                // and U₁₂ (tile (k,j) top rows) are stable until the
+                // swaps DAG-ordered after every gemm of step k.
+                let l21 = unsafe { self.tiles.tile_block(i, k, 0, 0, h, jb) };
+                let u12 = unsafe { self.tiles.tile_block(k, j, 0, 0, jb, w) };
+                let tile = unsafe { self.tiles.tile_block(i, j, 0, 0, h, w) };
+                gemm(-T::ONE, l21.as_view(), u12.as_view(), T::ONE, tile);
+                let tile = unsafe { self.tiles.tile_block(i, j, 0, 0, h, w) };
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
                 Ok(())
             }
@@ -303,6 +481,69 @@ pub fn runtime_calu_factor<T: Scalar>(
     Ok((LuFactors { lu, ipiv }, report))
 }
 
+/// In-place CALU over **tile-major** storage, scheduled by the task-graph
+/// runtime: the same DAG, executors, priorities, and bitwise-vs-sequential
+/// guarantee as [`runtime_calu_inplace`], with operand addressing moved to
+/// cache-contained tiles — every `Trsm`/`Gemm` body touches single
+/// contiguous tiles of the [`TileMatrix`], row swaps cross tile boundaries
+/// element-for-element, and the panel gathers/scatters its tile column
+/// around the byte-identical sequential TSLU.
+///
+/// The tile dimensions must both equal `opts.block` (the DAG's block
+/// geometry *is* the storage geometry — that 1:1 mapping is the point of
+/// the layout). Converting the result back with
+/// [`TileMatrix::to_matrix`] yields factors bitwise identical to
+/// [`calu_inplace`](crate::calu::calu_inplace) on the flat copy.
+///
+/// # Panics
+/// If `a`'s tile dimensions differ from `opts.block`.
+///
+/// # Errors
+/// [`Error::SingularPivot`] with the absolute elimination step; dependent
+/// tasks are canceled.
+pub fn runtime_calu_tiles<T: Scalar, O: PivotObserver<T> + Send>(
+    a: &mut TileMatrix<T>,
+    opts: CaluOpts,
+    rt: RuntimeOpts,
+    obs: &mut O,
+) -> Result<(Vec<usize>, ExecReport)> {
+    assert!(opts.block > 0 && opts.p > 0, "block and p must be positive");
+    let layout = a.layout();
+    assert_eq!(
+        (layout.mb(), layout.nb()),
+        (opts.block, opts.block),
+        "tile dims must equal the runtime block size"
+    );
+    let shape = LuShape { m: a.rows(), n: a.cols(), nb: opts.block };
+    let mut ipiv = vec![0usize; shape.m.min(shape.n)];
+    let dag = LuDag::build(shape, rt.lookahead);
+    let runner = LuTileRunner {
+        tiles: SharedTiles::new(a),
+        ipiv: SharedIpiv { ptr: ipiv.as_mut_ptr(), len: ipiv.len() },
+        shape,
+        opts,
+        parallel_panel: rt.parallel_panel,
+        obs: Mutex::new(obs),
+    };
+    let report = rt.executor.execute(&dag, &runner)?;
+    Ok((ipiv, report))
+}
+
+/// Factors a tile-major copy of `a` on the runtime (convenience wrapper:
+/// converts, runs [`runtime_calu_tiles`], returns the factored tiles).
+///
+/// # Errors
+/// Singular pivot (exact zero) at the reported absolute step.
+pub fn runtime_calu_tiles_factor<T: Scalar>(
+    a: &Matrix<T>,
+    opts: CaluOpts,
+    rt: RuntimeOpts,
+) -> Result<(TileMatrix<T>, Vec<usize>, ExecReport)> {
+    let mut tiles = TileMatrix::from_matrix(a, opts.block, opts.block);
+    let (ipiv, report) = runtime_calu_tiles(&mut tiles, opts, rt, &mut NoObs)?;
+    Ok((tiles, ipiv, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +589,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tile_runtime_matches_sequential_bitwise_all_depths_and_executors() {
+        let mut rng = StdRng::seed_from_u64(905);
+        for &(m, n, b, p) in &[
+            (96usize, 96usize, 16usize, 4usize),
+            (130, 130, 32, 8),
+            (100, 60, 16, 4),
+            (60, 100, 16, 4),
+            (97, 97, 16, 3), // ragged edge tiles in both dimensions
+        ] {
+            let a0: Matrix = gen::randn(&mut rng, m, n);
+            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let seq = calu_factor(&a0, opts).unwrap();
+            for depth in 1..=3 {
+                for executor in executors() {
+                    let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                    let (tiles, ipiv, rep) = runtime_calu_tiles_factor(&a0, opts, rt).unwrap();
+                    assert_eq!(seq.ipiv, ipiv, "{m}x{n} b={b} d={depth} {executor:?}");
+                    assert_eq!(
+                        seq.lu.max_abs_diff(&tiles.to_matrix()),
+                        0.0,
+                        "{m}x{n} b={b} d={depth} {executor:?}: tile factors must be bitwise \
+                         identical to sequential"
+                    );
+                    assert_eq!(rep.order.len(), rep.timings.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_runtime_observer_stats_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(906);
+        let a0 = gen::randn(&mut rng, 120, 120);
+        let opts = CaluOpts { block: 24, p: 4, ..Default::default() };
+
+        let mut s_seq = PivotStats::new(a0.max_abs());
+        let mut w = a0.clone();
+        crate::calu::calu_inplace(w.view_mut(), opts, &mut s_seq).unwrap();
+
+        let mut s_rt = PivotStats::new(a0.max_abs());
+        let mut tiles = calu_matrix::TileMatrix::from_matrix(&a0, 24, 24);
+        let rt = RuntimeOpts { lookahead: 2, ..Default::default() };
+        runtime_calu_tiles(&mut tiles, opts, rt, &mut s_rt).unwrap();
+
+        assert_eq!(s_seq.steps(), s_rt.steps());
+        assert_eq!(s_seq.tau_min(), s_rt.tau_min());
+        assert_eq!(s_seq.max_elem, s_rt.max_elem);
+        assert_eq!(s_seq.max_l, s_rt.max_l);
+    }
+
+    #[test]
+    fn tile_runtime_singular_reports_absolute_step_and_cancels() {
+        let n = 64;
+        let mut rng = StdRng::seed_from_u64(907);
+        let b = gen::randn(&mut rng, n, 20);
+        let a = Matrix::from_fn(n, n, |i, j| if j < 20 { b[(i, j)] } else { 0.0 });
+        let opts = CaluOpts { block: 8, p: 4, ..Default::default() };
+        for depth in 1..=3 {
+            for executor in executors() {
+                let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                let err = runtime_calu_tiles_factor(&a, opts, rt).unwrap_err();
+                assert_eq!(
+                    err,
+                    Error::SingularPivot { step: 20 },
+                    "d={depth} {executor:?}: absolute step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile dims must equal the runtime block size")]
+    fn tile_runtime_rejects_mismatched_tile_size() {
+        let a: Matrix = Matrix::identity(32);
+        let mut tiles = calu_matrix::TileMatrix::from_matrix(&a, 16, 16);
+        let opts = CaluOpts { block: 8, p: 2, ..Default::default() };
+        let _ = runtime_calu_tiles(&mut tiles, opts, RuntimeOpts::default(), &mut NoObs);
     }
 
     #[test]

@@ -23,8 +23,8 @@
 //! same per-column accumulation order), which the tests assert.
 
 use crate::calu::{CaluOpts, LuFactors};
-use crate::rt::{runtime_calu_inplace, RuntimeOpts};
-use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar};
+use crate::rt::{runtime_calu_inplace, runtime_calu_tiles, RuntimeOpts};
+use calu_matrix::{MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, TileMatrix};
 use calu_runtime::ExecutorKind;
 
 /// Factors a copy of `a` with lookahead-tiled CALU.
@@ -60,6 +60,34 @@ pub fn tiled_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
     Ok(ipiv)
 }
 
+/// [`tiled_calu_inplace`] over **tile-major** storage: the same depth-1
+/// lookahead schedule on the threaded executor, with task bodies
+/// addressing cache-contained tiles of a [`TileMatrix`] instead of
+/// strided slices of a flat matrix (see
+/// [`runtime_calu_tiles`] for the full
+/// engine with executor/depth control). Factors convert back bitwise
+/// identical to [`calu_inplace`](crate::calu::calu_inplace).
+///
+/// # Panics
+/// If `a`'s tile dimensions differ from `opts.block`.
+///
+/// # Errors
+/// [`Error::SingularPivot`](calu_matrix::Error::SingularPivot) with the
+/// absolute elimination step.
+pub fn tiled_calu_tiles<T: Scalar, O: PivotObserver<T> + Send>(
+    a: &mut TileMatrix<T>,
+    opts: CaluOpts,
+    obs: &mut O,
+) -> Result<Vec<usize>> {
+    let rt = RuntimeOpts {
+        lookahead: 1,
+        executor: ExecutorKind::Threaded { threads: 0 },
+        parallel_panel: false,
+    };
+    let (ipiv, _report) = runtime_calu_tiles(a, opts, rt, obs)?;
+    Ok(ipiv)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +119,22 @@ mod tests {
                 0.0,
                 "{m}x{n} b={b} p={p}: factors must be bitwise identical"
             );
+        }
+    }
+
+    #[test]
+    fn tiled_tiles_matches_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(135);
+        for &(m, n, b, p) in
+            &[(96usize, 96usize, 16usize, 4usize), (97, 97, 16, 3), (60, 100, 16, 4)]
+        {
+            let a0: Matrix = gen::randn(&mut rng, m, n);
+            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let seq = calu_factor(&a0, opts).unwrap();
+            let mut tiles = TileMatrix::from_matrix(&a0, b, b);
+            let ipiv = tiled_calu_tiles(&mut tiles, opts, &mut NoObs).unwrap();
+            assert_eq!(seq.ipiv, ipiv, "{m}x{n} b={b} p={p}");
+            assert_eq!(seq.lu.max_abs_diff(&tiles.to_matrix()), 0.0, "{m}x{n} b={b} p={p}");
         }
     }
 

@@ -16,6 +16,10 @@
 //!   `RGETF2` from Gustavson/Toledo), blocked `getrf` (GEPP baseline),
 //!   `lu_nopiv` (panel factorization after tournament pivoting), `laswp`,
 //!   and triangular solves `getrs`.
+//! * [`tile`] — tile-major storage: [`TileLayout`] (tile geometry plus the
+//!   ScaLAPACK block-cyclic ownership map) and [`TileMatrix`] (tiles
+//!   contiguous in memory, cross-tile `laswp`), the cache-contained layout
+//!   the task-graph runtime and the distributed layer share.
 //! * [`gen`] — seeded matrix ensembles used by the paper's experiments
 //!   (normal, uniform, Toeplitz, plus worst-case growth matrices).
 //! * [`perm`] — pivot-vector (`ipiv`) and permutation algebra.
@@ -46,12 +50,14 @@ pub mod norms;
 pub mod observer;
 pub mod perm;
 pub mod scalar;
+pub mod tile;
 pub mod view;
 
 pub use error::{Error, Result};
 pub use mat::Matrix;
 pub use observer::{NoObs, PivotObserver};
 pub use scalar::Scalar;
+pub use tile::{TileLayout, TileMatrix};
 pub use view::{MatView, MatViewMut};
 
 /// Side on which a triangular matrix multiplies in [`blas3::trsm`].

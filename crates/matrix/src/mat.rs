@@ -183,13 +183,11 @@ impl<T: Scalar> Matrix<T> {
     /// Rounds every element into precision `U` (`f64 → f32` demotes with
     /// IEEE round-to-nearest; `f32 → f64` is exact). The mixed-precision
     /// solver uses this to hand a working copy to the fast low-precision
-    /// factorization.
+    /// factorization. Shares the element conversion rule with
+    /// [`crate::TileMatrix::cast`] via [`crate::scalar::cast_slice`], so
+    /// the precision ladder behaves identically on either layout.
     pub fn cast<U: Scalar>(&self) -> Matrix<U> {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| U::from_f64(x.to_f64())).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: crate::scalar::cast_slice(&self.data) }
     }
 }
 

@@ -31,7 +31,10 @@
 pub mod dag;
 pub mod exec;
 
-pub use dag::{modeled_time, LuDag, LuShape, Task, TaskId};
+pub use dag::{
+    modeled_cache_traffic, modeled_time, modeled_time_layout, LuDag, LuShape, Task, TaskId,
+    TileLocality,
+};
 pub use exec::{
     ExecReport, Executor, ExecutorKind, SerialExecutor, TaskRunner, TaskTiming, ThreadedExecutor,
 };
