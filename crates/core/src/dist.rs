@@ -4,10 +4,16 @@
 //!
 //! * **Real-data** ([`dist_calu_factor`], [`dist_pdgetrf_factor`],
 //!   [`sim_tslu_panel`], [`sim_pdgetf2_panel`]) — the distributed algorithm
-//!   executes its actual SPMD data flow on simulated ranks (2D block-cyclic
-//!   `Pr x Pc` layout, TSLU as a butterfly all-reduce of [`Candidates`]),
-//!   so the factors can be checked against the sequential references —
-//!   bitwise for the partial-pivoting baselines, and to rounding for CALU.
+//!   executes its actual data flow (2D block-cyclic `Pr x Pc` layout, TSLU
+//!   as a butterfly all-reduce of [`Candidates`]), so the factors can be
+//!   checked against the sequential references — bitwise for the
+//!   partial-pivoting baselines, and to rounding for CALU. The default
+//!   entry points are **runtime-driven**: each rank's per-step work runs
+//!   as a `calu-runtime` task DAG (see [`crate::dist_rt`], which also
+//!   exposes lookahead depth and executor choice); the hand-written SPMD
+//!   step loops are kept verbatim as [`dist_calu_factor_spmd`] /
+//!   [`dist_pdgetrf_factor_spmd`] — the pre-refactor references the DAG
+//!   path is asserted bitwise equal to.
 //! * **Cost-skeleton** ([`skeleton_tslu`], [`skeleton_pdgetf2`],
 //!   [`skeleton_calu`], [`skeleton_pdgetrf`], [`skeleton_calu_lookahead`])
 //!   — full control flow with [`Payload::Empty`] messages and modeled word
@@ -619,12 +625,42 @@ fn assemble_factors<T: Scalar>(
 }
 
 /// Assembles per-rank block-cyclic pieces into one global matrix, reading
-/// owners and local indices off the layout's ownership map.
-fn assemble_2d<T: Scalar>(layout: TileLayout, parts: &[TileMatrix<T>]) -> Matrix<T> {
+/// owners and local indices off the layout's ownership map (shared with
+/// the runtime-driven drivers in [`crate::dist_rt`]).
+pub(crate) fn assemble_2d<T: Scalar>(layout: TileLayout, parts: &[TileMatrix<T>]) -> Matrix<T> {
     Matrix::from_fn(layout.rows(), layout.cols(), |i, j| {
         let owner = layout.owner(i / layout.mb(), j / layout.nb());
         parts[owner][(layout.local_row(i), layout.local_col(j))]
     })
+}
+
+/// Runtime-driven distributed CALU — the default path: delegates to
+/// [`crate::dist_rt::dist_calu_factor_rt`] at lookahead depth 1 on the
+/// deterministic serial executor, returning the modeled per-rank
+/// accounting in the familiar [`SimReport`] form. Factors are bitwise
+/// identical to the SPMD reference [`dist_calu_factor_spmd`] (the
+/// pre-refactor implementation, kept as the equality baseline).
+pub fn dist_calu_factor<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistCaluConfig,
+    mch: MachineConfig,
+) -> (SimReport, DistFactors<T>) {
+    let (rep, f) = crate::dist_rt::dist_calu_factor_rt(a, cfg, Default::default(), mch);
+    (rep.sim, f)
+}
+
+/// Runtime-driven ScaLAPACK-style `PDGETRF` — the default path: delegates
+/// to [`crate::dist_rt::dist_pdgetrf_factor_rt`] (depth 1, serial
+/// executor). Factors stay bitwise identical to the sequential blocked
+/// [`calu_matrix::lapack::getrf`] and to the SPMD reference
+/// [`dist_pdgetrf_factor_spmd`].
+pub fn dist_pdgetrf_factor<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistPdgetrfConfig,
+    mch: MachineConfig,
+) -> (SimReport, DistFactors<T>) {
+    let (rep, f) = crate::dist_rt::dist_pdgetrf_factor_rt(a, cfg, Default::default(), mch);
+    (rep.sim, f)
 }
 
 /// Real-data distributed CALU on a 2D block-cyclic `Pr x Pc` grid: per
@@ -634,10 +670,15 @@ fn assemble_2d<T: Scalar>(layout: TileLayout, parts: &[TileMatrix<T>]) -> Matrix
 /// the ScaLAPACK-style `trsm`/`gemm` trailing update with row and column
 /// broadcasts.
 ///
+/// This is the hand-written SPMD step loop over `calu-netsim` ranks — the
+/// **pre-refactor reference implementation**, kept verbatim so the
+/// runtime-driven path ([`crate::dist_rt`]) can be asserted bitwise equal
+/// to it. New code should call [`dist_calu_factor`].
+///
 /// With `pr == 1` the elected pivots equal sequential CALU's with `p == 1`
 /// (both are one local election over the whole panel) — asserted in the
 /// integration tests.
-pub fn dist_calu_factor<T: Scalar>(
+pub fn dist_calu_factor_spmd<T: Scalar>(
     a: &Matrix<T>,
     cfg: DistCaluConfig,
     mch: MachineConfig,
@@ -786,9 +827,12 @@ pub fn dist_calu_factor<T: Scalar>(
 /// update), then the swaps are applied to the rest of the matrix
 /// (`PDLASWP`) and the `trsm`/`gemm` trailing update runs.
 ///
+/// The hand-written SPMD step loop — the **pre-refactor reference**; see
+/// [`dist_calu_factor_spmd`]. New code should call [`dist_pdgetrf_factor`].
+///
 /// Bitwise identical to the sequential blocked
 /// [`calu_matrix::lapack::getrf`] — asserted by the property tests.
-pub fn dist_pdgetrf_factor<T: Scalar>(
+pub fn dist_pdgetrf_factor_spmd<T: Scalar>(
     a: &Matrix<T>,
     cfg: DistPdgetrfConfig,
     mch: MachineConfig,

@@ -1,0 +1,858 @@
+//! Runtime-driven distributed CALU / `PDGETRF`: each rank's per-step work
+//! is emitted as a `calu-runtime` DAG ([`LuDag::build_dist`]) instead of
+//! the hand-written SPMD step loop, so lookahead depth and critical-path
+//! scheduling — long available to the shared-memory layer — apply to the
+//! distributed setting too.
+//!
+//! The runner binds real kernels over **all** ranks' block-cyclic
+//! [`TileMatrix`] storage at once (the simulation's shared memory): every
+//! task touches exactly the tiles its owning rank would touch, cross-rank
+//! data flows through a mailbox of `f64`-word payloads keyed per message
+//! (the same payload convention `calu-netsim` sends over channels —
+//! `T ↔ f64` round trips are exact for every [`Scalar`]), and the DAG's
+//! edges are the proof that concurrently running tasks touch disjoint
+//! elements. Because each task replays the exact arithmetic of the SPMD
+//! sweep ([`dist_calu_factor_spmd`](crate::dist::dist_calu_factor_spmd) /
+//! [`dist_pdgetrf_factor_spmd`](crate::dist::dist_pdgetrf_factor_spmd)),
+//! factors are **bitwise identical** to the pre-refactor distributed
+//! implementations on any schedule, any executor, any lookahead depth —
+//! the property tests assert it.
+//!
+//! # Failure semantics
+//!
+//! A singular pivot (exactly zero, or non-finite) on any rank fails its
+//! task; the executor cancels every dependent task **across ranks** (no
+//! hang — dependents simply never start) and the driver surfaces the
+//! absolute elimination step as [`DistFactors::first_singular`], matching
+//! the step the sequential references error at. Unlike the SPMD loop,
+//! which marches on LAPACK-INFO-style, the canceled factors beyond that
+//! step are untouched — the leading part is still meaningful.
+//!
+//! # Reports
+//!
+//! Execution is instant shared-memory compute; the *communication* story
+//! is modeled: [`DistRtReport`] carries the per-rank modeled schedule
+//! ([`simulate_dist_schedule`] under a [`DistCostModel`]) as netsim
+//! [`RankTrace`]s — compute and communication of all ranks in one Gantt —
+//! plus a synthesized [`SimReport`] and the wall-clock [`ExecReport`] of
+//! whichever executor actually ran the tasks.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::dist::{assemble_2d, DistCaluConfig, DistFactors, DistPdgetrfConfig};
+use crate::tournament::{reduce_pair, Candidates};
+use crate::tslu::{local_candidates, winners_to_ipiv, LocalLu};
+use calu_matrix::blas1::scal;
+use calu_matrix::blas2::ger;
+use calu_matrix::blas3::{gemm, trsm};
+use calu_matrix::lapack::lu_nopiv;
+use calu_matrix::scalar::cast_slice;
+use calu_matrix::{
+    Diag, Error, MatViewMut, Matrix, NoObs, Result, Scalar, Side, TileLayout, TileMatrix, Uplo,
+};
+use calu_netsim::{MachineConfig, RankTrace, SimReport};
+use calu_runtime::{
+    simulate_dist_schedule, tslu_acc_slot, tslu_leg_count, tslu_leg_role, DistCostModel, DistGeom,
+    DistKind, DistPanelAlg, DistTask, ExecReport, ExecutorKind, LegRole, LuDag, LuShape, Task,
+    TaskRunner,
+};
+
+/// How a runtime-driven distributed factorization should execute.
+#[derive(Debug, Clone, Copy)]
+pub struct DistRtOpts {
+    /// Panel lookahead depth `d ≥ 1` — for the first time a real parameter
+    /// of the distributed algorithm (depth 1 reproduces the step-coupled
+    /// schedule of the SPMD loop's data flow).
+    pub lookahead: usize,
+    /// Which executor drives the DAG. The serial executor replays the
+    /// deterministic critical-path order; the threaded executor runs
+    /// ranks' tasks concurrently (factors are bitwise identical either
+    /// way).
+    pub executor: ExecutorKind,
+}
+
+impl Default for DistRtOpts {
+    fn default() -> Self {
+        Self { lookahead: 1, executor: ExecutorKind::Serial }
+    }
+}
+
+/// What a runtime-driven distributed factorization did: the modeled
+/// per-rank communication schedule plus the real execution record.
+#[derive(Debug, Clone)]
+pub struct DistRtReport {
+    /// Synthesized per-rank accounting (modeled compute / α / β / idle
+    /// times, message and word counts) in `run_sim` report form.
+    pub sim: SimReport,
+    /// Modeled per-rank timelines — compute, communication, and idle of
+    /// all ranks in one trace, ready for `calu_netsim::render_gantt`.
+    pub traces: Vec<RankTrace>,
+    /// Wall-clock record of the executor run (empty when a singular pivot
+    /// canceled the run).
+    pub exec: ExecReport,
+    /// Modeled critical path of the DAG (infinite parallelism bound).
+    pub critical_path: f64,
+    /// Modeled makespan of the per-rank schedule (what the Gantt shows).
+    pub makespan: f64,
+    /// Task count of the DAG.
+    pub tasks: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Shared-mutable cells
+// ---------------------------------------------------------------------------
+
+/// Shared-mutable handle to one rank's local [`TileMatrix`] — the
+/// per-rank counterpart of `rt`'s `SharedTiles`. The DAG's edges prove
+/// that concurrently running tasks touch disjoint elements.
+struct RankCell<T> {
+    ptr: *mut T,
+    lay: TileLayout,
+}
+
+unsafe impl<T: Send> Send for RankCell<T> {}
+unsafe impl<T: Sync> Sync for RankCell<T> {}
+
+impl<T: Scalar> RankCell<T> {
+    fn new(a: &mut TileMatrix<T>) -> Self {
+        Self { ptr: a.as_mut_slice().as_mut_ptr(), lay: a.layout() }
+    }
+
+    /// Local rows of this rank.
+    fn rows(&self) -> usize {
+        self.lay.rows()
+    }
+
+    /// # Safety
+    /// The caller's task must hold (via DAG ordering) access to the
+    /// element.
+    unsafe fn get(&self, li: usize, lj: usize) -> T {
+        unsafe { *self.ptr.add(self.lay.elem_offset(li, lj)) }
+    }
+
+    /// # Safety
+    /// The caller's task must hold exclusive access to the element.
+    unsafe fn set(&self, li: usize, lj: usize, v: T) {
+        unsafe { *self.ptr.add(self.lay.elem_offset(li, lj)) = v };
+    }
+
+    /// Mutable view of the `nr × nc` block at `(i0, j0)` inside tile
+    /// `(ti, tj)`; built from raw parts so logically disjoint blocks never
+    /// materialize overlapping `&mut` slices.
+    ///
+    /// # Safety
+    /// The caller's task must hold exclusive element access via DAG
+    /// ordering, and the block must be in range of the tile.
+    unsafe fn tile_block(
+        &self,
+        ti: usize,
+        tj: usize,
+        i0: usize,
+        j0: usize,
+        nr: usize,
+        nc: usize,
+    ) -> MatViewMut<'_, T> {
+        let h = self.lay.tile_height(ti);
+        debug_assert!(i0 + nr <= h && j0 + nc <= self.lay.tile_width(tj));
+        let off = self.lay.tile_offset(ti, tj) + j0 * h + i0;
+        unsafe { MatViewMut::from_raw_parts(self.ptr.add(off), nr, nc, h) }
+    }
+}
+
+/// Shared pivot vector (the `rt` module's cell, re-stated): the single
+/// designated panel task writes each step's slots exclusively; nothing
+/// reads them until assembly.
+struct IpivCell {
+    ptr: *mut usize,
+    len: usize,
+}
+
+unsafe impl Send for IpivCell {}
+unsafe impl Sync for IpivCell {}
+
+impl IpivCell {
+    /// # Safety
+    /// Only the designated panel task of the step owning `base..` may
+    /// call this, and nothing else may access the range concurrently.
+    unsafe fn publish(&self, base: usize, local: &[usize]) {
+        debug_assert!(base + local.len() <= self.len);
+        for (i, &p) in local.iter().enumerate() {
+            unsafe { *self.ptr.add(base + i) = base + p };
+        }
+    }
+}
+
+/// Mailbox message classes (key: `(class, k, j, rank-or-prow)`).
+const ACC: u8 = 0; // butterfly accumulator slots (j = leg index)
+const PIV: u8 = 1; // swap list of step k (canonical slot: prow = cprow)
+const WBK: u8 = 2; // post-swap W block of step k
+const PAN: u8 = 3; // packed panel rows of one process row
+const U12: u8 = 4; // U₁₂ of block column j
+
+type MailKey = (u8, u32, u32, u32);
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// Binds the distributed kernels to runtime tasks over all ranks' tiles.
+struct DistRunner<T> {
+    geom: DistGeom,
+    glayout: TileLayout,
+    alg: DistPanelAlg,
+    local: LocalLu,
+    /// The DAG's lookahead depth — the eviction horizon of the mailbox.
+    lookahead: usize,
+    cells: Vec<RankCell<T>>,
+    ipiv: IpivCell,
+    /// Cross-rank payloads, `Arc`d so consumers read without copying.
+    /// Keys are unique per message; the DAG orders every post before its
+    /// fetches. No payload is read across steps, and the panel throttle
+    /// proves old steps complete, so [`Self::evict_completed_steps`]
+    /// bounds the mailbox to the lookahead window.
+    mail: Mutex<HashMap<MailKey, Arc<Vec<f64>>>>,
+}
+
+impl<T: Scalar> DistRunner<T> {
+    fn cell(&self, prow: usize, pcol: usize) -> &RankCell<T> {
+        &self.cells[pcol * self.geom.pr + prow]
+    }
+
+    fn nb(&self) -> usize {
+        self.geom.shape.nb
+    }
+
+    fn post(&self, class: u8, k: usize, j: usize, who: usize, data: Vec<f64>) {
+        let key = (class, k as u32, j as u32, who as u32);
+        let prev = self.mail.lock().expect("mailbox poisoned").insert(key, Arc::new(data));
+        debug_assert!(prev.is_none(), "mail slot {key:?} posted twice");
+    }
+
+    fn fetch(&self, class: u8, k: usize, j: usize, who: usize) -> Arc<Vec<f64>> {
+        let key = (class, k as u32, j as u32, who as u32);
+        self.mail
+            .lock()
+            .expect("mailbox poisoned")
+            .get(&key)
+            .unwrap_or_else(|| panic!("mail slot {key:?} missing — DAG edge bug"))
+            .clone()
+    }
+
+    /// The accumulator process row `r` reads after `l` butterfly legs —
+    /// keyed by [`tslu_acc_slot`], the same slot algebra the DAG builder's
+    /// edge endpoints use, so mailbox keys and edges cannot drift apart.
+    fn fetch_acc(&self, k: usize, l: usize, r: usize) -> Candidates<T> {
+        Candidates::from_payload(&self.fetch(ACC, k, tslu_acc_slot(self.geom.pr, l, r), r))
+    }
+
+    /// Exchanges (or locally swaps) global rows `r1 != r2` across the
+    /// local columns `cols` of every rank in process column `pcol` — the
+    /// same element moves as the SPMD `swap_global_rows` (whose `f64`
+    /// round trip is exact, so direct copies are bitwise identical).
+    ///
+    /// # Safety
+    /// The calling task must own both rows over `cols` on this process
+    /// column (DAG-ordered against every other toucher).
+    unsafe fn swap_rows(&self, pcol: usize, r1: usize, r2: usize, cols: std::ops::Range<usize>) {
+        debug_assert!(r1 != r2);
+        let o1 = self.glayout.row_owner(r1);
+        let o2 = self.glayout.row_owner(r2);
+        let (l1, l2) = (self.glayout.local_row(r1), self.glayout.local_row(r2));
+        if o1 == o2 {
+            let c = self.cell(o1, pcol);
+            for lj in cols {
+                unsafe {
+                    let a = c.get(l1, lj);
+                    c.set(l1, lj, c.get(l2, lj));
+                    c.set(l2, lj, a);
+                }
+            }
+        } else {
+            let (c1, c2) = (self.cell(o1, pcol), self.cell(o2, pcol));
+            for lj in cols {
+                unsafe {
+                    let a = c1.get(l1, lj);
+                    c1.set(l1, lj, c2.get(l2, lj));
+                    c2.set(l2, lj, a);
+                }
+            }
+        }
+    }
+
+    /// Local column range of block column `j` on its owning process
+    /// column, restricted to the columns step `k`'s swap touches.
+    fn swap_cols(&self, k: usize, j: usize) -> std::ops::Range<usize> {
+        let b = self.nb();
+        let c0 = self.glayout.local_cols_below(self.geom.pcol_of(j), j * b);
+        let wj = self.geom.wj(j);
+        match self.alg {
+            DistPanelAlg::Tslu => c0..c0 + wj,
+            DistPanelAlg::Getf2 => {
+                if j == k {
+                    c0 + self.geom.jb(k)..c0 + wj
+                } else {
+                    c0..c0 + wj
+                }
+            }
+        }
+    }
+
+    /// Packs local elements column-major as `f64` words, exactly like the
+    /// SPMD payloads.
+    ///
+    /// # Safety
+    /// The calling task must be ordered after the last writer of the
+    /// range.
+    unsafe fn pack(
+        &self,
+        cell: &RankCell<T>,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Vec<f64> {
+        let mut v = Vec::with_capacity(rows.len() * cols.len());
+        for lj in cols {
+            v.extend(rows.clone().map(|li| unsafe { cell.get(li, lj) }.to_f64()));
+        }
+        v
+    }
+
+    // -- task bodies --------------------------------------------------------
+
+    /// Drops every payload of steps the lookahead throttle proves
+    /// complete: a panel task of step `k` carries edges from *all* tasks
+    /// of step `k − d − 1` (and, inductively through the panel chain, of
+    /// every earlier step), and no task reads mail posted by another
+    /// step — so payloads with step `≤ k − d − 1` are dead. Keeps the
+    /// mailbox's footprint proportional to the lookahead window instead
+    /// of the whole factorization.
+    fn evict_completed_steps(&self, k: usize) {
+        if k > self.lookahead {
+            let cutoff = (k - self.lookahead - 1) as u32;
+            self.mail.lock().expect("mailbox poisoned").retain(|key, _| key.1 > cutoff);
+        }
+    }
+
+    fn run_cand(&self, k: usize, prow: usize) -> Result<()> {
+        self.evict_completed_steps(k);
+        let g = &self.geom;
+        let (gk, jb) = (k * self.nb(), g.jb(k));
+        let cpcol = g.pcol_of(k);
+        let cell = self.cell(prow, cpcol);
+        let lr = cell.rows();
+        let lr_k = self.glayout.local_rows_below(prow, gk);
+        let lrows = lr - lr_k;
+        let pl0 = self.glayout.local_cols_below(cpcol, gk);
+        let block = Matrix::from_fn(lrows, jb, |i, j| unsafe { cell.get(lr_k + i, pl0 + j) });
+        let idx: Vec<usize> = (lr_k..lr).map(|li| self.glayout.global_row(prow, li) - gk).collect();
+        let cand = if lrows > 0 {
+            local_candidates(&block, &idx, self.local)
+        } else {
+            Candidates::<T>::new(Matrix::zeros(0, jb), vec![])
+        };
+        self.post(ACC, k, 0, prow, cand.to_payload());
+        Ok(())
+    }
+
+    fn run_tslu_leg(&self, k: usize, leg: usize, prow: usize) -> Result<()> {
+        match tslu_leg_role(self.geom.pr, leg, prow) {
+            LegRole::Exchange { partner } => {
+                let mine = self.fetch_acc(k, leg, prow);
+                let theirs = self.fetch_acc(k, leg, partner);
+                // The combine is ordered by member index, exactly as the
+                // netsim butterfly orders it.
+                let acc = if prow < partner {
+                    reduce_pair(&mine, &theirs)
+                } else {
+                    reduce_pair(&theirs, &mine)
+                };
+                self.post(ACC, k, leg + 1, prow, acc.to_payload());
+            }
+            LegRole::FoldCombine { partner } => {
+                let mine = self.fetch_acc(k, leg, prow);
+                let theirs = self.fetch_acc(k, leg, partner);
+                let acc = reduce_pair(&mine, &theirs);
+                self.post(ACC, k, leg + 1, prow, acc.to_payload());
+            }
+            LegRole::FoldRecv { partner } => {
+                let theirs: Candidates<T> = self.fetch_acc(k, leg, partner);
+                self.post(ACC, k, leg + 1, prow, theirs.to_payload());
+            }
+            // Send halves: the data is read from the producer's slot by
+            // the receiving side; the task models the injection.
+            LegRole::FoldSend { .. } | LegRole::FoldOut { .. } => {}
+            LegRole::Idle => unreachable!("idle legs are not emitted"),
+        }
+        Ok(())
+    }
+
+    fn run_piv_send(&self, k: usize, prow: usize) -> Result<()> {
+        let g = &self.geom;
+        if self.alg == DistPanelAlg::Getf2 {
+            // PDGETF2 computed and posted the list; this task models the
+            // row-broadcast injection only.
+            return Ok(());
+        }
+        if prow != g.cprow(k) {
+            // Redundant copies on the other process rows carry the same
+            // list; only the canonical (diagonal-row) slot is consumed.
+            return Ok(());
+        }
+        let gk = k * self.nb();
+        let winners: Candidates<T> = self.fetch_acc(k, tslu_leg_count(g.pr), prow);
+        let li = winners_to_ipiv(&winners.rows, self.geom.shape.m - gk);
+        // SAFETY: the diagonal PivSend of step k is the only writer of
+        // these slots.
+        unsafe { self.ipiv.publish(gk, &li) };
+        self.post(PIV, k, 0, g.cprow(k), li.iter().map(|&x| x as f64).collect());
+        Ok(())
+    }
+
+    fn swap_list(&self, k: usize) -> Vec<usize> {
+        self.fetch(PIV, k, 0, self.geom.cprow(k)).iter().map(|&x| x as usize).collect()
+    }
+
+    fn run_swap(&self, k: usize, j: usize) -> Result<()> {
+        let gk = k * self.nb();
+        let li = self.swap_list(k);
+        let cols = self.swap_cols(k, j);
+        let pcol = self.geom.pcol_of(j);
+        if cols.is_empty() {
+            return Ok(());
+        }
+        for (i, &p) in li.iter().enumerate() {
+            if p != i {
+                // SAFETY: Swap(k,j) owns rows ≥ k·nb of these columns
+                // across the process column.
+                unsafe { self.swap_rows(pcol, gk + i, gk + p, cols.clone()) };
+            }
+        }
+        Ok(())
+    }
+
+    fn run_w_send(&self, k: usize) -> Result<()> {
+        let g = &self.geom;
+        let (gk, jb) = (k * self.nb(), g.jb(k));
+        let (cprow, cpcol) = (g.cprow(k), g.pcol_of(k));
+        let cell = self.cell(cprow, cpcol);
+        let d0 = self.glayout.local_rows_below(cprow, gk);
+        let pl0 = self.glayout.local_cols_below(cpcol, gk);
+        // SAFETY: ordered after Swap(k,k), before every Second(k,·).
+        let w = unsafe { self.pack(cell, d0..d0 + jb, pl0..pl0 + jb) };
+        self.post(WBK, k, 0, 0, w);
+        Ok(())
+    }
+
+    fn run_second(&self, k: usize, prow: usize) -> Result<()> {
+        let g = &self.geom;
+        let b = self.nb();
+        let (gk, jb) = (k * b, g.jb(k));
+        let (cprow, cpcol) = (g.cprow(k), g.pcol_of(k));
+        let mut w: Matrix<T> =
+            Matrix::from_col_major(jb, jb, cast_slice(&self.fetch(WBK, k, 0, 0)));
+        // A genuinely singular panel cancels all dependents across ranks;
+        // the driver reports the absolute step (the SPMD loop records the
+        // same step INFO-style and marches on).
+        if let Err(Error::SingularPivot { step }) = lu_nopiv(w.view_mut(), &mut NoObs) {
+            return Err(Error::SingularPivot { step: gk + step });
+        }
+        let cell = self.cell(prow, cpcol);
+        let pl0 = self.glayout.local_cols_below(cpcol, gk);
+        if prow == cprow {
+            let d0 = self.glayout.local_rows_below(cprow, gk);
+            for lj in 0..jb {
+                for li in 0..jb {
+                    // SAFETY: Second(k, cprow) exclusively owns the W rows.
+                    unsafe { cell.set(d0 + li, pl0 + lj, w[(li, lj)]) };
+                }
+            }
+        }
+        let lb0 = self.glayout.local_rows_below(prow, gk + jb);
+        let lr = cell.rows();
+        if lr > lb0 {
+            let u11 = w.view().submatrix(0, 0, jb, jb);
+            let (tjc, jc) = (pl0 / b, pl0 % b);
+            for (ti, rr) in cell.lay.row_tile_span(lb0..lr) {
+                // SAFETY: Second(k, prow) owns its rank's L₂₁ rows.
+                let l21 = unsafe { cell.tile_block(ti, tjc, rr.start, jc, rr.len(), jb) };
+                trsm(Side::Right, Uplo::Upper, Diag::NonUnit, T::ONE, u11, l21);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_panel_send(&self, k: usize, prow: usize) -> Result<()> {
+        let g = &self.geom;
+        let (gk, jb) = (k * self.nb(), g.jb(k));
+        let cpcol = g.pcol_of(k);
+        let cell = self.cell(prow, cpcol);
+        let lr = cell.rows();
+        let lr_k = self.glayout.local_rows_below(prow, gk);
+        let pl0 = self.glayout.local_cols_below(cpcol, gk);
+        // SAFETY: ordered after Second(k, prow) / PanelGetf2(k) — the
+        // last writers of this rank's panel rows.
+        let v = unsafe { self.pack(cell, lr_k..lr, pl0..pl0 + jb) };
+        self.post(PAN, k, 0, prow, v);
+        Ok(())
+    }
+
+    /// The local columns of block column `j` updated by step `k`'s
+    /// trailing work, as `(first local col, width, col tile, intra-tile
+    /// col)`.
+    fn upd_cols(&self, k: usize, j: usize) -> (usize, usize, usize, usize) {
+        let b = self.nb();
+        let pcol = self.geom.pcol_of(j);
+        let c0 = self.glayout.local_cols_below(pcol, j * b);
+        let skip = if j == k { self.geom.jb(k) } else { 0 };
+        let lo = c0 + skip;
+        let wid = self.geom.upd_width(k, j);
+        (lo, wid, c0 / b, lo - (c0 / b) * b)
+    }
+
+    fn run_trsm(&self, k: usize, j: usize) -> Result<()> {
+        let g = &self.geom;
+        let b = self.nb();
+        let (gk, jb) = (k * b, g.jb(k));
+        let cprow = g.cprow(k);
+        let pcol = g.pcol_of(j);
+        let lr_panel = g.panel_rows(cprow, k);
+        let panel_l: Matrix<T> =
+            Matrix::from_col_major(lr_panel, jb, cast_slice(&self.fetch(PAN, k, 0, cprow)));
+        let l11 = panel_l.view().submatrix(0, 0, jb, jb);
+        let cell = self.cell(cprow, pcol);
+        let d0 = self.glayout.local_rows_below(cprow, gk);
+        let (ti_d, i0) = (d0 / b, d0 % b);
+        let (_lo, wid, tj, cr0) = self.upd_cols(k, j);
+        // SAFETY: Trsm(k,j) owns rows d0..d0+jb of these columns.
+        let u12 = unsafe { cell.tile_block(ti_d, tj, i0, cr0, jb, wid) };
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, l11, u12);
+        Ok(())
+    }
+
+    fn run_u_send(&self, k: usize, j: usize) -> Result<()> {
+        let g = &self.geom;
+        let (gk, jb) = (k * self.nb(), g.jb(k));
+        let cprow = g.cprow(k);
+        let cell = self.cell(cprow, g.pcol_of(j));
+        let d0 = self.glayout.local_rows_below(cprow, gk);
+        let (lo, wid, _tj, _cr0) = self.upd_cols(k, j);
+        // SAFETY: ordered after Trsm(k,j).
+        let v = unsafe { self.pack(cell, d0..d0 + jb, lo..lo + wid) };
+        self.post(U12, k, j, 0, v);
+        Ok(())
+    }
+
+    fn run_gemm(&self, k: usize, j: usize, prow: usize) -> Result<()> {
+        let g = &self.geom;
+        let b = self.nb();
+        let (gk, jb) = (k * b, g.jb(k));
+        let pcol = g.pcol_of(j);
+        let cell = self.cell(prow, pcol);
+        let lr = cell.rows();
+        let lr_k = self.glayout.local_rows_below(prow, gk);
+        let lr_panel = lr - lr_k;
+        let panel_l: Matrix<T> =
+            Matrix::from_col_major(lr_panel, jb, cast_slice(&self.fetch(PAN, k, 0, prow)));
+        let (_lo, wid, tj, cr0) = self.upd_cols(k, j);
+        let u12: Matrix<T> = Matrix::from_col_major(jb, wid, cast_slice(&self.fetch(U12, k, j, 0)));
+        let lb0 = self.glayout.local_rows_below(prow, gk + jb);
+        for (ti, rr) in cell.lay.row_tile_span(lb0..lr) {
+            let l21 = panel_l.view().submatrix(ti * b + rr.start - lr_k, 0, rr.len(), jb);
+            // SAFETY: Gemm(k,j,rank) owns its rank's trailing rows of
+            // these columns.
+            let a22 = unsafe { cell.tile_block(ti, tj, rr.start, cr0, rr.len(), wid) };
+            gemm(-T::ONE, l21, u12.view(), T::ONE, a22);
+        }
+        Ok(())
+    }
+
+    /// The whole `PDGETF2` panel of step `k`, replayed across the process
+    /// column's rank storages in one task — elementwise identical to the
+    /// SPMD inner loop (scan / combine / pivot-row exchange / scale /
+    /// rank-1 update, column by column).
+    fn run_panel_getf2(&self, k: usize) -> Result<()> {
+        self.evict_completed_steps(k);
+        let g = &self.geom;
+        let b = self.nb();
+        let (gk, jb) = (k * b, g.jb(k));
+        let (pr, cprow, cpcol) = (g.pr, g.cprow(k), g.pcol_of(k));
+        let pl0 = self.glayout.local_cols_below(cpcol, gk);
+        let (tjc, jc) = (pl0 / b, pl0 % b);
+        let mut li_piv = Vec::with_capacity(jb);
+        for jj in 0..jb {
+            let gc = gk + jj;
+            // Local scans (first strict max in ascending global order),
+            // folded across process rows with the SPMD combine's
+            // max-abs / smaller-index tie-break — associative, so the
+            // linear fold equals the binomial reduce.
+            let (mut best, mut best_g, mut best_v) = (T::NEG_INFINITY, usize::MAX, T::ZERO);
+            for prow in 0..pr {
+                let cell = self.cell(prow, cpcol);
+                let r0 = self.glayout.local_rows_below(prow, gc);
+                let (mut ba, mut bg, mut bv) = (T::NEG_INFINITY, usize::MAX, T::ZERO);
+                for li in r0..cell.rows() {
+                    // SAFETY: PanelGetf2(k) owns the whole panel column.
+                    let v = unsafe { cell.get(li, pl0 + jj) };
+                    if v.abs() > ba {
+                        ba = v.abs();
+                        bg = self.glayout.global_row(prow, li);
+                        bv = v;
+                    }
+                }
+                if ba > best || (ba == best && bg < best_g) {
+                    best = ba;
+                    best_g = bg;
+                    best_v = bv;
+                }
+            }
+            li_piv.push(best_g - gk);
+            if !(best != T::ZERO && best.is_finite()) {
+                // The sequential reference errors here; dependents are
+                // canceled and the driver reports this absolute step.
+                return Err(Error::SingularPivot { step: gc });
+            }
+            // The winner's trailing row, captured before the exchange
+            // (the values the SPMD combine payload carries).
+            let urow: Vec<T> = if jj + 1 < jb {
+                let ow = self.glayout.row_owner(best_g);
+                let lw = self.glayout.local_row(best_g);
+                let cell = self.cell(ow, cpcol);
+                (jj + 1..jb).map(|c| unsafe { cell.get(lw, pl0 + c) }).collect()
+            } else {
+                Vec::new()
+            };
+            if best_g != gc {
+                // SAFETY: PanelGetf2(k) owns the panel column rows.
+                unsafe { self.swap_rows(cpcol, gc, best_g, pl0..pl0 + jb) };
+            }
+            let inv = best_v.recip();
+            for prow in 0..pr {
+                let cell = self.cell(prow, cpcol);
+                let r1 = self.glayout.local_rows_below(prow, gc + 1);
+                let lr = cell.rows();
+                if lr == r1 {
+                    continue;
+                }
+                for (ti, rr) in cell.lay.row_tile_span(r1..lr) {
+                    // SAFETY: exclusive panel-column ownership.
+                    let mut col =
+                        unsafe { cell.tile_block(ti, tjc, rr.start, jc + jj, rr.len(), 1) };
+                    scal(inv, col.col_mut(0));
+                }
+                if jj + 1 < jb {
+                    for (ti, rr) in cell.lay.row_tile_span(r1..lr) {
+                        let lview =
+                            unsafe { cell.tile_block(ti, tjc, rr.start, jc + jj, rr.len(), 1) };
+                        let trailing = unsafe {
+                            cell.tile_block(ti, tjc, rr.start, jc + jj + 1, rr.len(), jb - jj - 1)
+                        };
+                        ger(-T::ONE, lview.as_view().col(0), &urow, trailing);
+                    }
+                }
+            }
+        }
+        // SAFETY: PanelGetf2(k) is the only writer of these slots.
+        unsafe { self.ipiv.publish(gk, &li_piv) };
+        self.post(PIV, k, 0, cprow, li_piv.iter().map(|&x| x as f64).collect());
+        Ok(())
+    }
+}
+
+impl<T: Scalar> TaskRunner for DistRunner<T> {
+    fn run(&self, task: Task) -> Result<()> {
+        let Task::Dist(DistTask { kind, k, j, rank }) = task else {
+            unreachable!("distributed runner received a shared-memory task")
+        };
+        let (k, j, rank) = (k as usize, j as usize, rank as usize);
+        let prow = rank % self.geom.pr;
+        match kind {
+            DistKind::Cand => self.run_cand(k, prow),
+            DistKind::TsluLeg => self.run_tslu_leg(k, j, prow),
+            DistKind::PanelGetf2 => self.run_panel_getf2(k),
+            DistKind::PivSend => self.run_piv_send(k, prow),
+            DistKind::Swap => self.run_swap(k, j),
+            DistKind::WSend => self.run_w_send(k),
+            DistKind::Second => self.run_second(k, prow),
+            DistKind::PanelSend => self.run_panel_send(k, prow),
+            DistKind::Trsm => self.run_trsm(k, j),
+            DistKind::USend => self.run_u_send(k, j),
+            DistKind::Gemm => self.run_gemm(k, j, prow),
+            // Pure arrival markers: the data sits in the producer's slot,
+            // the edge is the wire.
+            DistKind::PivRecv | DistKind::PanelRecv | DistKind::URecv => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_dist<T: Scalar>(
+    a: &Matrix<T>,
+    b: usize,
+    pr: usize,
+    pc: usize,
+    local: LocalLu,
+    alg: DistPanelAlg,
+    rt: DistRtOpts,
+    mch: &MachineConfig,
+) -> (DistRtReport, DistFactors<T>) {
+    let (m, n) = (a.rows(), a.cols());
+    let kn = m.min(n);
+    assert!(b > 0 && pr > 0 && pc > 0, "block and grid must be positive");
+    let glayout = TileLayout::new(m, n, b, b).with_grid(pr, pc);
+    let mut locals: Vec<TileMatrix<T>> = (0..pr * pc)
+        .map(|rank| {
+            let (prow, pcol) = (rank % pr, rank / pr);
+            TileMatrix::from_fn(glayout.local_layout(prow, pcol), |li, lj| {
+                a[(glayout.global_row(prow, li), glayout.global_col(pcol, lj))]
+            })
+        })
+        .collect();
+    let shape = LuShape { m, n, nb: b };
+    let geom = DistGeom { shape, pr, pc };
+    let dag = LuDag::build_dist_with(shape, (pr, pc), rt.lookahead, alg);
+    let mut ipiv = vec![0usize; kn];
+    let runner = DistRunner {
+        geom,
+        glayout,
+        alg,
+        local,
+        lookahead: rt.lookahead,
+        cells: locals.iter_mut().map(RankCell::new).collect(),
+        ipiv: IpivCell { ptr: ipiv.as_mut_ptr(), len: kn },
+        mail: Mutex::new(HashMap::new()),
+    };
+    let (exec, first_singular) = match rt.executor.execute(&dag, &runner) {
+        Ok(rep) => (rep, None),
+        Err(Error::SingularPivot { step }) => (ExecReport::default(), Some(step)),
+        Err(e) => panic!("unexpected distributed task failure: {e:?}"),
+    };
+    drop(runner);
+
+    let model = DistCostModel {
+        geom,
+        alg,
+        recursive_panel: matches!(local, LocalLu::Recursive),
+        mch: mch.clone(),
+    };
+    let sched = simulate_dist_schedule(&dag, |t| model.cost(t), mch);
+    let critical_path = dag.critical_path(|t| model.cost(t).total(mch));
+    let report = DistRtReport {
+        sim: SimReport { per_rank: sched.per_rank },
+        traces: sched.traces,
+        exec,
+        critical_path,
+        makespan: sched.makespan,
+        tasks: dag.len(),
+    };
+    let lu = assemble_2d(glayout, &locals);
+    (report, DistFactors { lu, ipiv, first_singular })
+}
+
+/// Runtime-driven 2D block-cyclic CALU: the per-rank step work of
+/// [`dist_calu_factor_spmd`](crate::dist::dist_calu_factor_spmd) emitted
+/// as a [`LuDag::build_dist`] task graph and driven through either
+/// executor at any lookahead depth. Factors and pivots are **bitwise
+/// identical** to the SPMD reference on every schedule (property-tested);
+/// the report carries the modeled per-rank communication schedule.
+pub fn dist_calu_factor_rt<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistCaluConfig,
+    rt: DistRtOpts,
+    mch: MachineConfig,
+) -> (DistRtReport, DistFactors<T>) {
+    run_dist(a, cfg.b, cfg.pr, cfg.pc, cfg.local, DistPanelAlg::Tslu, rt, &mch)
+}
+
+/// Runtime-driven ScaLAPACK-style `PDGETRF`: the `PDGETF2` panel runs as
+/// one serialized task per step (faithful to its column-coupled picket
+/// fence), while swaps and the trailing update get the full per-column
+/// task treatment — so even the baseline gains real lookahead. Factors
+/// stay bitwise identical to the sequential blocked
+/// [`calu_matrix::lapack::getrf`].
+pub fn dist_pdgetrf_factor_rt<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistPdgetrfConfig,
+    rt: DistRtOpts,
+    mch: MachineConfig,
+) -> (DistRtReport, DistFactors<T>) {
+    run_dist(a, cfg.b, cfg.pr, cfg.pc, LocalLu::Classic, DistPanelAlg::Getf2, rt, &mch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{dist_calu_factor_spmd, dist_pdgetrf_factor_spmd};
+    use calu_matrix::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn executors() -> [ExecutorKind; 2] {
+        [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }]
+    }
+
+    #[test]
+    fn dag_calu_matches_spmd_bitwise_on_grids_and_depths() {
+        let mut rng = StdRng::seed_from_u64(7001);
+        for &(m, n, b) in &[(48usize, 48usize, 8usize), (52, 36, 8), (36, 52, 8)] {
+            let a: Matrix = gen::randn(&mut rng, m, n);
+            for &(pr, pc) in &[(1usize, 1usize), (2, 2), (2, 3), (3, 2)] {
+                let cfg = DistCaluConfig { b, pr, pc, local: LocalLu::Recursive };
+                let (_r, want) = dist_calu_factor_spmd(&a, cfg, MachineConfig::ideal());
+                for depth in 1..=3 {
+                    for executor in executors() {
+                        let rt = DistRtOpts { lookahead: depth, executor };
+                        let (_rep, got) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                        assert_eq!(want.ipiv, got.ipiv, "{m}x{n} {pr}x{pc} d={depth}");
+                        assert_eq!(
+                            want.lu.max_abs_diff(&got.lu),
+                            0.0,
+                            "{m}x{n} {pr}x{pc} d={depth} {executor:?}: factors must be bitwise \
+                             identical to the SPMD reference"
+                        );
+                        assert_eq!(got.first_singular, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_pdgetrf_matches_spmd_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7002);
+        let a: Matrix = gen::randn(&mut rng, 44, 44);
+        for &(pr, pc) in &[(1usize, 1usize), (2, 2), (3, 2), (2, 4)] {
+            let cfg = DistPdgetrfConfig { b: 8, pr, pc };
+            let (_r, want) = dist_pdgetrf_factor_spmd(&a, cfg, MachineConfig::ideal());
+            for depth in 1..=2 {
+                for executor in executors() {
+                    let rt = DistRtOpts { lookahead: depth, executor };
+                    let (_rep, got) = dist_pdgetrf_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                    assert_eq!(want.ipiv, got.ipiv, "{pr}x{pc} d={depth}");
+                    assert_eq!(want.lu.max_abs_diff(&got.lu), 0.0, "{pr}x{pc} d={depth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_carries_modeled_schedule_and_traces() {
+        let mut rng = StdRng::seed_from_u64(7003);
+        let a: Matrix = gen::randn(&mut rng, 64, 64);
+        let cfg = DistCaluConfig { b: 16, pr: 2, pc: 2, local: LocalLu::Classic };
+        let (rep, _f) =
+            dist_calu_factor_rt(&a, cfg, DistRtOpts::default(), MachineConfig::power5());
+        assert_eq!(rep.traces.len(), 4);
+        assert_eq!(rep.sim.per_rank.len(), 4);
+        assert!(rep.makespan > 0.0 && rep.critical_path > 0.0);
+        assert!(rep.makespan + 1e-15 >= rep.critical_path * 0.999);
+        assert!(rep.sim.total_msgs() > 0, "2x2 grid must move modeled messages");
+        assert!(rep.sim.total_flops() > 0.0);
+        assert_eq!(rep.exec.order.len(), rep.tasks);
+        let gantt = calu_netsim::render_gantt(&rep.traces, 60);
+        assert!(gantt.contains("r0") && gantt.contains("r3"));
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod calu;
 pub mod dist;
+pub mod dist_rt;
 pub mod gepp;
 pub mod instrument;
 pub mod par;
@@ -44,6 +45,7 @@ pub mod tournament;
 pub mod tslu;
 
 pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
+pub use dist_rt::{dist_calu_factor_rt, dist_pdgetrf_factor_rt, DistRtOpts, DistRtReport};
 pub use gepp::{gepp_factor, gepp_inplace};
 pub use instrument::PivotStats;
 pub use par::{par_calu_factor, par_calu_inplace};

@@ -264,6 +264,7 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
                 Ok(())
             }
+            Task::Dist(_) => unreachable!("shared-memory runner received a distributed task"),
         }
     }
 }
@@ -427,6 +428,7 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuTileRunner<'_, T, O
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
                 Ok(())
             }
+            Task::Dist(_) => unreachable!("shared-memory runner received a distributed task"),
         }
     }
 }

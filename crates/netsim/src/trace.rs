@@ -129,13 +129,29 @@ const GLYPHS: [(SegKind, char); 3] =
 
 /// Renders per-rank timelines as a text Gantt chart `width` characters
 /// wide. Each cell shows the kind that occupied most of that cell's time
-/// span; the header carries the time scale and a legend.
+/// span; the header carries the time scale and a legend. Rows are labeled
+/// `r0`, `r1`, … — use [`render_gantt_labeled`] for custom row labels
+/// (e.g. grid coordinates next to runtime workers in a dual-layer chart).
 ///
 /// # Panics
 /// If `width == 0`.
 pub fn render_gantt(traces: &[RankTrace], width: usize) -> String {
+    let labels: Vec<String> = (0..traces.len()).map(|r| format!("r{r}")).collect();
+    render_gantt_labeled(traces, &labels, width)
+}
+
+/// [`render_gantt`] with caller-supplied row labels (padded to the longest
+/// label), so timelines from different layers — simulated grid ranks,
+/// modeled distributed-DAG ranks, runtime executor workers — can stack in
+/// one legible chart.
+///
+/// # Panics
+/// If `width == 0` or the label count differs from the trace count.
+pub fn render_gantt_labeled(traces: &[RankTrace], labels: &[String], width: usize) -> String {
     assert!(width > 0, "gantt width must be positive");
+    assert_eq!(labels.len(), traces.len(), "one label per trace");
     let t_end = traces.iter().map(RankTrace::end).fold(0.0_f64, f64::max);
+    let pad = labels.iter().map(String::len).max().unwrap_or(0).max(3);
     let mut out = String::new();
     out.push_str(&format!("time 0 .. {:.3e} s   ('#' compute, '>' send, '.' idle)\n", t_end));
     if t_end <= 0.0 {
@@ -168,7 +184,7 @@ pub fn render_gantt(traces: &[RankTrace], width: usize) -> String {
                 });
             row.push(if val > 0.0 { GLYPHS[best].1 } else { ' ' });
         }
-        out.push_str(&format!("r{rank:<3} |{row}|\n"));
+        out.push_str(&format!("{:<pad$} |{row}|\n", labels[rank]));
     }
     out
 }

@@ -74,6 +74,98 @@ pub enum Task {
         /// Target block column.
         j: usize,
     },
+    /// A distributed-memory task of the 2D block-cyclic DAG
+    /// ([`LuDag::build_dist`]): per-rank compute or an explicit
+    /// communication task (panel broadcast, TSLU reduce leg, pivot-row
+    /// exchange, …) carrying its owning rank. Never emitted by the
+    /// shared-memory [`LuDag::build`].
+    Dist(DistTask),
+}
+
+/// One task of the distributed (2D block-cyclic) DAG. The `rank` tag is
+/// the owning rank in column-major grid order (`rank = pcol·Pr + prow`,
+/// the BLACS "C" order `calu_netsim::Grid` uses); cross-rank data flow is
+/// realized as send/recv task pairs whose edges are the wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistTask {
+    /// What the task does (and which side of a comm pair it is).
+    pub kind: DistKind,
+    /// Elimination step (block column index, units of `nb`).
+    pub k: u32,
+    /// Kind-specific index: target block column for
+    /// `Swap`/`Trsm`/`USend`/`URecv`/`Gemm`, butterfly leg for `TsluLeg`,
+    /// unused (0) otherwise.
+    pub j: u32,
+    /// Owning rank (column-major grid order).
+    pub rank: u32,
+}
+
+/// Task kinds of the distributed DAG. Compute kinds run real kernels on
+/// the owning rank's block-cyclic tiles; communication kinds carry modeled
+/// `α + w·β` costs and stage/consume data across ranks (send/recv pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistKind {
+    /// TSLU phase 1a: local candidate election on one member of the
+    /// panel-owning process column.
+    Cand,
+    /// One leg of TSLU's butterfly all-reduce of candidate sets along the
+    /// process column (`j` = leg index): a pairwise sendrecv plus the
+    /// redundant tournament combine.
+    TsluLeg,
+    /// The whole `PDGETF2` panel of the `PDGETRF` baseline: per column a
+    /// scan, a column-combine, a pivot-row exchange, and a rank-1 update —
+    /// a serialized picket fence modeled as one task on the diagonal rank
+    /// (its body touches every rank of the process column, which the
+    /// column-barrier edges order).
+    PanelGetf2,
+    /// Send half of the swap-list broadcast along the owning process row.
+    PivSend,
+    /// Recv half of the swap-list broadcast on one non-root rank.
+    PivRecv,
+    /// Pivot-row exchange: apply panel `k`'s row swaps to block column `j`
+    /// across the owning process column (the sequential pairwise
+    /// exchanges of the swap sweep, one task per column block).
+    Swap,
+    /// Send half of the post-swap `W` block broadcast down the process
+    /// column (CALU second pass).
+    WSend,
+    /// CALU second pass on one panel-column member: redundant `W = L₁₁U₁₁`
+    /// factorization plus the local `L₂₁ = A₂₁U₁₁⁻¹` solve.
+    Second,
+    /// Send half of the packed-panel broadcast along the process row (one
+    /// per process row — each row carries its own panel rows).
+    PanelSend,
+    /// Recv half of the packed-panel broadcast on one non-root rank.
+    PanelRecv,
+    /// `U₁₂` triangular solve for block column `j` on the diagonal
+    /// process row.
+    Trsm,
+    /// Send half of the `U₁₂` broadcast down the process column.
+    USend,
+    /// Recv half of the `U₁₂` broadcast on one non-diagonal process row.
+    URecv,
+    /// Local trailing `gemm` of block column `j` on one rank (all its
+    /// owned row tiles).
+    Gemm,
+}
+
+impl DistTask {
+    /// `true` for kinds whose cost is (at least partly) a message — the
+    /// segments the dual-layer Gantt draws as communication.
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self.kind,
+            DistKind::TsluLeg
+                | DistKind::PivSend
+                | DistKind::PivRecv
+                | DistKind::Swap
+                | DistKind::WSend
+                | DistKind::PanelSend
+                | DistKind::PanelRecv
+                | DistKind::USend
+                | DistKind::URecv
+        )
+    }
 }
 
 impl Task {
@@ -84,6 +176,7 @@ impl Task {
             | Task::Swap { k, .. }
             | Task::Trsm { k, .. }
             | Task::Gemm { k, .. } => k,
+            Task::Dist(d) => d.k as usize,
         }
     }
 }
@@ -95,6 +188,9 @@ impl std::fmt::Display for Task {
             Task::Swap { k, j } => write!(f, "Swap({k},{j})"),
             Task::Trsm { k, j } => write!(f, "Trsm({k},{j})"),
             Task::Gemm { k, i, j } => write!(f, "Gemm({k},{i},{j})"),
+            Task::Dist(DistTask { kind, k, j, rank }) => {
+                write!(f, "{kind:?}({k},{j})@r{rank}")
+            }
         }
     }
 }
@@ -171,10 +267,41 @@ fn priority(shape: &LuShape, t: Task) -> Prio {
         Task::Trsm { k, j } => (j as u32, 2, k as u32, 0),
         Task::Gemm { k, i, j } => (j as u32, 3, k as u32, i as u32),
         Task::Swap { k, j } => (cb + k as u32, 4, j as u32, 0),
+        Task::Dist(d) => dist_priority(cb, d),
     }
 }
 
-/// The dependency DAG of one blocked LU factorization.
+/// Critical-path-first priorities for the distributed task kinds: the
+/// panel chain of step `k` (election, reduce legs, second pass, list and
+/// panel broadcasts) outranks trailing work, per-column work on block
+/// column `j` outranks columns right of it, left pivot fix-ups sort last —
+/// the same encoding as the shared-memory DAG, with comm legs slotted into
+/// their producing chain.
+fn dist_priority(cb: u32, d: DistTask) -> Prio {
+    use DistKind::*;
+    let DistTask { kind, k, j, rank } = d;
+    match kind {
+        Cand | PanelGetf2 => (k, 0, 0, rank),
+        TsluLeg => (k, 0, 1 + j, rank),
+        WSend => (k, 1, 0, rank),
+        Second => (k, 1, 1, rank),
+        PivSend => (k, 1, 2, rank),
+        PivRecv => (k, 1, 3, rank),
+        PanelSend => (k, 1, 4, rank),
+        PanelRecv => (k, 1, 5, rank),
+        Swap if j >= k => (j, 2, k, 0),
+        Trsm => (j, 3, k, 0),
+        USend => (j, 4, k, 0),
+        URecv => (j, 4, k, 1 + rank),
+        Gemm => (j, 5, k, rank),
+        Swap => (cb + k, 6, j, 0),
+    }
+}
+
+/// The dependency DAG of one blocked LU factorization — shared-memory
+/// ([`LuDag::build`]) or distributed over a 2D block-cyclic grid
+/// ([`LuDag::build_dist`]), where tasks are partitioned per rank and
+/// cross-rank edges run through send/recv task pairs.
 #[derive(Debug, Clone)]
 pub struct LuDag {
     shape: LuShape,
@@ -183,6 +310,10 @@ pub struct LuDag {
     prio: Vec<Prio>,
     succs: Vec<Vec<TaskId>>,
     dep_count: Vec<usize>,
+    /// Number of ranks tasks are partitioned over (1 for shared memory).
+    pub(crate) ranks: usize,
+    /// `(Pr, Pc)` grid of a distributed DAG, `None` for shared memory.
+    pub(crate) grid: Option<(usize, usize)>,
 }
 
 impl LuDag {
@@ -295,19 +426,55 @@ impl LuDag {
                     // tile) and Panel(k) (producer of L₂₁) are transitive.
                     edges.push((id(Task::Trsm { k, j }), tid));
                 }
+                Task::Dist(_) => unreachable!("shared-memory builder emits no dist tasks"),
             }
         }
+        Self::from_parts(shape, lookahead, tasks, edges, 1, None)
+    }
+
+    /// Finishes construction from a raw task/edge list (shared by the
+    /// distributed builder): dedupes edges, computes successor lists,
+    /// predecessor counts, and priorities.
+    pub(crate) fn from_parts(
+        shape: LuShape,
+        lookahead: usize,
+        tasks: Vec<Task>,
+        mut edges: Vec<(TaskId, TaskId)>,
+        ranks: usize,
+        grid: Option<(usize, usize)>,
+    ) -> Self {
         edges.sort_unstable();
         edges.dedup();
-
         let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
         let mut dep_count = vec![0usize; tasks.len()];
         for (from, to) in edges {
+            debug_assert!(from != to, "self edge on {}", tasks[from]);
             succs[from].push(to);
             dep_count[to] += 1;
         }
         let prio = tasks.iter().map(|&t| priority(&shape, t)).collect();
-        LuDag { shape, lookahead, tasks, prio, succs, dep_count }
+        LuDag { shape, lookahead, tasks, prio, succs, dep_count, ranks, grid }
+    }
+
+    /// Number of ranks the tasks are partitioned over (1 for a
+    /// shared-memory DAG).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// `(Pr, Pc)` process grid of a distributed DAG (`None` for shared
+    /// memory).
+    pub fn grid(&self) -> Option<(usize, usize)> {
+        self.grid
+    }
+
+    /// Owning rank of a task (column-major grid order; 0 for every
+    /// shared-memory task).
+    pub fn owner(&self, id: TaskId) -> usize {
+        match self.tasks[id] {
+            Task::Dist(d) => d.rank as usize,
+            _ => 0,
+        }
     }
 
     /// The block geometry this DAG was built for.
@@ -497,6 +664,9 @@ pub fn modeled_cache_traffic(
             let w = shape.col_range(j).len();
             block_bytes(h, jb, 1.0) + block_bytes(jb, w, 1.0) + block_bytes(h, w, 2.0)
         }
+        // Distributed tasks are costed by `dist::DistCostModel` (their
+        // operands live in per-rank tile storage, never flat).
+        Task::Dist(_) => 0.0,
     }
 }
 
@@ -536,6 +706,9 @@ pub fn modeled_time(shape: &LuShape, task: Task, mch: &MachineConfig) -> f64 {
         Task::Gemm { k, i, j } => {
             mch.t_gemm(shape.row_range(i).len(), shape.col_range(j).len(), shape.panel_width(k))
         }
+        // Distributed tasks are costed by `dist::DistCostModel` (compute
+        // plus α/β message terms); they have no shared-memory kernel time.
+        Task::Dist(_) => 0.0,
     }
 }
 
@@ -559,6 +732,7 @@ mod tests {
                 Task::Swap { .. } => swaps += 1,
                 Task::Trsm { .. } => trsms += 1,
                 Task::Gemm { .. } => gemms += 1,
+                Task::Dist(_) => unreachable!("shared-memory DAGs emit no dist tasks"),
             }
         }
         assert_eq!(panels, 4);

@@ -29,11 +29,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dag;
+pub mod dist;
 pub mod exec;
 
 pub use dag::{
-    modeled_cache_traffic, modeled_time, modeled_time_layout, LuDag, LuShape, Task, TaskId,
-    TileLocality,
+    modeled_cache_traffic, modeled_time, modeled_time_layout, DistKind, DistTask, LuDag, LuShape,
+    Task, TaskId, TileLocality,
+};
+pub use dist::{
+    simulate_dist_schedule, tslu_acc_slot, tslu_leg_count, tslu_leg_role, DistCostModel, DistGeom,
+    DistPanelAlg, DistSchedule, DistTaskCost, LegRole,
 };
 pub use exec::{
     ExecReport, Executor, ExecutorKind, SerialExecutor, TaskRunner, TaskTiming, ThreadedExecutor,

@@ -1,0 +1,80 @@
+//! The distributed layer on the task-graph runtime, end to end: factors a
+//! matrix over a 2D block-cyclic grid by driving each rank's work through
+//! the per-rank `calu-runtime` DAG, verifies the factors bitwise against
+//! the pre-refactor SPMD reference, and prints the **dual-layer Gantt** —
+//! the modeled per-rank schedule of the distributed algorithm (compute,
+//! communication, idle of every rank under the POWER5 α-β-γ model) stacked
+//! above the wall-clock timeline of the runtime workers that actually
+//! executed the tasks.
+//!
+//! Run: `cargo run --release --example dist_runtime`
+
+use calu_repro::core::dist::{dist_calu_factor_spmd, DistCaluConfig};
+use calu_repro::core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
+use calu_repro::matrix::{gen, Matrix};
+use calu_repro::netsim::{render_gantt_labeled, MachineConfig, SegKind};
+use calu_repro::runtime::ExecutorKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let (pr, pc) = (2usize, 2usize);
+    let depth = 2;
+    let cfg = DistCaluConfig { b: 32, pr, pc, local: LocalLu::Recursive };
+    let mch = MachineConfig::power5();
+    println!(
+        "runtime-driven distributed CALU: {n}x{n}, b={}, grid {pr}x{pc}, lookahead depth {depth}\n",
+        cfg.b
+    );
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let a: Matrix = gen::randn(&mut rng, n, n);
+
+    let rt = DistRtOpts { lookahead: depth, executor: ExecutorKind::Threaded { threads: 0 } };
+    let (rep, d) = dist_calu_factor_rt(&a, cfg, rt, mch.clone());
+
+    // The DAG-driven factors are bitwise identical to the SPMD loop's.
+    let (_r, reference) = dist_calu_factor_spmd(&a, cfg, mch.clone());
+    assert_eq!(d.ipiv, reference.ipiv);
+    assert_eq!(d.lu.max_abs_diff(&reference.lu), 0.0);
+    println!("factors bitwise-identical to the SPMD reference ✓");
+    println!(
+        "{} tasks; modeled critical path {:.3e} s; modeled rank-schedule makespan {:.3e} s\n",
+        rep.tasks, rep.critical_path, rep.makespan
+    );
+
+    // Layer 1: the distributed algorithm — every rank's modeled timeline,
+    // compute and communication in one trace.
+    println!("── distributed layer (modeled {} ranks, {}) ──", pr * pc, mch.name);
+    let rank_labels: Vec<String> =
+        (0..pr * pc).map(|r| format!("rank({},{})", r % pr, r / pr)).collect();
+    print!("{}", render_gantt_labeled(&rep.traces, &rank_labels, 96));
+    for (label, tr) in rank_labels.iter().zip(&rep.traces) {
+        println!(
+            "  {label}: compute {:.2e}s  comm {:.2e}s  idle {:.2e}s",
+            tr.total(SegKind::Compute),
+            tr.total(SegKind::Send),
+            tr.total(SegKind::Idle)
+        );
+    }
+
+    // Layer 2: the runtime — the wall-clock schedule of the executor
+    // workers that ran the same DAG's task bodies on this host.
+    let worker_traces = rep.exec.traces();
+    let worker_labels: Vec<String> =
+        (0..worker_traces.len()).map(|w| format!("worker{w}")).collect();
+    println!(
+        "\n── runtime layer ({} workers, wall-clock {:.1} ms) ──",
+        rep.exec.workers,
+        rep.exec.wall * 1e3
+    );
+    print!("{}", render_gantt_labeled(&worker_traces, &worker_labels, 96));
+
+    println!(
+        "\nper-rank modeled accounting: {} msgs, {} words, {:.2} modeled GFLOP/s aggregate",
+        rep.sim.total_msgs(),
+        rep.sim.total_words(),
+        rep.sim.gflops()
+    );
+}

@@ -26,6 +26,7 @@ fn main() {
             Task::Swap { .. } => swaps += 1,
             Task::Trsm { .. } => trsms += 1,
             Task::Gemm { .. } => gemms += 1,
+            Task::Dist(_) => unreachable!("shared-memory DAGs emit no distributed tasks"),
         }
     }
     println!("LU task DAG for {m}x{n}, nb={nb}, lookahead depth 2");

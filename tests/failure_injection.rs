@@ -224,3 +224,46 @@ fn solve_with_huge_scale_variation_stays_accurate_after_equilibration() {
         assert!((got - want).abs() < 1e-9, "{got} vs {want}");
     }
 }
+
+#[test]
+fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
+    // A singular pivot on any rank of the distributed DAG must cancel the
+    // dependent tasks of *other ranks* (no hang — they simply never
+    // start) and surface `DistFactors::first_singular` at the absolute
+    // elimination step, for both executors, every lookahead depth, and
+    // both panel algorithms — mirroring the shared-memory runtime's
+    // failure contract above.
+    use calu_repro::core::dist::{
+        dist_calu_factor_spmd, dist_pdgetrf_factor_spmd, DistCaluConfig, DistPdgetrfConfig,
+    };
+    use calu_repro::core::{dist_calu_factor_rt, dist_pdgetrf_factor_rt, DistRtOpts};
+    use calu_repro::netsim::MachineConfig;
+    let n = 32;
+    for &r in &[5usize, 17] {
+        let a = rank_deficient(900 + r as u64, n, r);
+        let calu_cfg = DistCaluConfig { b: 8, pr: 2, pc: 2, local: LocalLu::Classic };
+        let pdg_cfg = DistPdgetrfConfig { b: 8, pr: 2, pc: 2 };
+        // The SPMD references record the same absolute step INFO-style.
+        let (_q, spmd_calu) = dist_calu_factor_spmd(&a, calu_cfg, MachineConfig::ideal());
+        let (_q, spmd_pdg) = dist_pdgetrf_factor_spmd(&a, pdg_cfg, MachineConfig::ideal());
+        assert_eq!(spmd_calu.first_singular, Some(r));
+        assert_eq!(spmd_pdg.first_singular, Some(r));
+        for lookahead in 1..=3 {
+            for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
+                let rt = DistRtOpts { lookahead, executor };
+                let (_rep, d) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
+                assert_eq!(
+                    d.first_singular,
+                    Some(r),
+                    "calu d={lookahead} {executor:?}: zero column {r} must surface absolutely"
+                );
+                let (_rep, d) = dist_pdgetrf_factor_rt(&a, pdg_cfg, rt, MachineConfig::ideal());
+                assert_eq!(
+                    d.first_singular,
+                    Some(r),
+                    "pdgetrf d={lookahead} {executor:?}: zero column {r} must surface absolutely"
+                );
+            }
+        }
+    }
+}
