@@ -97,6 +97,15 @@ pub struct DistRtReport {
     pub makespan: f64,
     /// Task count of the DAG.
     pub tasks: usize,
+    /// `f64` payload words still sitting in the cross-rank mailbox when
+    /// the run ended, drained by the driver. Nonzero is normal: on
+    /// success the lookahead eviction horizon keeps the last window's
+    /// payloads alive, and on a canceled run (singular pivot) payloads
+    /// posted for recv tasks that never ran would otherwise leak.
+    pub mailbox_drained_words: usize,
+    /// Words remaining *after* the drain — the leak detector. Always 0;
+    /// the failure-injection tests assert it on both executors.
+    pub mailbox_residual_words: usize,
 }
 
 // ---------------------------------------------------------------------------
@@ -331,6 +340,27 @@ impl<T: Scalar> DistRunner<T> {
             let cutoff = (k - self.lookahead - 1) as u32;
             self.mail.lock().expect("mailbox poisoned").retain(|key, _| key.1 > cutoff);
         }
+    }
+
+    /// Empties the mailbox and returns how many payload words were still
+    /// posted. Called by the driver once the executor returns — on the
+    /// success path (the last lookahead window's payloads are still
+    /// resident) and, crucially, after a cancellation, where payloads
+    /// posted for recv tasks that were canceled have no remaining reader
+    /// and would leak for the runner's lifetime. Recovers from a poisoned
+    /// lock: drain runs during shutdown, where a panicked task must not
+    /// block the cleanup.
+    fn drain_mailbox(&self) -> usize {
+        let mut mail = self.mail.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let words = mail.values().map(|v| v.len()).sum();
+        mail.clear();
+        words
+    }
+
+    /// Payload words currently posted (the post-drain residual check).
+    fn mailbox_words(&self) -> usize {
+        let mail = self.mail.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        mail.values().map(|v| v.len()).sum()
     }
 
     fn run_cand(&self, k: usize, prow: usize) -> Result<()> {
@@ -730,6 +760,9 @@ fn run_dist<T: Scalar>(
         Err(Error::SingularPivot { step }) => (ExecReport::default(), Some(step)),
         Err(e) => panic!("unexpected distributed task failure: {e:?}"),
     };
+    // Success or cancellation, undelivered payloads end with the run.
+    let mailbox_drained_words = runner.drain_mailbox();
+    let mailbox_residual_words = runner.mailbox_words();
     drop(runner);
 
     let model = DistCostModel {
@@ -747,6 +780,8 @@ fn run_dist<T: Scalar>(
         critical_path,
         makespan: sched.makespan,
         tasks: dag.len(),
+        mailbox_drained_words,
+        mailbox_residual_words,
     };
     let lu = assemble_2d(glayout, &locals);
     (report, DistFactors { lu, ipiv, first_singular })
@@ -852,6 +887,10 @@ mod tests {
         assert!(rep.sim.total_msgs() > 0, "2x2 grid must move modeled messages");
         assert!(rep.sim.total_flops() > 0.0);
         assert_eq!(rep.exec.order.len(), rep.tasks);
+        // The last lookahead window's payloads are still resident at the
+        // end of a successful run; the driver drains them all.
+        assert!(rep.mailbox_drained_words > 0);
+        assert_eq!(rep.mailbox_residual_words, 0);
         let gantt = calu_netsim::render_gantt(&rep.traces, 60);
         assert!(gantt.contains("r0") && gantt.contains("r3"));
     }

@@ -39,6 +39,7 @@ pub mod gepp;
 pub mod instrument;
 pub mod par;
 pub mod rt;
+pub mod serve;
 pub mod solve;
 pub mod tiled;
 pub mod tournament;
@@ -53,7 +54,11 @@ pub use rt::{
     runtime_calu_factor, runtime_calu_inplace, runtime_calu_tiles, runtime_calu_tiles_factor,
     RuntimeOpts,
 };
-pub use solve::{ir_solve, IrOpts, IrReport, IrStep, RefineInfo};
+pub use serve::{
+    runtime_solve_mat, CacheStats, MatrixKey, ProcessReport, ServeOpts, SolverService, SubmitError,
+    Ticket,
+};
+pub use solve::{ir_solve, ir_solve_batch, IrBatchReport, IrOpts, IrReport, IrStep, RefineInfo};
 pub use tiled::{tiled_calu_factor, tiled_calu_inplace, tiled_calu_tiles};
 pub use tournament::{reduce_pair, tournament, tournament_flat, Candidates};
 pub use tslu::{tslu_factor, tslu_pivots, LocalLu, TsluResult};

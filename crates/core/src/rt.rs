@@ -71,7 +71,7 @@ impl Default for RuntimeOpts {
 /// disjoint views out of it; the DAG's edges are the proof of
 /// disjointness among concurrently running tasks (every overlapping pair
 /// is ordered), which is exactly the invariant `MatViewMut` requires.
-struct SharedMat<T> {
+pub(crate) struct SharedMat<T> {
     ptr: *mut T,
     rows: usize,
     cols: usize,
@@ -82,7 +82,7 @@ unsafe impl<T: Send> Send for SharedMat<T> {}
 unsafe impl<T: Sync> Sync for SharedMat<T> {}
 
 impl<T: Scalar> SharedMat<T> {
-    fn new(a: &mut MatViewMut<'_, T>) -> Self {
+    pub(crate) fn new(a: &mut MatViewMut<'_, T>) -> Self {
         let rows = a.rows();
         let cols = a.cols();
         let ld = a.ld();
@@ -99,7 +99,13 @@ impl<T: Scalar> SharedMat<T> {
     /// The caller must hold (via DAG ordering) exclusive access to the
     /// block's *elements* for the view's lifetime, and the block must be
     /// in range.
-    unsafe fn block(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatViewMut<'_, T> {
+    pub(crate) unsafe fn block(
+        &self,
+        i: usize,
+        j: usize,
+        nr: usize,
+        nc: usize,
+    ) -> MatViewMut<'_, T> {
         debug_assert!(i + nr <= self.rows && j + nc <= self.cols);
         debug_assert!(nr > 0 && nc > 0, "tasks never touch empty blocks");
         unsafe { MatViewMut::from_raw_parts(self.ptr.add(j * self.ld + i), nr, nc, self.ld) }
@@ -264,7 +270,9 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
                 Ok(())
             }
-            Task::Dist(_) => unreachable!("shared-memory runner received a distributed task"),
+            Task::Dist(_) | Task::Solve(_) => {
+                unreachable!("factorization runner received a dist/solve task")
+            }
         }
     }
 }
@@ -428,7 +436,9 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuTileRunner<'_, T, O
                 self.obs.lock().expect("observer mutex poisoned").on_stage(&tile.as_view());
                 Ok(())
             }
-            Task::Dist(_) => unreachable!("shared-memory runner received a distributed task"),
+            Task::Dist(_) | Task::Solve(_) => {
+                unreachable!("factorization runner received a dist/solve task")
+            }
         }
     }
 }

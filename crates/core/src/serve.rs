@@ -1,0 +1,747 @@
+//! Request-driven solve serving: amortize one factorization over many
+//! right-hand sides.
+//!
+//! The paper's economics only pay off after the factorization: CALU spends
+//! `O(n³)` flops (and its carefully minimized communication) once, and
+//! every subsequent solve against the same matrix is `O(n²)`. This module
+//! supplies the missing front-end — [`SolverService`] — that makes the
+//! amortization real:
+//!
+//! * **Factorization cache** — completed [`LuFactors`] are kept in an LRU
+//!   cache keyed by [`MatrixKey`] (matrix id + registration generation),
+//!   bounded in bytes, with hit/miss/eviction counters
+//!   ([`SolverService::cache_stats`]). A cache miss factors the registered
+//!   matrix on the `calu-runtime` DAG.
+//! * **Batch coalescing** — queued requests ([`SolverService::submit`] →
+//!   [`Ticket`]) are grouped per factorization and solved as multi-RHS
+//!   blocks of up to [`ServeOpts::max_batch`] columns, so one pivot sweep
+//!   and one pass over `L`/`U` serve the whole batch.
+//! * **Runtime execution** — the blocked solve itself runs as a task DAG
+//!   ([`calu_runtime::LuDag::build_solve`]) on either executor
+//!   ([`runtime_solve_mat`]), with solutions **bitwise identical** to the
+//!   sequential per-RHS [`LuFactors::solve`] — the same determinism
+//!   contract the factorization runner proves.
+//! * **Backpressure** — the request queue is bounded
+//!   ([`ServeOpts::queue_capacity`]); `submit` refuses with
+//!   [`SubmitError::QueueFull`] instead of growing without bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use calu_matrix::perm::apply_ipiv;
+use calu_matrix::{Error, MatView, MatViewMut, Matrix, Result, Scalar};
+use calu_runtime::{ExecReport, ExecutorKind, LuDag, SolveKind, SolveShape, Task, TaskRunner};
+
+use crate::calu::{CaluOpts, LuFactors};
+use crate::rt::{runtime_calu_factor, RuntimeOpts, SharedMat};
+use calu_matrix::blas3::trsm;
+use calu_matrix::{Diag, Side, Uplo};
+
+/// Cache key of a registered matrix: the caller-chosen id plus a
+/// generation that [`SolverService::register`] bumps on every
+/// re-registration, so factors of a replaced matrix can never serve
+/// requests against its successor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixKey {
+    /// Caller-chosen matrix identifier.
+    pub id: u64,
+    /// Registration generation (1 for the first `register` of an id).
+    pub generation: u64,
+}
+
+/// Handle to a submitted solve request; redeem it with
+/// [`SolverService::try_take`] after a [`SolverService::process`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Why [`SolverService::submit`] refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded request queue is at capacity; the caller must
+    /// [`SolverService::process`] (or drop load) before submitting more.
+    QueueFull {
+        /// The configured [`ServeOpts::queue_capacity`].
+        capacity: usize,
+    },
+    /// No matrix is registered under the given id.
+    UnknownMatrix {
+        /// The id the request named.
+        id: u64,
+    },
+    /// The right-hand side's length does not match the matrix order.
+    ShapeMismatch {
+        /// Matrix order `n`.
+        expected: usize,
+        /// Length of the submitted right-hand side.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            SubmitError::UnknownMatrix { id } => write!(f, "no matrix registered under id {id}"),
+            SubmitError::ShapeMismatch { expected, got } => {
+                write!(f, "rhs length {got} does not match matrix order {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Configuration of a [`SolverService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOpts {
+    /// Factor-cache budget in bytes (packed `L\U` plus pivots per entry).
+    /// `0` disables caching: every `process` pass re-factors on miss.
+    pub cache_capacity_bytes: usize,
+    /// Bounded request-queue length; `submit` beyond it returns
+    /// [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum RHS columns coalesced into one batched solve.
+    pub max_batch: usize,
+    /// RHS tile width of the solve DAG (columns per [`Task::Solve`]).
+    pub rhs_block: usize,
+    /// CALU tuning for cache-miss factorizations.
+    pub calu: CaluOpts,
+    /// Runtime configuration (executor, lookahead) for both the cache-miss
+    /// factorization and the batched solve DAG.
+    pub rt: RuntimeOpts,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            cache_capacity_bytes: 64 << 20,
+            queue_capacity: 1024,
+            max_batch: 32,
+            rhs_block: 8,
+            calu: CaluOpts::default(),
+            rt: RuntimeOpts::default(),
+        }
+    }
+}
+
+/// Snapshot of the factor cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests whose factorization was already cached.
+    pub hits: u64,
+    /// Requests that had to factor (or re-factor) on the runtime.
+    pub misses: u64,
+    /// Entries evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Factorizations currently cached.
+    pub entries: usize,
+    /// Bytes currently held by cached factorizations.
+    pub bytes: usize,
+}
+
+/// What one [`SolverService::process`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// Requests completed (successfully or with an error result).
+    pub completed: usize,
+    /// Batched solves executed on the runtime DAG.
+    pub batches: usize,
+    /// Cache-miss factorizations performed.
+    pub factored: usize,
+}
+
+struct CacheEntry<T> {
+    factors: LuFactors<T>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU cache of completed factorizations, bounded in bytes. Eviction
+/// scans for the minimum `last_used` tick — the entry count is small (a
+/// handful of factorizations fit any sane budget), so O(entries) beats
+/// maintaining an intrusive list.
+struct FactorCache<T> {
+    entries: HashMap<MatrixKey, CacheEntry<T>>,
+    capacity: usize,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<T: Scalar> FactorCache<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Marks `key` used and reports whether it was cached, bumping the
+    /// hit/miss counters.
+    fn touch(&mut self, key: MatrixKey) -> bool {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts freshly computed factors, evicting least-recently-used
+    /// entries until the budget holds. Factors larger than the whole
+    /// budget are not cached at all (the next request re-factors).
+    fn insert(&mut self, key: MatrixKey, factors: LuFactors<T>) {
+        let n = factors.order();
+        let bytes = n * n * std::mem::size_of::<T>() + n * std::mem::size_of::<usize>();
+        if bytes > self.capacity {
+            return;
+        }
+        while self.bytes + bytes > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("over budget implies a resident entry");
+            self.remove(lru);
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.bytes += bytes;
+        self.entries.insert(key, CacheEntry { factors, bytes, last_used: self.tick });
+    }
+
+    fn remove(&mut self, key: MatrixKey) {
+        if let Some(e) = self.entries.remove(&key) {
+            self.bytes -= e.bytes;
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+struct Request<T> {
+    ticket: Ticket,
+    key: MatrixKey,
+    rhs: Vec<T>,
+}
+
+/// Batched, factorization-caching solve front-end on the runtime DAG.
+///
+/// ```
+/// use calu_core::serve::{ServeOpts, SolverService};
+/// use calu_matrix::gen;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let a = gen::randn(&mut rng, 64, 64);
+/// let mut svc = SolverService::new(ServeOpts::default());
+/// svc.register(1, a);
+/// let t = svc.submit(1, vec![1.0; 64]).unwrap();
+/// svc.process();
+/// let x = svc.try_take(t).unwrap().unwrap();
+/// assert_eq!(x.len(), 64);
+/// ```
+pub struct SolverService<T: Scalar = f64> {
+    opts: ServeOpts,
+    /// id → (current generation, original matrix). The original is kept so
+    /// a cache miss (or eviction) can re-factor.
+    matrices: HashMap<u64, (u64, Matrix<T>)>,
+    cache: FactorCache<T>,
+    queue: VecDeque<Request<T>>,
+    results: HashMap<u64, Result<Vec<T>>>,
+    next_ticket: u64,
+}
+
+impl<T: Scalar> SolverService<T> {
+    /// Creates an empty service.
+    pub fn new(opts: ServeOpts) -> Self {
+        assert!(opts.queue_capacity > 0, "queue capacity must be positive");
+        assert!(opts.max_batch > 0, "max batch must be positive");
+        assert!(opts.rhs_block > 0, "rhs block must be positive");
+        let cache = FactorCache::new(opts.cache_capacity_bytes);
+        Self {
+            opts,
+            matrices: HashMap::new(),
+            cache,
+            queue: VecDeque::new(),
+            results: HashMap::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Registers (or replaces) the matrix behind `id` and returns its new
+    /// [`MatrixKey`]. Replacing bumps the generation: factors of the old
+    /// matrix are dropped from the cache, and requests still queued
+    /// against the old generation complete with an error instead of a
+    /// stale solution.
+    ///
+    /// # Panics
+    /// If `a` is not square.
+    pub fn register(&mut self, id: u64, a: Matrix<T>) -> MatrixKey {
+        assert_eq!(a.rows(), a.cols(), "SolverService only serves square systems");
+        let generation = match self.matrices.get(&id) {
+            Some((g, _)) => {
+                self.cache.remove(MatrixKey { id, generation: *g });
+                g + 1
+            }
+            None => 1,
+        };
+        self.matrices.insert(id, (generation, a));
+        MatrixKey { id, generation }
+    }
+
+    /// Queues a solve of `A x = rhs` against the matrix registered under
+    /// `id`; the returned [`Ticket`] redeems the solution after a
+    /// [`Self::process`] pass.
+    ///
+    /// # Errors
+    /// [`SubmitError::QueueFull`] once [`ServeOpts::queue_capacity`]
+    /// requests are pending, [`SubmitError::UnknownMatrix`] /
+    /// [`SubmitError::ShapeMismatch`] for malformed requests.
+    pub fn submit(&mut self, id: u64, rhs: Vec<T>) -> std::result::Result<Ticket, SubmitError> {
+        if self.queue.len() >= self.opts.queue_capacity {
+            return Err(SubmitError::QueueFull { capacity: self.opts.queue_capacity });
+        }
+        let Some((generation, a)) = self.matrices.get(&id) else {
+            return Err(SubmitError::UnknownMatrix { id });
+        };
+        if rhs.len() != a.rows() {
+            return Err(SubmitError::ShapeMismatch { expected: a.rows(), got: rhs.len() });
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        let key = MatrixKey { id, generation: *generation };
+        self.queue.push_back(Request { ticket, key, rhs });
+        Ok(ticket)
+    }
+
+    /// Pending (submitted, not yet processed) requests.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queue: groups requests per factorization, resolves each
+    /// group's factors (cache hit, or a runtime factorization on miss),
+    /// and executes the group's right-hand sides as batched solves of up
+    /// to [`ServeOpts::max_batch`] columns on the runtime DAG. Results —
+    /// solutions or errors — become available to [`Self::try_take`].
+    pub fn process(&mut self) -> ProcessReport {
+        let mut rep = ProcessReport::default();
+        // FIFO-preserving grouping: groups are processed in order of their
+        // first request, requests keep submission order within a group.
+        let mut order: Vec<MatrixKey> = Vec::new();
+        let mut groups: HashMap<MatrixKey, Vec<Request<T>>> = HashMap::new();
+        for req in self.queue.drain(..) {
+            let bucket = groups.entry(req.key).or_default();
+            if bucket.is_empty() {
+                order.push(req.key);
+            }
+            bucket.push(req);
+        }
+
+        for key in order {
+            let reqs = groups.remove(&key).expect("group recorded with its key");
+            let fresh = self.matrices.get(&key.id).map(|(g, _)| *g) == Some(key.generation);
+            let factors = if fresh {
+                self.ensure_factors(key, &mut rep)
+            } else {
+                Err(Error::BadShape { what: "matrix re-registered while request was queued" })
+            };
+            if let Err(e) = factors {
+                for r in reqs {
+                    self.results.insert(r.ticket.0, Err(e.clone()));
+                    rep.completed += 1;
+                }
+                continue;
+            }
+            let entry = self.cache.entries.get(&key);
+            // Capacity 0 (or an oversized matrix) means the factors were
+            // computed but not retained; redo them per group on the side.
+            let spare;
+            let factors = match entry {
+                Some(e) => &e.factors,
+                None => {
+                    let (_, a) = self.matrices.get(&key.id).expect("generation checked fresh");
+                    spare = runtime_calu_factor(a, self.opts.calu, self.opts.rt)
+                        .expect("factorization succeeded moments ago")
+                        .0;
+                    &spare
+                }
+            };
+            let n = factors.order();
+            for chunk in reqs.chunks(self.opts.max_batch) {
+                let k = chunk.len();
+                let mut b = Matrix::<T>::zeros(n, k);
+                for (c, r) in chunk.iter().enumerate() {
+                    b.col_mut(c).copy_from_slice(&r.rhs);
+                }
+                runtime_solve_mat(
+                    factors,
+                    b.view_mut(),
+                    self.opts.calu.block,
+                    self.opts.rhs_block,
+                    self.opts.rt.executor,
+                );
+                rep.batches += 1;
+                for (c, r) in chunk.iter().enumerate() {
+                    self.results.insert(r.ticket.0, Ok(b.col(c).to_vec()));
+                    rep.completed += 1;
+                }
+            }
+        }
+        rep
+    }
+
+    /// Takes the result of a processed request, or `None` while it is
+    /// still queued (or the ticket was already redeemed).
+    pub fn try_take(&mut self, ticket: Ticket) -> Option<Result<Vec<T>>> {
+        self.results.remove(&ticket.0)
+    }
+
+    /// Counters of the factorization cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resolves `key`'s factors into the cache (hit: a counter bump; miss:
+    /// a runtime factorization). With a zero/overflowed budget the factors
+    /// may still not be resident afterwards — `process` recomputes then.
+    fn ensure_factors(&mut self, key: MatrixKey, rep: &mut ProcessReport) -> Result<()> {
+        if self.cache.touch(key) {
+            return Ok(());
+        }
+        let (_, a) = self.matrices.get(&key.id).expect("caller checked registration");
+        let (factors, _exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)?;
+        rep.factored += 1;
+        self.cache.insert(key, factors);
+        Ok(())
+    }
+}
+
+/// Shared-memory runner of the solve-phase DAG: binds [`Task::Solve`]
+/// kinds to pivot application, diagonal `trsm`s, and the off-diagonal
+/// block updates. The DAG's write chains order every pair of tasks
+/// touching the same tile, which is the disjointness invariant
+/// [`SharedMat::block`] requires — and they fix the floating-point
+/// reduction order, so every schedule reproduces the sequential
+/// [`calu_matrix::lapack::getrs_mat`] bitwise.
+struct SolveRunner<'a, T> {
+    lu: MatView<'a, T>,
+    ipiv: &'a [usize],
+    x: SharedMat<T>,
+    shape: SolveShape,
+}
+
+impl<T: Scalar> TaskRunner for SolveRunner<'_, T> {
+    fn run(&self, task: Task) -> Result<()> {
+        let Task::Solve(s) = task else {
+            unreachable!("solve runner received a factorization task {task}")
+        };
+        let cj = self.shape.rhs_range(s.j as usize);
+        match s.kind {
+            SolveKind::Piv => {
+                let mut xj = unsafe { self.x.block(0, cj.start, self.shape.n, cj.len()) };
+                apply_ipiv(xj.rb_mut(), self.ipiv);
+            }
+            SolveKind::TrsmL | SolveKind::TrsmU => {
+                let rk = self.shape.row_range(s.k as usize);
+                let diag = self.lu.submatrix(rk.start, rk.start, rk.len(), rk.len());
+                let xk = unsafe { self.x.block(rk.start, cj.start, rk.len(), cj.len()) };
+                if s.kind == SolveKind::TrsmL {
+                    trsm(Side::Left, Uplo::Lower, Diag::Unit, T::ONE, diag, xk);
+                } else {
+                    trsm(Side::Left, Uplo::Upper, Diag::NonUnit, T::ONE, diag, xk);
+                }
+            }
+            // The block updates replay the scalar substitution loops of
+            // `getrs`' full-matrix trsms exactly — one axpy per pivot
+            // element `t`, `t` ascending (forward) or descending
+            // (backward), with the same skip-zero guard — rather than
+            // calling the rank-grouped `gemm` kernel, whose different
+            // accumulation order would break bitwise identity with the
+            // sequential solve.
+            SolveKind::GemmL | SolveKind::GemmU => {
+                let rk = self.shape.row_range(s.k as usize);
+                let ri = self.shape.row_range(s.i as usize);
+                let a = self.lu.submatrix(ri.start, rk.start, ri.len(), rk.len());
+                let xk_block = unsafe { self.x.block(rk.start, cj.start, rk.len(), cj.len()) };
+                let xk = xk_block.as_view();
+                let mut xi = unsafe { self.x.block(ri.start, cj.start, ri.len(), cj.len()) };
+                for c in 0..cj.len() {
+                    let kcol = xk.col(c);
+                    let icol = xi.col_mut(c);
+                    let sub = |icol: &mut [T], t: usize| {
+                        let xt = kcol[t];
+                        if xt != T::ZERO {
+                            let acol = a.col(t);
+                            for (r, xr) in icol.iter_mut().enumerate() {
+                                *xr -= acol[r] * xt;
+                            }
+                        }
+                    };
+                    if s.kind == SolveKind::GemmL {
+                        for t in 0..kcol.len() {
+                            sub(icol, t);
+                        }
+                    } else {
+                        for t in (0..kcol.len()).rev() {
+                            sub(icol, t);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves `A X = B` in place from packed factors by scheduling the blocked
+/// forward/backward substitution as a task DAG
+/// ([`LuDag::build_solve`]) on the chosen executor — the multi-RHS,
+/// runtime-parallel counterpart of [`LuFactors::solve_mat`], with
+/// **bitwise identical** results on every executor and tiling (the DAG's
+/// write chains pin the reduction order to the sequential one).
+///
+/// `nb` is the row tile height (use the factorization's panel width) and
+/// `rhs_nb` the RHS columns per task.
+///
+/// # Panics
+/// If the factors are not square, `b.rows()` does not match their order,
+/// or a tile width is zero while `b` is non-empty.
+pub fn runtime_solve_mat<T: Scalar>(
+    factors: &LuFactors<T>,
+    mut b: MatViewMut<'_, T>,
+    nb: usize,
+    rhs_nb: usize,
+    executor: ExecutorKind,
+) -> ExecReport {
+    let n = factors.order();
+    assert_eq!(factors.lu.cols(), n, "runtime_solve_mat: factors must be square");
+    assert_eq!(b.rows(), n, "runtime_solve_mat: rhs rows mismatch");
+    if b.cols() == 0 || n == 0 {
+        return ExecReport::default();
+    }
+    let shape = SolveShape { n, nrhs: b.cols(), nb: nb.min(n), rhs_nb: rhs_nb.min(b.cols()) };
+    let dag = LuDag::build_solve(shape);
+    let runner = SolveRunner {
+        lu: factors.lu.view(),
+        ipiv: &factors.ipiv,
+        x: SharedMat::new(&mut b),
+        shape,
+    };
+    executor
+        .execute(&dag, &runner)
+        .expect("solve tasks are infallible (zero pivots surface at factorization)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calu_matrix::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts_with(executor: ExecutorKind) -> ServeOpts {
+        ServeOpts {
+            calu: CaluOpts { block: 16, p: 4, ..Default::default() },
+            rt: RuntimeOpts { executor, ..Default::default() },
+            rhs_block: 4,
+            ..Default::default()
+        }
+    }
+
+    fn executors() -> [ExecutorKind; 2] {
+        [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 4 }]
+    }
+
+    #[test]
+    fn runtime_solve_matches_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(900);
+        for (n, k, nb, rhs_nb) in [(64, 8, 16, 3), (77, 5, 16, 8), (48, 1, 48, 1)] {
+            let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+            let f =
+                crate::calu::calu_factor(&a, CaluOpts { block: 16, p: 4, ..Default::default() })
+                    .unwrap();
+            let mut want = gen::randn(&mut rng, n, k);
+            let mut got_serial = want.clone();
+            let mut got_threaded = want.clone();
+            f.solve_mat(want.view_mut());
+            runtime_solve_mat(&f, got_serial.view_mut(), nb, rhs_nb, ExecutorKind::Serial);
+            runtime_solve_mat(
+                &f,
+                got_threaded.view_mut(),
+                nb,
+                rhs_nb,
+                ExecutorKind::Threaded { threads: 4 },
+            );
+            for c in 0..k {
+                assert_eq!(want.col(c), got_serial.col(c), "serial n={n} k={k} col {c}");
+                assert_eq!(want.col(c), got_threaded.col(c), "threaded n={n} k={k} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn service_solves_match_per_rhs_solve_bitwise() {
+        for executor in executors() {
+            let mut rng = StdRng::seed_from_u64(901);
+            let n = 60;
+            let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+            let f =
+                crate::calu::calu_factor(&a, CaluOpts { block: 16, p: 4, ..Default::default() })
+                    .unwrap();
+            let mut svc = SolverService::new(opts_with(executor));
+            svc.register(7, a);
+            let rhs: Vec<Vec<f64>> = (0..13)
+                .map(|_| {
+                    let col: Matrix<f64> = gen::randn(&mut rng, n, 1);
+                    col.col(0).to_vec()
+                })
+                .collect();
+            let tickets: Vec<Ticket> =
+                rhs.iter().map(|r| svc.submit(7, r.clone()).unwrap()).collect();
+            assert_eq!(svc.queued(), 13);
+            let rep = svc.process();
+            assert_eq!(rep.completed, 13);
+            assert_eq!(rep.factored, 1);
+            assert_eq!(svc.queued(), 0);
+            for (t, r) in tickets.iter().zip(&rhs) {
+                let got = svc.try_take(*t).unwrap().unwrap();
+                assert_eq!(got, f.solve(r), "{executor:?}");
+                assert!(svc.try_take(*t).is_none(), "tickets redeem once");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_generation_invalidation() {
+        let mut rng = StdRng::seed_from_u64(902);
+        let n = 40;
+        let mut svc = SolverService::new(opts_with(ExecutorKind::Serial));
+        let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+        svc.register(1, a);
+        let t1 = svc.submit(1, vec![1.0; n]).unwrap();
+        svc.process();
+        let t2 = svc.submit(1, vec![2.0; n]).unwrap();
+        svc.process();
+        let stats = svc.cache_stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries), (1, 1, 1));
+        assert!(svc.try_take(t1).unwrap().is_ok());
+        assert!(svc.try_take(t2).unwrap().is_ok());
+
+        // Re-registering while a request is queued invalidates it.
+        let t3 = svc.submit(1, vec![3.0; n]).unwrap();
+        let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+        svc.register(1, a);
+        let t4 = svc.submit(1, vec![4.0; n]).unwrap();
+        svc.process();
+        assert!(svc.try_take(t3).unwrap().is_err(), "stale-generation request must error");
+        assert!(svc.try_take(t4).unwrap().is_ok(), "fresh-generation request must solve");
+    }
+
+    #[test]
+    fn zero_capacity_never_caches_and_eviction_counts() {
+        let mut rng = StdRng::seed_from_u64(903);
+        let n = 32;
+        // Capacity 0: both passes miss, nothing resident, solves still work.
+        let mut opts = opts_with(ExecutorKind::Serial);
+        opts.cache_capacity_bytes = 0;
+        let mut svc = SolverService::new(opts);
+        let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+        let f = crate::calu::calu_factor(&a, CaluOpts { block: 16, p: 4, ..Default::default() })
+            .unwrap();
+        svc.register(1, a);
+        for _ in 0..2 {
+            let rhs = vec![1.5; n];
+            let t = svc.submit(1, rhs.clone()).unwrap();
+            svc.process();
+            assert_eq!(svc.try_take(t).unwrap().unwrap(), f.solve(&rhs));
+        }
+        let stats = svc.cache_stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries, stats.bytes), (2, 0, 0, 0));
+
+        // Capacity for exactly one entry: a second matrix evicts the first.
+        let entry_bytes = n * n * 8 + n * std::mem::size_of::<usize>();
+        let mut opts = opts_with(ExecutorKind::Serial);
+        opts.cache_capacity_bytes = entry_bytes;
+        let mut svc = SolverService::new(opts);
+        let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+        svc.register(1, a);
+        let a2: Matrix<f64> = gen::randn(&mut rng, n, n);
+        svc.register(2, a2);
+        for id in [1, 2, 1] {
+            let t = svc.submit(id, vec![1.0; n]).unwrap();
+            svc.process();
+            assert!(svc.try_take(t).unwrap().is_ok());
+        }
+        let stats = svc.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 2, "each re-factor evicts the resident entry");
+        assert_eq!(stats.misses, 3, "ping-ponging two matrices through a one-entry cache");
+    }
+
+    #[test]
+    fn backpressure_and_submit_validation() {
+        let mut rng = StdRng::seed_from_u64(904);
+        let n = 16;
+        let mut opts = opts_with(ExecutorKind::Serial);
+        opts.queue_capacity = 2;
+        let mut svc = SolverService::new(opts);
+        let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+        svc.register(1, a);
+        assert_eq!(svc.submit(9, vec![0.0; n]), Err(SubmitError::UnknownMatrix { id: 9 }),);
+        assert_eq!(
+            svc.submit(1, vec![0.0; n + 1]),
+            Err(SubmitError::ShapeMismatch { expected: n, got: n + 1 }),
+        );
+        svc.submit(1, vec![0.0; n]).unwrap();
+        svc.submit(1, vec![0.0; n]).unwrap();
+        assert_eq!(
+            svc.submit(1, vec![0.0; n]),
+            Err(SubmitError::QueueFull { capacity: 2 }),
+            "third submit must hit backpressure"
+        );
+        svc.process();
+        svc.submit(1, vec![0.0; n]).expect("processing drains the queue");
+    }
+
+    #[test]
+    fn singular_matrix_fails_every_ticket_in_the_group() {
+        let n = 24;
+        let mut svc = SolverService::new(opts_with(ExecutorKind::Serial));
+        svc.register(1, Matrix::<f64>::zeros(n, n));
+        let t1 = svc.submit(1, vec![1.0; n]).unwrap();
+        let t2 = svc.submit(1, vec![2.0; n]).unwrap();
+        let rep = svc.process();
+        assert_eq!(rep.completed, 2);
+        assert_eq!(rep.batches, 0);
+        let e1 = svc.try_take(t1).unwrap().unwrap_err();
+        let e2 = svc.try_take(t2).unwrap().unwrap_err();
+        assert_eq!(e1, e2, "one factorization error distributes to the whole group");
+        assert!(matches!(e1, Error::SingularPivot { .. }));
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::calu::{CaluOpts, LuFactors};
 use crate::rt::{runtime_calu_factor, RuntimeOpts};
+use crate::serve::runtime_solve_mat;
 use calu_matrix::blas2::gemv;
 use calu_matrix::lapack::{gecon, getri, getrs, getrs_mat, getrs_t};
 use calu_matrix::norms::{
@@ -183,6 +184,12 @@ pub struct IrReport {
     pub steps: Vec<IrStep>,
     /// `true` when the final solution passes the full-precision HPL gate.
     pub converged: bool,
+    /// `true` when refinement was cut short because the backward error
+    /// failed to improve on two consecutive steps — the classical signal
+    /// that `κ(A)·ε_f32 ≳ 1` and the low-precision correction equation
+    /// can no longer reduce the residual; the trajectory in
+    /// [`Self::steps`] shows where the stall began.
+    pub diverged: bool,
 }
 
 impl IrReport {
@@ -237,8 +244,10 @@ pub fn ir_solve(a: &Matrix<f64>, b: &[f64], opts: IrOpts) -> Result<(Vec<f64>, I
     let norm_ainf = mat_norm_inf(a.view());
     let norm_b = vec_norm_inf(b);
     let mut r = vec![0.0_f64; n];
-    let mut steps = Vec::with_capacity(opts.max_iter + 1);
+    let mut steps: Vec<IrStep> = Vec::with_capacity(opts.max_iter + 1);
     let mut converged = false;
+    let mut diverged = false;
+    let mut non_improving = 0usize;
 
     for it in 0..=opts.max_iter {
         // Full-precision residual r = b − A x.
@@ -258,9 +267,26 @@ pub fn ir_solve(a: &Matrix<f64>, b: &[f64], opts: IrOpts) -> Result<(Vec<f64>, I
         );
         let step = IrStep { backward_error, hpl };
         let passed = step.passes_hpl();
+        // Divergence watch: when κ(A)·ε_f32 ≳ 1 the f32 factors can't
+        // reduce the residual and each "correction" random-walks or grows
+        // the error; two consecutive steps that fail to improve on their
+        // predecessor end the loop instead of burning the remaining
+        // budget (one flat step alone is common near convergence, so a
+        // single miss is tolerated and the streak resets on improvement).
+        if let Some(prev) = steps.last() {
+            if backward_error >= prev.backward_error {
+                non_improving += 1;
+            } else {
+                non_improving = 0;
+            }
+        }
         steps.push(step);
         if passed {
             converged = true;
+            break;
+        }
+        if non_improving >= 2 {
+            diverged = true;
             break;
         }
         if it == opts.max_iter {
@@ -275,7 +301,172 @@ pub fn ir_solve(a: &Matrix<f64>, b: &[f64], opts: IrOpts) -> Result<(Vec<f64>, I
     }
 
     let iterations = steps.len() - 1;
-    Ok((x, IrReport { iterations, steps, converged }))
+    Ok((x, IrReport { iterations, steps, converged, diverged }))
+}
+
+/// Report from [`ir_solve_batch`]: the whole-batch outcome plus one full
+/// [`IrReport`] per right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrBatchReport {
+    /// Per-column refinement reports, in `B`'s column order. Each is
+    /// **bitwise identical** to what [`ir_solve`] would report for that
+    /// column alone — batching changes the cost, not the numbers.
+    pub per_rhs: Vec<IrReport>,
+    /// Refinement steps of the slowest column.
+    pub iterations: usize,
+    /// `true` when every column passed the HPL gate.
+    pub converged: bool,
+    /// `true` when any column hit the divergence stop.
+    pub diverged: bool,
+}
+
+/// Batched [`ir_solve`]: one `f32` CALU factorization on the runtime DAG
+/// shared across all columns of `B`, with the initial solves and every
+/// refinement correction executed as blocked multi-RHS task DAGs
+/// ([`crate::serve::runtime_solve_mat`]) instead of per-column
+/// substitutions. Columns converge (or diverge) independently: finished
+/// columns are frozen and drop out of subsequent correction batches.
+///
+/// Each column's solution and its [`IrReport`] trajectory are **bitwise
+/// identical** to a standalone [`ir_solve`] of that column — the batched
+/// triangular solves reproduce the per-column substitution order exactly,
+/// so amortizing the factorization is free of numerical drift.
+///
+/// # Errors
+/// [`calu_matrix::Error::SingularPivot`] from the shared factorization,
+/// exactly as [`ir_solve`].
+///
+/// # Panics
+/// If `a` is not square or `b.rows() != a.rows()`.
+pub fn ir_solve_batch(
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+    opts: IrOpts,
+) -> Result<(Matrix<f64>, IrBatchReport)> {
+    let n = a.rows();
+    let k = b.cols();
+    assert_eq!(a.cols(), n, "ir_solve_batch: A must be square");
+    assert_eq!(b.rows(), n, "ir_solve_batch: rhs rows mismatch");
+
+    // One factorization for the whole batch — the amortized O(n³) part.
+    let a32: Matrix<f32> = a.cast();
+    let (f32_factors, _exec) = runtime_calu_factor(&a32, opts.calu, opts.rt)?;
+
+    let mut report = IrBatchReport {
+        per_rhs: Vec::with_capacity(k),
+        iterations: 0,
+        converged: true,
+        diverged: false,
+    };
+    let mut x = Matrix::<f64>::zeros(n, k);
+    if k == 0 {
+        return Ok((x, report));
+    }
+
+    // Initial solves, all columns in one blocked runtime pass.
+    let rhs_nb = 8;
+    let mut x32: Matrix<f32> = b.cast();
+    runtime_solve_mat(&f32_factors, x32.view_mut(), opts.calu.block, rhs_nb, opts.rt.executor);
+    for c in 0..k {
+        let promoted: Vec<f64> = cast_slice(x32.col(c));
+        x.col_mut(c).copy_from_slice(&promoted);
+    }
+
+    let norm_a1 = mat_norm_1(a.view());
+    let norm_ainf = mat_norm_inf(a.view());
+    // Per-column refinement state; `active` columns still iterate.
+    struct ColState {
+        steps: Vec<IrStep>,
+        non_improving: usize,
+        converged: bool,
+        diverged: bool,
+    }
+    let mut cols: Vec<ColState> = (0..k)
+        .map(|_| ColState {
+            steps: Vec::with_capacity(opts.max_iter + 1),
+            non_improving: 0,
+            converged: false,
+            diverged: false,
+        })
+        .collect();
+    let mut r = vec![0.0_f64; n];
+
+    for it in 0..=opts.max_iter {
+        // Residual + accuracy record for every still-active column, then
+        // gather the survivors' residuals for one batched correction.
+        let mut active: Vec<usize> = Vec::new();
+        let mut r32 = Vec::<f32>::new();
+        for (c, st) in cols.iter_mut().enumerate() {
+            if st.converged || st.diverged {
+                continue;
+            }
+            let bc = b.col(c);
+            let xc = x.col(c);
+            r.copy_from_slice(bc);
+            gemv(-1.0, a.view(), xc, 1.0, &mut r);
+            let r_inf = vec_norm_inf(&r);
+            let denom = norm_ainf * vec_norm_inf(xc) + vec_norm_inf(bc);
+            let backward_error = if denom > 0.0 { r_inf / denom } else { 0.0 };
+            let hpl = hpl_residuals_from_norms(
+                n,
+                r_inf,
+                norm_a1,
+                norm_ainf,
+                vec_norm_1(xc),
+                vec_norm_inf(xc),
+                f64::EPSILON,
+            );
+            let step = IrStep { backward_error, hpl };
+            let passed = step.passes_hpl();
+            if let Some(prev) = st.steps.last() {
+                if backward_error >= prev.backward_error {
+                    st.non_improving += 1;
+                } else {
+                    st.non_improving = 0;
+                }
+            }
+            st.steps.push(step);
+            if passed {
+                st.converged = true;
+                continue;
+            }
+            if st.non_improving >= 2 {
+                st.diverged = true;
+                continue;
+            }
+            if it == opts.max_iter {
+                continue;
+            }
+            active.push(c);
+            r32.extend(cast_slice::<f64, f32>(&r));
+        }
+        if active.is_empty() {
+            break;
+        }
+        // Batched correction: D = A⁻¹ R for the active columns only.
+        let mut d32 = Matrix::from_col_major(n, active.len(), r32);
+        runtime_solve_mat(&f32_factors, d32.view_mut(), opts.calu.block, rhs_nb, opts.rt.executor);
+        for (slot, &c) in active.iter().enumerate() {
+            let d: Vec<f64> = cast_slice(d32.col(slot));
+            for (xi, di) in x.col_mut(c).iter_mut().zip(&d) {
+                *xi += di;
+            }
+        }
+    }
+
+    for st in cols {
+        let iterations = st.steps.len() - 1;
+        report.iterations = report.iterations.max(iterations);
+        report.converged &= st.converged;
+        report.diverged |= st.diverged;
+        report.per_rhs.push(IrReport {
+            iterations,
+            steps: st.steps,
+            converged: st.converged,
+            diverged: st.diverged,
+        });
+    }
+    Ok((x, report))
 }
 
 #[cfg(test)]

@@ -80,6 +80,49 @@ pub enum Task {
     /// exchange, …) carrying its owning rank. Never emitted by the
     /// shared-memory [`LuDag::build`].
     Dist(DistTask),
+    /// A task of the solve-phase DAG ([`LuDag::build_solve`]): blocked
+    /// `laswp`/`trsm` application of completed LU factors to a block of
+    /// right-hand sides. Never emitted by the factorization builders.
+    Solve(SolveTask),
+}
+
+/// One task of the triangular-solve DAG ([`LuDag::build_solve`]): apply
+/// completed factors `P L U` to block column `j` of a multi-RHS matrix.
+/// `k` is the diagonal (row) block the task pivots around, `i` the target
+/// row block of an off-diagonal update (`i == k` for diagonal tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SolveTask {
+    /// What the task does.
+    pub kind: SolveKind,
+    /// Diagonal row-block index (0 for `Piv`).
+    pub k: u32,
+    /// Target row block of an off-diagonal update; `== k` otherwise.
+    pub i: u32,
+    /// RHS block column.
+    pub j: u32,
+}
+
+/// Task kinds of the solve DAG, in the order a `getrs` sweep applies
+/// them: row swaps, then forward substitution with unit-lower `L`
+/// (diagonal `TrsmL` blocks and trailing `GemmL` updates), then backward
+/// substitution with upper `U` (`TrsmU` / `GemmU`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveKind {
+    /// Apply the factorization's full pivot sequence to RHS block
+    /// column `j` (`laswp`).
+    Piv,
+    /// Forward-substitute the diagonal block: `X(k,j) := L(k,k)⁻¹ X(k,j)`
+    /// (unit lower).
+    TrsmL,
+    /// Forward update of row block `i > k`:
+    /// `X(i,j) -= L(i,k) · X(k,j)`.
+    GemmL,
+    /// Back-substitute the diagonal block: `X(k,j) := U(k,k)⁻¹ X(k,j)`
+    /// (non-unit upper).
+    TrsmU,
+    /// Backward update of row block `i < k`:
+    /// `X(i,j) -= U(i,k) · X(k,j)`.
+    GemmU,
 }
 
 /// One task of the distributed (2D block-cyclic) DAG. The `rank` tag is
@@ -177,6 +220,7 @@ impl Task {
             | Task::Trsm { k, .. }
             | Task::Gemm { k, .. } => k,
             Task::Dist(d) => d.k as usize,
+            Task::Solve(s) => s.k as usize,
         }
     }
 }
@@ -191,6 +235,11 @@ impl std::fmt::Display for Task {
             Task::Dist(DistTask { kind, k, j, rank }) => {
                 write!(f, "{kind:?}({k},{j})@r{rank}")
             }
+            Task::Solve(SolveTask { kind, k, i, j }) => match kind {
+                SolveKind::Piv => write!(f, "SolvePiv({j})"),
+                SolveKind::TrsmL | SolveKind::TrsmU => write!(f, "Solve{kind:?}({k},{j})"),
+                SolveKind::GemmL | SolveKind::GemmU => write!(f, "Solve{kind:?}({k},{i},{j})"),
+            },
         }
     }
 }
@@ -268,6 +317,26 @@ fn priority(shape: &LuShape, t: Task) -> Prio {
         Task::Gemm { k, i, j } => (j as u32, 3, k as u32, i as u32),
         Task::Swap { k, j } => (cb + k as u32, 4, j as u32, 0),
         Task::Dist(d) => dist_priority(cb, d),
+        Task::Solve(s) => solve_priority(shape, s),
+    }
+}
+
+/// Column-drain priorities for the solve DAG: all work on RHS block
+/// column `j` outranks columns right of it (so a coalesced batch streams
+/// whole solutions out instead of interleaving every column's forward
+/// phase), the forward sweep outranks the backward sweep, and within a
+/// sweep the diagonal chain (`TrsmL`/`TrsmU`) outranks the bulk updates
+/// that hang off it — the same critical-path-first shape as the
+/// factorization priorities.
+fn solve_priority(shape: &LuShape, s: SolveTask) -> Prio {
+    let kb = shape.row_blocks() as u32;
+    let SolveTask { kind, k, i, j } = s;
+    match kind {
+        SolveKind::Piv => (j, 0, 0, 0),
+        SolveKind::TrsmL => (j, 1, k, 0),
+        SolveKind::GemmL => (j, 1, k, 1 + i),
+        SolveKind::TrsmU => (j, 2, kb - 1 - k, 0),
+        SolveKind::GemmU => (j, 2, kb - 1 - k, 1 + i),
     }
 }
 
@@ -426,7 +495,9 @@ impl LuDag {
                     // tile) and Panel(k) (producer of L₂₁) are transitive.
                     edges.push((id(Task::Trsm { k, j }), tid));
                 }
-                Task::Dist(_) => unreachable!("shared-memory builder emits no dist tasks"),
+                Task::Dist(_) | Task::Solve(_) => {
+                    unreachable!("factorization builder emits no dist/solve tasks")
+                }
             }
         }
         Self::from_parts(shape, lookahead, tasks, edges, 1, None)
@@ -665,8 +736,9 @@ pub fn modeled_cache_traffic(
             block_bytes(h, jb, 1.0) + block_bytes(jb, w, 1.0) + block_bytes(h, w, 2.0)
         }
         // Distributed tasks are costed by `dist::DistCostModel` (their
-        // operands live in per-rank tile storage, never flat).
-        Task::Dist(_) => 0.0,
+        // operands live in per-rank tile storage, never flat); solve-phase
+        // tasks are O(n²) work the serve bench measures rather than models.
+        Task::Dist(_) | Task::Solve(_) => 0.0,
     }
 }
 
@@ -707,8 +779,9 @@ pub fn modeled_time(shape: &LuShape, task: Task, mch: &MachineConfig) -> f64 {
             mch.t_gemm(shape.row_range(i).len(), shape.col_range(j).len(), shape.panel_width(k))
         }
         // Distributed tasks are costed by `dist::DistCostModel` (compute
-        // plus α/β message terms); they have no shared-memory kernel time.
-        Task::Dist(_) => 0.0,
+        // plus α/β message terms); solve-phase tasks are measured by the
+        // serve bench, not modeled.
+        Task::Dist(_) | Task::Solve(_) => 0.0,
     }
 }
 
@@ -732,7 +805,9 @@ mod tests {
                 Task::Swap { .. } => swaps += 1,
                 Task::Trsm { .. } => trsms += 1,
                 Task::Gemm { .. } => gemms += 1,
-                Task::Dist(_) => unreachable!("shared-memory DAGs emit no dist tasks"),
+                Task::Dist(_) | Task::Solve(_) => {
+                    unreachable!("factorization DAGs emit no dist/solve tasks")
+                }
             }
         }
         assert_eq!(panels, 4);

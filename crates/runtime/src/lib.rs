@@ -31,10 +31,11 @@
 pub mod dag;
 pub mod dist;
 pub mod exec;
+pub mod solve;
 
 pub use dag::{
     modeled_cache_traffic, modeled_time, modeled_time_layout, DistKind, DistTask, LuDag, LuShape,
-    Task, TaskId, TileLocality,
+    SolveKind, SolveTask, Task, TaskId, TileLocality,
 };
 pub use dist::{
     simulate_dist_schedule, tslu_acc_slot, tslu_leg_count, tslu_leg_role, DistCostModel, DistGeom,
@@ -43,3 +44,4 @@ pub use dist::{
 pub use exec::{
     ExecReport, Executor, ExecutorKind, SerialExecutor, TaskRunner, TaskTiming, ThreadedExecutor,
 };
+pub use solve::SolveShape;

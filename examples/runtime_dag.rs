@@ -26,7 +26,9 @@ fn main() {
             Task::Swap { .. } => swaps += 1,
             Task::Trsm { .. } => trsms += 1,
             Task::Gemm { .. } => gemms += 1,
-            Task::Dist(_) => unreachable!("shared-memory DAGs emit no distributed tasks"),
+            Task::Dist(_) | Task::Solve(_) => {
+                unreachable!("factorization DAGs emit no dist/solve tasks")
+            }
         }
     }
     println!("LU task DAG for {m}x{n}, nb={nb}, lookahead depth 2");

@@ -251,17 +251,33 @@ fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
         for lookahead in 1..=3 {
             for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
                 let rt = DistRtOpts { lookahead, executor };
-                let (_rep, d) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
+                let (rep, d) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
                 assert_eq!(
                     d.first_singular,
                     Some(r),
                     "calu d={lookahead} {executor:?}: zero column {r} must surface absolutely"
                 );
-                let (_rep, d) = dist_pdgetrf_factor_rt(&a, pdg_cfg, rt, MachineConfig::ideal());
+                // Cancellation strands payloads posted for recv tasks that
+                // never ran (the TSLU panel posts its W block before the
+                // failing reduction): the driver must drain them, leaving
+                // an empty mailbox.
+                assert!(
+                    rep.mailbox_drained_words > 0,
+                    "calu d={lookahead} {executor:?}: canceled run must have stranded payloads"
+                );
+                assert_eq!(
+                    rep.mailbox_residual_words, 0,
+                    "calu d={lookahead} {executor:?}: mailbox must be empty after the run"
+                );
+                let (rep, d) = dist_pdgetrf_factor_rt(&a, pdg_cfg, rt, MachineConfig::ideal());
                 assert_eq!(
                     d.first_singular,
                     Some(r),
                     "pdgetrf d={lookahead} {executor:?}: zero column {r} must surface absolutely"
+                );
+                assert_eq!(
+                    rep.mailbox_residual_words, 0,
+                    "pdgetrf d={lookahead} {executor:?}: mailbox must be empty after the run"
                 );
             }
         }
