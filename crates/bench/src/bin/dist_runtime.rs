@@ -21,16 +21,17 @@
 //! [--reps R] [--out PATH]` (defaults: n=512, nb=64, model-n=2000,
 //! model-nb=50, reps=1, out=BENCH_dist.json).
 
+use calu_bench::{write_record, HostInfo};
 use calu_core::dist::{dist_calu_factor_spmd, DistCaluConfig};
 use calu_core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
 use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
+use calu_obs::JsonValue;
 use calu_runtime::{
     simulate_dist_schedule, DistCostModel, DistGeom, DistPanelAlg, ExecutorKind, LuDag, LuShape,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -107,7 +108,8 @@ fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
 
 fn main() {
     let args = parse_args();
-    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let host = HostInfo::detect(0);
+    let host_threads = host.host_threads;
     let mch = MachineConfig::power5();
     let grids: [(usize, usize); 3] = [(2, 2), (2, 4), (4, 4)];
 
@@ -199,8 +201,7 @@ fn main() {
         );
         measured.push(MeasuredRow { depth, serial_s, threaded_s });
     }
-    let measured_valid = host_threads > 1;
-    if !measured_valid {
+    if !host.measured_speedup_valid {
         println!(
             "single-core host ({host_threads} thread): measured 'speedup' is executor overhead \
              only — the schedule-quality claim is the modeled lookahead win above"
@@ -208,59 +209,85 @@ fn main() {
     }
     println!("factors bitwise-identical to the SPMD reference on every run ✓");
 
-    // --- JSON record.
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"dist_runtime\",");
-    let _ = writeln!(json, "  \"model\": \"power5\",");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_valid},");
-    let _ = writeln!(json, "  \"bitwise_equal_to_spmd\": true,");
-    let _ = writeln!(
-        json,
-        "  \"best_modeled_lookahead_win\": {{\"grid\": \"{}x{}\", \"depth\": {}, \"win\": {:.4}}},",
-        best_win.0 .0, best_win.0 .1, best_win.1, best_win.2
-    );
-    let _ = writeln!(json, "  \"modeled\": [");
-    for (gi, ((pr, pc), rows)) in modeled.iter().enumerate() {
-        let _ =
-            writeln!(json, "    {{\"grid\": \"{pr}x{pc}\", \"m\": {mn}, \"b\": {mb}, \"rows\": [");
-        let base = rows[0].makespan_s;
-        for (i, r) in rows.iter().enumerate() {
-            let comma = if i + 1 < rows.len() { "," } else { "" };
-            let _ = writeln!(
-                json,
-                "      {{\"depth\": {}, \"tasks\": {}, \"modeled_cp_s\": {:.6}, \
-                 \"modeled_makespan_s\": {:.6}, \"lookahead_win\": {:.4}}}{comma}",
-                r.depth,
-                r.tasks,
-                r.cp_s,
-                r.makespan_s,
-                base / r.makespan_s
+    // --- Comm-ledger reconciliation: one instrumented run on the measured
+    // grid; every mailbox word the run actually moved, reconciled against
+    // the exact predictor (asserted equal) and the paper's skeleton.
+    let rt = DistRtOpts { lookahead: 2, executor: ExecutorKind::Serial };
+    let (rep, _d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+    for d in rep.mailbox_deltas() {
+        if d.source == "mailbox_exact" {
+            assert!(
+                d.exact(),
+                "term {}: measured {:?} != exact prediction {:?}",
+                d.term,
+                d.measured,
+                d.expected
             );
         }
-        let comma = if gi + 1 < modeled.len() { "," } else { "" };
-        let _ = writeln!(json, "    ]}}{comma}");
     }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(
-        json,
-        "  \"measured\": {{\"n\": {n}, \"b\": {nb}, \"grid\": \"{pr}x{pc}\", \"rows\": ["
+    println!(
+        "comm ledger: {} msgs / {} words measured on {pr}x{pc}, exact-predictor terms all \
+         reconcile to zero gap ✓",
+        rep.comm.total().msgs,
+        rep.comm.total().words
     );
-    for (i, r) in measured.iter().enumerate() {
-        let comma = if i + 1 < measured.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"depth\": {}, \"serial_s\": {:.6}, \"threaded_s\": {:.6}, \
-             \"measured_speedup\": {:.4}}}{comma}",
-            r.depth,
-            r.serial_s,
-            r.threaded_s,
-            r.serial_s / r.threaded_s
-        );
-    }
-    let _ = writeln!(json, "  ]}}");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&args.out, json).expect("write BENCH json");
-    println!("wrote {}", args.out);
+    let comm = rep
+        .comm
+        .to_json(&rep.expected_mailbox)
+        .set("skeleton", rep.skeleton_deltas().iter().map(|d| d.to_json()).collect::<JsonValue>());
+
+    // --- JSON record.
+    let modeled_json: JsonValue = modeled
+        .iter()
+        .map(|((pr, pc), rows)| {
+            let base = rows[0].makespan_s;
+            let rows_json: JsonValue = rows
+                .iter()
+                .map(|r| {
+                    JsonValue::obj()
+                        .set("depth", r.depth)
+                        .set("tasks", r.tasks)
+                        .set("modeled_cp_s", r.cp_s)
+                        .set("modeled_makespan_s", r.makespan_s)
+                        .set("lookahead_win", base / r.makespan_s)
+                })
+                .collect();
+            JsonValue::obj()
+                .set("grid", format!("{pr}x{pc}"))
+                .set("m", mn)
+                .set("b", mb)
+                .set("rows", rows_json)
+        })
+        .collect();
+    let measured_json: JsonValue = measured
+        .iter()
+        .map(|r| {
+            JsonValue::obj()
+                .set("depth", r.depth)
+                .set("serial_s", r.serial_s)
+                .set("threaded_s", r.threaded_s)
+                .set("measured_speedup", r.serial_s / r.threaded_s)
+        })
+        .collect();
+    let record = host
+        .stamp(JsonValue::obj().set("bench", "dist_runtime").set("model", "power5"))
+        .set("bitwise_equal_to_spmd", true)
+        .set(
+            "best_modeled_lookahead_win",
+            JsonValue::obj()
+                .set("grid", format!("{}x{}", best_win.0 .0, best_win.0 .1))
+                .set("depth", best_win.1)
+                .set("win", best_win.2),
+        )
+        .set("modeled", modeled_json)
+        .set(
+            "measured",
+            JsonValue::obj()
+                .set("n", n)
+                .set("b", nb)
+                .set("grid", format!("{pr}x{pc}"))
+                .set("rows", measured_json),
+        )
+        .set("comm", comm);
+    write_record(&args.out, &record);
 }

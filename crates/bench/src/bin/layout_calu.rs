@@ -26,15 +26,16 @@
 //! (defaults: n=0 meaning the 512 and 1024 record sizes, nb=128, reps=1,
 //! threads=0 = host, out=BENCH_layout.json).
 
+use calu_bench::{write_record, HostInfo};
 use calu_core::{runtime_calu_inplace, runtime_calu_tiles, CaluOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix, NoObs, TileMatrix};
 use calu_netsim::MachineConfig;
+use calu_obs::JsonValue;
 use calu_runtime::{
     modeled_cache_traffic, modeled_time_layout, ExecutorKind, LuDag, LuShape, TileLocality,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -101,7 +102,8 @@ fn main() {
     let args = parse_args();
     let sizes: Vec<usize> = if args.n == 0 { vec![512, 1024] } else { vec![args.n] };
     let nb = args.nb;
-    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let host = HostInfo::detect(args.threads);
+    let host_threads = host.host_threads;
     let mch = MachineConfig::xt4(); // 2 MB cache: 512^2+ doubles spill it
     let mut rng = StdRng::seed_from_u64(2026);
 
@@ -191,9 +193,7 @@ fn main() {
         }
     }
 
-    let exec_threads = if args.threads == 0 { host_threads } else { args.threads };
-    let measured_valid = exec_threads > 1 && host_threads > 1;
-    if !measured_valid {
+    if !host.measured_speedup_valid {
         println!(
             "\nsingle-core host ({host_threads} thread): threaded rows measure executor \
              overhead, not parallel wins, and the host LLC may hold the whole matrix — the \
@@ -202,38 +202,23 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"layout_calu\",");
-    let _ = writeln!(json, "  \"nb\": {nb},");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"executor_threads\": {exec_threads},");
-    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_valid},");
-    let _ = writeln!(json, "  \"reps\": {},", args.reps);
-    let _ = writeln!(json, "  \"model\": \"xt4\",");
-    let _ = writeln!(json, "  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"n\": {}, \"executor\": \"{}\", \"flat_s\": {:.6}, \"tiled_s\": {:.6}, \
-             \"measured_speedup\": {:.4}, \"modeled_traffic_flat_mb\": {:.3}, \
-             \"modeled_traffic_tiled_mb\": {:.3}, \"modeled_traffic_ratio\": {:.4}, \
-             \"modeled_time_flat_s\": {:.6}, \"modeled_time_tiled_s\": {:.6}}}{comma}",
-            r.n,
-            r.executor,
-            r.flat_s,
-            r.tiled_s,
-            r.flat_s / r.tiled_s,
-            r.traffic_flat_mb,
-            r.traffic_tiled_mb,
-            r.traffic_flat_mb / r.traffic_tiled_mb,
-            r.modeled_flat_s,
-            r.modeled_tiled_s
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&args.out, json).expect("write BENCH json");
-    println!("wrote {}", args.out);
+    let row_json = |r: &Row| {
+        JsonValue::obj()
+            .set("n", r.n)
+            .set("executor", r.executor)
+            .set("flat_s", r.flat_s)
+            .set("tiled_s", r.tiled_s)
+            .set("measured_speedup", r.flat_s / r.tiled_s)
+            .set("modeled_traffic_flat_mb", r.traffic_flat_mb)
+            .set("modeled_traffic_tiled_mb", r.traffic_tiled_mb)
+            .set("modeled_traffic_ratio", r.traffic_flat_mb / r.traffic_tiled_mb)
+            .set("modeled_time_flat_s", r.modeled_flat_s)
+            .set("modeled_time_tiled_s", r.modeled_tiled_s)
+    };
+    let record = host
+        .stamp(JsonValue::obj().set("bench", "layout_calu").set("nb", nb))
+        .set("reps", args.reps)
+        .set("model", "xt4")
+        .set("rows", rows.iter().map(row_json).collect::<JsonValue>());
+    write_record(&args.out, &record);
 }

@@ -17,13 +17,14 @@
 //! Usage: `precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]`
 //! (defaults: n=768, nb=96, reps=1, out=BENCH_precision.json).
 
+use calu_bench::{write_record, HostInfo};
 use calu_core::{ir_solve, runtime_calu_factor, CaluOpts, IrOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix, Scalar};
 use calu_netsim::{MachineConfig, Precision};
+use calu_obs::JsonValue;
 use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -84,7 +85,8 @@ fn time_factor<T: Scalar>(a: &Matrix<T>, opts: CaluOpts, rt: RuntimeOpts, reps: 
 fn main() {
     let args = parse_args();
     let (n, nb) = (args.n, args.nb);
-    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let host = HostInfo::detect(0);
+    let host_threads = host.host_threads;
     let mut rng = StdRng::seed_from_u64(2025);
     let a64: Matrix<f64> = gen::randn(&mut rng, n, n);
     let a32: Matrix<f32> = a64.cast();
@@ -144,34 +146,30 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"precision_calu\",");
-    let _ = writeln!(json, "  \"n\": {n},");
-    let _ = writeln!(json, "  \"nb\": {nb},");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"reps\": {},", args.reps);
-    let _ = writeln!(json, "  \"model\": \"power5\",");
-    let _ = writeln!(json, "  \"factor_f64_s\": {t64:.6},");
-    let _ = writeln!(json, "  \"factor_f32_s\": {t32:.6},");
-    let _ = writeln!(json, "  \"measured_f32_speedup\": {:.4},", t64 / t32);
-    let _ = writeln!(json, "  \"modeled_cp_f64_s\": {cp64:.6},");
-    let _ = writeln!(json, "  \"modeled_cp_f32_s\": {cp32:.6},");
-    let _ = writeln!(json, "  \"modeled_f32_speedup\": {:.4},", cp64 / cp32);
-    let _ = writeln!(json, "  \"ir_solve_s\": {t_ir:.6},");
-    let _ = writeln!(json, "  \"ir_iterations\": {},", report.iterations);
-    let _ = writeln!(json, "  \"ir_converged\": {},", report.converged);
-    let _ = writeln!(json, "  \"ir_steps\": [");
-    for (k, s) in report.steps.iter().enumerate() {
-        let comma = if k + 1 < report.steps.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"backward_error\": {:e}, \"hpl1\": {:.4}, \"hpl2\": {:.4}, \"hpl3\": {:.4}}}{comma}",
-            s.backward_error, s.hpl[0], s.hpl[1], s.hpl[2]
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&args.out, json).expect("write BENCH json");
-    println!("wrote {}", args.out);
+    let steps: JsonValue = report
+        .steps
+        .iter()
+        .map(|s| {
+            JsonValue::obj()
+                .set("backward_error", s.backward_error)
+                .set("hpl1", s.hpl[0])
+                .set("hpl2", s.hpl[1])
+                .set("hpl3", s.hpl[2])
+        })
+        .collect();
+    let record = host
+        .stamp(JsonValue::obj().set("bench", "precision_calu").set("n", n).set("nb", nb))
+        .set("reps", args.reps)
+        .set("model", "power5")
+        .set("factor_f64_s", t64)
+        .set("factor_f32_s", t32)
+        .set("measured_f32_speedup", t64 / t32)
+        .set("modeled_cp_f64_s", cp64)
+        .set("modeled_cp_f32_s", cp32)
+        .set("modeled_f32_speedup", cp64 / cp32)
+        .set("ir_solve_s", t_ir)
+        .set("ir_iterations", report.iterations)
+        .set("ir_converged", report.converged)
+        .set("ir_steps", steps);
+    write_record(&args.out, &record);
 }

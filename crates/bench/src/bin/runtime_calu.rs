@@ -20,13 +20,14 @@
 //! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]`
 //! (defaults: n=1024, nb=128, reps=1, threads=0 = host, out=BENCH_runtime.json).
 
+use calu_bench::{write_record, HostInfo};
 use calu_core::{runtime_calu_factor, CaluOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
+use calu_obs::JsonValue;
 use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -90,7 +91,8 @@ fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
 fn main() {
     let args = parse_args();
     let (n, nb) = (args.n, args.nb);
-    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let host = HostInfo::detect(args.threads);
+    let host_threads = host.host_threads;
     let mut rng = StdRng::seed_from_u64(2024);
     let a: Matrix = gen::randn(&mut rng, n, n);
     let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
@@ -141,10 +143,7 @@ fn main() {
         });
     }
 
-    // Threads the threaded executor actually gets: the explicit request,
-    // or the host parallelism when 0 ("use all cores").
-    let exec_threads = if args.threads == 0 { host_threads } else { args.threads };
-    let measured_valid = exec_threads > 1 && host_threads > 1;
+    let measured_valid = host.measured_speedup_valid;
     let best = rows
         .iter()
         .max_by(|a, b| (a.serial_s / a.threaded_s).total_cmp(&(b.serial_s / b.threaded_s)))
@@ -165,36 +164,21 @@ fn main() {
         );
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"runtime_calu\",");
-    let _ = writeln!(json, "  \"n\": {n},");
-    let _ = writeln!(json, "  \"nb\": {nb},");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"executor_threads\": {exec_threads},");
-    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_valid},");
-    let _ = writeln!(json, "  \"reps\": {},", args.reps);
-    let _ = writeln!(json, "  \"model\": \"power5\",");
-    let _ = writeln!(json, "  \"rows\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"depth\": {}, \"tasks\": {}, \"serial_s\": {:.6}, \"threaded_s\": {:.6}, \
-             \"measured_speedup\": {:.4}, \"modeled_serial_s\": {:.6}, \"modeled_cp_s\": {:.6}, \
-             \"modeled_cp_speedup\": {:.4}}}{comma}",
-            r.depth,
-            r.tasks,
-            r.serial_s,
-            r.threaded_s,
-            r.serial_s / r.threaded_s,
-            r.modeled_serial_s,
-            r.modeled_cp_s,
-            r.modeled_serial_s / r.modeled_cp_s
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&args.out, json).expect("write BENCH json");
-    println!("wrote {}", args.out);
+    let row_json = |r: &Row| {
+        JsonValue::obj()
+            .set("depth", r.depth)
+            .set("tasks", r.tasks)
+            .set("serial_s", r.serial_s)
+            .set("threaded_s", r.threaded_s)
+            .set("measured_speedup", r.serial_s / r.threaded_s)
+            .set("modeled_serial_s", r.modeled_serial_s)
+            .set("modeled_cp_s", r.modeled_cp_s)
+            .set("modeled_cp_speedup", r.modeled_serial_s / r.modeled_cp_s)
+    };
+    let record = host
+        .stamp(JsonValue::obj().set("bench", "runtime_calu").set("n", n).set("nb", nb))
+        .set("reps", args.reps)
+        .set("model", "power5")
+        .set("rows", rows.iter().map(row_json).collect::<JsonValue>());
+    write_record(&args.out, &record);
 }

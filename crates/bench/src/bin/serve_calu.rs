@@ -14,15 +14,23 @@
 //! submit-to-`process`-return; percentiles are over all requests of the
 //! scenario.
 //!
-//! Usage: `serve_calu [--n N] [--nb NB] [--reqs R] [--out PATH]`
-//! (defaults: n=256, nb=32, reqs=64, out=BENCH_serve.json).
+//! Alongside the scenario record, the service's own observability layer
+//! is exported: the threaded hot batch-8 scenario's metrics snapshot
+//! (queue/cache/latency registry) is embedded under `"metrics"`, and its
+//! span trace is written as a Chrome-trace JSON (`TRACE_serve.json`,
+//! openable in `chrome://tracing` / Perfetto).
+//!
+//! Usage: `serve_calu [--n N] [--nb NB] [--reqs R] [--out PATH] [--trace-out PATH]`
+//! (defaults: n=256, nb=32, reqs=64, out=BENCH_serve.json,
+//! trace-out=TRACE_serve.json).
 
+use calu_bench::{write_record, HostInfo};
 use calu_core::{CaluOpts, RuntimeOpts, ServeOpts, SolverService};
 use calu_matrix::{gen, Matrix};
+use calu_obs::{chrome_trace, parse_chrome_trace, JsonValue, Span};
 use calu_runtime::ExecutorKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -30,10 +38,17 @@ struct Args {
     nb: usize,
     reqs: usize,
     out: String,
+    trace_out: String,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { n: 256, nb: 32, reqs: 64, out: "BENCH_serve.json".into() };
+    let mut args = Args {
+        n: 256,
+        nb: 32,
+        reqs: 64,
+        out: "BENCH_serve.json".into(),
+        trace_out: "TRACE_serve.json".into(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -53,8 +68,12 @@ fn parse_args() -> Args {
             "--nb" => args.nb = parsed(val()),
             "--reqs" => args.reqs = parsed(val()),
             "--out" => args.out = val(),
+            "--trace-out" => args.trace_out = val(),
             "--help" | "-h" => {
-                eprintln!("usage: serve_calu [--n N] [--nb NB] [--reqs R] [--out PATH]");
+                eprintln!(
+                    "usage: serve_calu [--n N] [--nb NB] [--reqs R] [--out PATH] \
+                     [--trace-out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -91,7 +110,7 @@ fn run_scenario(
     hot: bool,
     executor: ExecutorKind,
     exec_name: &'static str,
-) -> Scenario {
+) -> (Scenario, JsonValue, Vec<Span>) {
     let reqs = rhs_pool.len();
     let opts = ServeOpts {
         cache_capacity_bytes: if hot { 256 << 20 } else { 0 },
@@ -135,7 +154,7 @@ fn run_scenario(
     let stats = svc.cache_stats();
     let (hits, misses) = (stats.hits - warm_stats.hits, stats.misses - warm_stats.misses);
     latencies.sort_by(|x, y| x.total_cmp(y));
-    Scenario {
+    let scenario = Scenario {
         executor: exec_name,
         batch,
         cache: if hot { "hot" } else { "cold" },
@@ -145,18 +164,19 @@ fn run_scenario(
         p99_ms: percentile(&latencies, 0.99) * 1e3,
         hit_ratio: hits as f64 / (hits + misses).max(1) as f64,
         factored,
-    }
+    };
+    (scenario, svc.metrics_snapshot(), svc.spans())
 }
 
 fn main() {
     let args = parse_args();
     let (n, nb, reqs) = (args.n, args.nb, args.reqs);
-    let host_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     // Measured wall-clock ratios only mean something with real parallelism
     // under the threaded executor; on a 1-core container the cache-regime
     // contrast (O(n²) hit vs O(n³) miss) still holds but thread scaling
     // does not.
-    let measured_speedup_valid = host_threads > 1;
+    let host = HostInfo::detect(0);
+    let host_threads = host.host_threads;
 
     let mut rng = StdRng::seed_from_u64(2008);
     let a: Matrix<f64> = gen::diag_dominant(&mut rng, n);
@@ -172,10 +192,18 @@ fn main() {
     let executors: [(ExecutorKind, &'static str); 2] =
         [(ExecutorKind::Serial, "serial"), (ExecutorKind::Threaded { threads: 0 }, "threaded")];
     let mut scenarios = Vec::new();
+    // The threaded hot batch-8 scenario is the exported-observability one:
+    // its metrics snapshot lands in the BENCH record and its span trace
+    // becomes TRACE_serve.json.
+    let mut exported: Option<(JsonValue, Vec<Span>)> = None;
     for &(executor, exec_name) in &executors {
         for &batch in &[1usize, 8, 32] {
             for &hot in &[true, false] {
-                let s = run_scenario(&a, &rhs_pool, nb, batch, hot, executor, exec_name);
+                let (s, metrics, spans) =
+                    run_scenario(&a, &rhs_pool, nb, batch, hot, executor, exec_name);
+                if exec_name == "threaded" && batch == 8 && hot {
+                    exported = Some((metrics, spans));
+                }
                 println!(
                     "{:>8} batch={:<2} {:<4}: {:>8.1} solves/s  p50={:.2}ms p95={:.2}ms \
                      p99={:.2}ms  hit_ratio={:.2} factored={}",
@@ -203,53 +231,53 @@ fn main() {
             .map(|s| s.solves_per_s)
             .expect("scenario grid covers this point")
     };
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"serve_calu\",");
-    let _ = writeln!(json, "  \"n\": {n},");
-    let _ = writeln!(json, "  \"nb\": {nb},");
-    let _ = writeln!(json, "  \"reqs\": {reqs},");
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"measured_speedup_valid\": {measured_speedup_valid},");
+    let mut record = host.stamp(
+        JsonValue::obj().set("bench", "serve_calu").set("n", n).set("nb", nb).set("reqs", reqs),
+    );
     for &(_, exec_name) in &executors {
         let floor = rate(exec_name, 1, "cold");
-        let _ = writeln!(
-            json,
-            "  \"{exec_name}_hot_batch8_vs_factor_per_request\": {:.4},",
-            rate(exec_name, 8, "hot") / floor
-        );
-        let _ = writeln!(
-            json,
-            "  \"{exec_name}_hot_batch32_vs_factor_per_request\": {:.4},",
-            rate(exec_name, 32, "hot") / floor
-        );
+        record = record
+            .set(
+                &format!("{exec_name}_hot_batch8_vs_factor_per_request"),
+                rate(exec_name, 8, "hot") / floor,
+            )
+            .set(
+                &format!("{exec_name}_hot_batch32_vs_factor_per_request"),
+                rate(exec_name, 32, "hot") / floor,
+            );
         println!(
             "{exec_name}: hot batch8 {:.1}x, batch32 {:.1}x over factor-per-request",
             rate(exec_name, 8, "hot") / floor,
             rate(exec_name, 32, "hot") / floor
         );
     }
-    let _ = writeln!(json, "  \"scenarios\": [");
-    for (i, s) in scenarios.iter().enumerate() {
-        let comma = if i + 1 < scenarios.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"executor\": \"{}\", \"batch\": {}, \"cache\": \"{}\", \
-             \"solves_per_s\": {:.2}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"hit_ratio\": {:.4}, \"factored\": {}}}{comma}",
-            s.executor,
-            s.batch,
-            s.cache,
-            s.solves_per_s,
-            s.p50_ms,
-            s.p95_ms,
-            s.p99_ms,
-            s.hit_ratio,
-            s.factored
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&args.out, json).expect("write BENCH json");
-    println!("wrote {}", args.out);
+    let scenarios_json: JsonValue = scenarios
+        .iter()
+        .map(|s| {
+            JsonValue::obj()
+                .set("executor", s.executor)
+                .set("batch", s.batch)
+                .set("cache", s.cache)
+                .set("solves_per_s", s.solves_per_s)
+                .set("p50_ms", s.p50_ms)
+                .set("p95_ms", s.p95_ms)
+                .set("p99_ms", s.p99_ms)
+                .set("hit_ratio", s.hit_ratio)
+                .set("factored", s.factored)
+        })
+        .collect();
+    record = record.set("scenarios", scenarios_json);
+
+    // The observability exports: embedded metrics snapshot + Chrome trace.
+    let (metrics, spans) = exported.expect("scenario grid includes threaded hot batch 8");
+    let trace = chrome_trace(&spans);
+    let parsed = parse_chrome_trace(&trace).expect("own trace export parses");
+    assert_eq!(parsed.len(), spans.len(), "trace round-trip preserves every span");
+    std::fs::write(&args.trace_out, &trace).expect("write trace json");
+    println!("wrote {} ({} spans)", args.trace_out, spans.len());
+    record = record
+        .set("metrics", metrics)
+        .set("trace_file", args.trace_out.as_str())
+        .set("trace_spans", spans.len());
+    write_record(&args.out, &record);
 }

@@ -52,10 +52,11 @@ use calu_matrix::{
     Diag, Error, MatViewMut, Matrix, NoObs, Result, Scalar, Side, TileLayout, TileMatrix, Uplo,
 };
 use calu_netsim::{MachineConfig, RankTrace, SimReport};
+use calu_obs::{CommDelta, CommLedger, CommLedgerReport, CommTerm, Recorder, Span};
 use calu_runtime::{
-    simulate_dist_schedule, tslu_acc_slot, tslu_leg_count, tslu_leg_role, DistCostModel, DistGeom,
-    DistKind, DistPanelAlg, DistTask, ExecReport, ExecutorKind, LegRole, LuDag, LuShape, Task,
-    TaskRunner,
+    expected_mailbox_comm, modeled_comm_terms, simulate_dist_schedule, tslu_acc_slot,
+    tslu_leg_count, tslu_leg_role, DistCostModel, DistGeom, DistKind, DistPanelAlg, DistTask,
+    ExecReport, ExecutorKind, LegRole, LuDag, LuShape, Task, TaskRunner,
 };
 
 /// How a runtime-driven distributed factorization should execute.
@@ -97,15 +98,46 @@ pub struct DistRtReport {
     pub makespan: f64,
     /// Task count of the DAG.
     pub tasks: usize,
-    /// `f64` payload words still sitting in the cross-rank mailbox when
-    /// the run ended, drained by the driver. Nonzero is normal: on
-    /// success the lookahead eviction horizon keeps the last window's
-    /// payloads alive, and on a canceled run (singular pivot) payloads
-    /// posted for recv tasks that never ran would otherwise leak.
-    pub mailbox_drained_words: usize,
-    /// Words remaining *after* the drain — the leak detector. Always 0;
-    /// the failure-injection tests assert it on both executors.
-    pub mailbox_residual_words: usize,
+    /// **Measured** communication ledger: every mailbox post/arrival and
+    /// cross-owner pivot-row exchange the runner actually performed,
+    /// counted per rank and per term, plus the end-of-run drain counters
+    /// (`drained_words` is nonzero on success — the lookahead eviction
+    /// horizon keeps the last window's payloads alive; `residual_words`
+    /// is the leak detector, always 0).
+    pub comm: CommLedgerReport,
+    /// **Exact** expected mailbox traffic of this DAG
+    /// ([`expected_mailbox_comm`]): candidate counts simulated through the
+    /// butterfly, broadcast payloads from geometry. The measured ledger
+    /// equals it term-for-term — [`Self::mailbox_deltas`] asserts so in
+    /// the reconciliation tests.
+    pub expected_mailbox: Vec<CommTerm>,
+    /// **First-order** skeleton predictions ([`modeled_comm_terms`]): the
+    /// [`DistCostModel`] word/message counts the paper's closed forms
+    /// price. [`Self::skeleton_deltas`] quantifies the gap to the wire.
+    pub modeled_terms: Vec<CommTerm>,
+    /// Wall-clock spans of every executed task (pid = rank, tid =
+    /// worker), ready for [`calu_obs::chrome_trace`] export. On a
+    /// canceled run (singular pivot) the tasks that completed before
+    /// cancellation are still present.
+    pub spans: Vec<Span>,
+}
+
+impl DistRtReport {
+    /// Measured mailbox ledger vs the exact predictor — every delta whose
+    /// source is `"mailbox_exact"` is exact on a successful run; the
+    /// `swap` term surfaces as unmodeled (pivot-row exchanges move
+    /// elements directly between rank storages, never via the mailbox).
+    pub fn mailbox_deltas(&self) -> Vec<CommDelta> {
+        self.comm.reconcile(&self.expected_mailbox)
+    }
+
+    /// Measured ledger vs the paper's skeleton: per-term word/message
+    /// gaps quantifying how far the first-order closed forms sit from
+    /// the wire (full-width TSLU payloads on ragged steps, modeled
+    /// `panel_getf2`/`swap` rounds vs data-dependent reality).
+    pub fn skeleton_deltas(&self) -> Vec<CommDelta> {
+        self.comm.reconcile(&self.modeled_terms)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -221,6 +253,9 @@ struct DistRunner<T> {
     /// proves old steps complete, so [`Self::evict_completed_steps`]
     /// bounds the mailbox to the lookahead window.
     mail: Mutex<HashMap<MailKey, Arc<Vec<f64>>>>,
+    /// Measured communication: every mailbox send/arrival and cross-owner
+    /// pivot-row exchange, counted per rank per term as it happens.
+    ledger: CommLedger,
 }
 
 impl<T: Scalar> DistRunner<T> {
@@ -253,6 +288,24 @@ impl<T: Scalar> DistRunner<T> {
     /// edge endpoints use, so mailbox keys and edges cannot drift apart.
     fn fetch_acc(&self, k: usize, l: usize, r: usize) -> Candidates<T> {
         Candidates::from_payload(&self.fetch(ACC, k, tslu_acc_slot(self.geom.pr, l, r), r))
+    }
+
+    /// [`Self::fetch_acc`] for a *partner's* accumulator — the one fetch
+    /// in the butterfly that crosses ranks, i.e. the wire. The transfer is
+    /// ledgered here, at the consuming fetch (DAG-ordered after the
+    /// producer's post, so the payload length is exact on any schedule),
+    /// and attributed to the sending rank — which is precisely the leg's
+    /// send-role side (`Exchange` partners fetch each other, a
+    /// `FoldCombine` fetches its `FoldSend`, a `FoldRecv` its `FoldOut`),
+    /// so per-rank totals match the cost model's send accounting. The
+    /// send-half tasks themselves are no-op injection markers and cannot
+    /// be measured directly: their only DAG ordering against the producer
+    /// runs through this receiving task.
+    fn fetch_acc_wire(&self, k: usize, l: usize, r: usize) -> Candidates<T> {
+        let raw = self.fetch(ACC, k, tslu_acc_slot(self.geom.pr, l, r), r);
+        let sender = self.geom.rank(r, self.geom.pcol_of(k));
+        self.ledger.record_send(sender as u32, "tslu_leg", raw.len() as u64);
+        Candidates::from_payload(&raw)
     }
 
     /// Exchanges (or locally swaps) global rows `r1 != r2` across the
@@ -363,6 +416,51 @@ impl<T: Scalar> DistRunner<T> {
         mail.values().map(|v| v.len()).sum()
     }
 
+    /// Words of one posted payload — 0 if the slot is absent. Used by the
+    /// ledger to measure what actually sits in the mailbox (every peeked
+    /// slot is a DAG ancestor of the peeking task, so it cannot race with
+    /// its producer, and the current step is never evicted).
+    fn mail_len(&self, class: u8, k: usize, j: usize, who: usize) -> usize {
+        let key = (class, k as u32, j as u32, who as u32);
+        self.mail.lock().expect("mailbox poisoned").get(&key).map_or(0, |v| v.len())
+    }
+
+    /// Ledger entry for one completed communication task — the measured
+    /// side of the reconciliation against [`expected_mailbox_comm`] /
+    /// [`modeled_comm_terms`]. Terms mirror
+    /// [`calu_runtime::dist_comm_term`] exactly: broadcast payloads are
+    /// counted once per receiver, measured from the payload actually in
+    /// the mailbox. Pure sends (`PivSend`/`WSend`/`PanelSend`/`USend`)
+    /// are transit in the cost model and carry no mailbox arrival of
+    /// their own, so — like the model — they add nothing here; the
+    /// `tslu_leg` and `swap` terms are recorded where their transfers
+    /// happen, in [`Self::fetch_acc_wire`] and [`Self::run_swap`].
+    fn account(&self, kind: DistKind, k: usize, j: usize, rank: usize, prow: usize) {
+        let g = &self.geom;
+        let rank = rank as u32;
+        match kind {
+            DistKind::PivRecv => {
+                // The canonical PIV slot may not be posted yet (this
+                // receiver's only mailbox dependence is its own process
+                // row's no-op send) — but the list is always jb entries.
+                self.ledger.record_recv(rank, "piv_bcast", g.jb(k) as u64);
+            }
+            DistKind::PanelRecv => {
+                let words = self.mail_len(PAN, k, 0, prow);
+                self.ledger.record_recv(rank, "panel_bcast", words as u64);
+            }
+            DistKind::URecv => {
+                let words = self.mail_len(U12, k, j, 0);
+                self.ledger.record_recv(rank, "u_bcast", words as u64);
+            }
+            DistKind::Second if prow != g.cprow(k) => {
+                let words = self.mail_len(WBK, k, 0, 0);
+                self.ledger.record_recv(rank, "w_bcast", words as u64);
+            }
+            _ => {}
+        }
+    }
+
     fn run_cand(&self, k: usize, prow: usize) -> Result<()> {
         self.evict_completed_steps(k);
         let g = &self.geom;
@@ -388,7 +486,7 @@ impl<T: Scalar> DistRunner<T> {
         match tslu_leg_role(self.geom.pr, leg, prow) {
             LegRole::Exchange { partner } => {
                 let mine = self.fetch_acc(k, leg, prow);
-                let theirs = self.fetch_acc(k, leg, partner);
+                let theirs = self.fetch_acc_wire(k, leg, partner);
                 // The combine is ordered by member index, exactly as the
                 // netsim butterfly orders it.
                 let acc = if prow < partner {
@@ -400,12 +498,12 @@ impl<T: Scalar> DistRunner<T> {
             }
             LegRole::FoldCombine { partner } => {
                 let mine = self.fetch_acc(k, leg, prow);
-                let theirs = self.fetch_acc(k, leg, partner);
+                let theirs = self.fetch_acc_wire(k, leg, partner);
                 let acc = reduce_pair(&mine, &theirs);
                 self.post(ACC, k, leg + 1, prow, acc.to_payload());
             }
             LegRole::FoldRecv { partner } => {
-                let theirs: Candidates<T> = self.fetch_acc(k, leg, partner);
+                let theirs: Candidates<T> = self.fetch_acc_wire(k, leg, partner);
                 self.post(ACC, k, leg + 1, prow, theirs.to_payload());
             }
             // Send halves: the data is read from the producer's slot by
@@ -452,9 +550,22 @@ impl<T: Scalar> DistRunner<T> {
         }
         for (i, &p) in li.iter().enumerate() {
             if p != i {
+                let (r1, r2) = (gk + i, gk + p);
+                let (o1, o2) = (self.glayout.row_owner(r1), self.glayout.row_owner(r2));
+                if o1 != o2 {
+                    // Data-dependent cross-rank exchange: each owner ships
+                    // its row segment to the other. Measured here, at the
+                    // exchanging ranks — the skeleton prices the same term
+                    // as fixed pairwise-exchange rounds, and the gap
+                    // between the two is exactly what the reconciliation
+                    // report quantifies.
+                    let w = cols.len() as u64;
+                    self.ledger.record_send(self.geom.rank(o1, pcol) as u32, "swap", w);
+                    self.ledger.record_send(self.geom.rank(o2, pcol) as u32, "swap", w);
+                }
                 // SAFETY: Swap(k,j) owns rows ≥ k·nb of these columns
                 // across the process column.
-                unsafe { self.swap_rows(pcol, gk + i, gk + p, cols.clone()) };
+                unsafe { self.swap_rows(pcol, r1, r2, cols.clone()) };
             }
         }
         Ok(())
@@ -695,7 +806,7 @@ impl<T: Scalar> TaskRunner for DistRunner<T> {
         };
         let (k, j, rank) = (k as usize, j as usize, rank as usize);
         let prow = rank % self.geom.pr;
-        match kind {
+        let res = match kind {
             DistKind::Cand => self.run_cand(k, prow),
             DistKind::TsluLeg => self.run_tslu_leg(k, j, prow),
             DistKind::PanelGetf2 => self.run_panel_getf2(k),
@@ -710,7 +821,11 @@ impl<T: Scalar> TaskRunner for DistRunner<T> {
             // Pure arrival markers: the data sits in the producer's slot,
             // the edge is the wire.
             DistKind::PivRecv | DistKind::PanelRecv | DistKind::URecv => Ok(()),
+        };
+        if res.is_ok() {
+            self.account(kind, k, j, rank, prow);
         }
+        res
     }
 }
 
@@ -754,15 +869,22 @@ fn run_dist<T: Scalar>(
         cells: locals.iter_mut().map(RankCell::new).collect(),
         ipiv: IpivCell { ptr: ipiv.as_mut_ptr(), len: kn },
         mail: Mutex::new(HashMap::new()),
+        ledger: CommLedger::new(),
     };
-    let (exec, first_singular) = match rt.executor.execute(&dag, &runner) {
+    let recorder = Recorder::new();
+    let (exec, first_singular) = match rt.executor.execute_traced(&dag, &runner, Some(&recorder)) {
         Ok(rep) => (rep, None),
         Err(Error::SingularPivot { step }) => (ExecReport::default(), Some(step)),
         Err(e) => panic!("unexpected distributed task failure: {e:?}"),
     };
     // Success or cancellation, undelivered payloads end with the run.
-    let mailbox_drained_words = runner.drain_mailbox();
-    let mailbox_residual_words = runner.mailbox_words();
+    let drained = runner.drain_mailbox();
+    let residual = runner.mailbox_words();
+    runner.ledger.set_drain(drained as u64, residual as u64);
+    if first_singular.is_none() {
+        assert_eq!(residual, 0, "mailbox leaked {residual} words after the drain");
+    }
+    let comm = runner.ledger.report();
     drop(runner);
 
     let model = DistCostModel {
@@ -780,8 +902,10 @@ fn run_dist<T: Scalar>(
         critical_path,
         makespan: sched.makespan,
         tasks: dag.len(),
-        mailbox_drained_words,
-        mailbox_residual_words,
+        comm,
+        expected_mailbox: expected_mailbox_comm(&dag, &geom, alg),
+        modeled_terms: modeled_comm_terms(&dag, &model),
+        spans: recorder.take(),
     };
     let lu = assemble_2d(glayout, &locals);
     (report, DistFactors { lu, ipiv, first_singular })
@@ -889,9 +1013,72 @@ mod tests {
         assert_eq!(rep.exec.order.len(), rep.tasks);
         // The last lookahead window's payloads are still resident at the
         // end of a successful run; the driver drains them all.
-        assert!(rep.mailbox_drained_words > 0);
-        assert_eq!(rep.mailbox_residual_words, 0);
+        assert!(rep.comm.drained_words > 0);
+        assert_eq!(rep.comm.residual_words, 0);
+        // One wall-clock span per executed task, pids spanning the grid.
+        assert_eq!(rep.spans.len(), rep.tasks);
+        assert!(rep.spans.iter().any(|s| s.pid == 3));
+        calu_obs::parse_chrome_trace(&calu_obs::chrome_trace(&rep.spans))
+            .expect("executor spans must export as valid chrome trace");
         let gantt = calu_netsim::render_gantt(&rep.traces, 60);
         assert!(gantt.contains("r0") && gantt.contains("r3"));
+    }
+
+    /// The tentpole reconciliation property: on every grid × depth ×
+    /// algorithm × executor, the measured mailbox ledger equals the exact
+    /// per-term prediction — message counts and word counts both — and
+    /// the skeleton comparison shows agreeing message counts with a
+    /// quantified (never negative) word gap on the TSLU term.
+    #[test]
+    fn measured_comm_equals_exact_prediction_on_grids_and_depths() {
+        let mut rng = StdRng::seed_from_u64(7004);
+        let a: Matrix = gen::randn(&mut rng, 48, 48);
+        for &(pr, pc) in &[(2usize, 2usize), (2, 4), (3, 2)] {
+            for depth in 1..=3 {
+                for executor in executors() {
+                    let rt = DistRtOpts { lookahead: depth, executor };
+                    let cfg = DistCaluConfig { b: 8, pr, pc, local: LocalLu::Classic };
+                    let (rep, f) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                    assert_eq!(f.first_singular, None);
+                    let deltas = rep.mailbox_deltas();
+                    assert!(deltas.iter().any(|d| d.source == "mailbox_exact"));
+                    for d in &deltas {
+                        if d.source == "mailbox_exact" {
+                            assert!(
+                                d.exact(),
+                                "{pr}x{pc} d={depth} {executor:?} term {}: measured {:?} vs \
+                                 expected {:?}",
+                                d.term,
+                                d.measured,
+                                d.expected
+                            );
+                        }
+                    }
+                    // Skeleton: same message counts on the exact-modeled
+                    // terms, word gap only from ragged-tail payloads.
+                    for d in rep.skeleton_deltas() {
+                        if d.term == "tslu_leg" {
+                            assert_eq!(d.msg_gap(), 0, "{pr}x{pc} d={depth}");
+                            assert!(d.word_gap() <= 0, "measured can never exceed the skeleton");
+                        }
+                    }
+
+                    let cfg = DistPdgetrfConfig { b: 8, pr, pc };
+                    let (rep, f) = dist_pdgetrf_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                    assert_eq!(f.first_singular, None);
+                    for d in rep.mailbox_deltas() {
+                        if d.source == "mailbox_exact" {
+                            assert!(
+                                d.exact(),
+                                "pdgetrf {pr}x{pc} d={depth} term {}: {:?} vs {:?}",
+                                d.term,
+                                d.measured,
+                                d.expected
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

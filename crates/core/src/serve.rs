@@ -27,9 +27,11 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use calu_matrix::perm::apply_ipiv;
 use calu_matrix::{Error, MatView, MatViewMut, Matrix, Result, Scalar};
+use calu_obs::{JsonValue, Metrics, Recorder, Span};
 use calu_runtime::{ExecReport, ExecutorKind, LuDag, SolveKind, SolveShape, Task, TaskRunner};
 
 use crate::calu::{CaluOpts, LuFactors};
@@ -247,6 +249,9 @@ struct Request<T> {
     ticket: Ticket,
     key: MatrixKey,
     rhs: Vec<T>,
+    /// Seconds since the service epoch at submission — the start of the
+    /// ticket-latency measurement.
+    submitted_at: f64,
 }
 
 /// Batched, factorization-caching solve front-end on the runtime DAG.
@@ -274,6 +279,16 @@ pub struct SolverService<T: Scalar = f64> {
     queue: VecDeque<Request<T>>,
     results: HashMap<u64, Result<Vec<T>>>,
     next_ticket: u64,
+    /// Unified metrics registry: request/batch counters, queue and cache
+    /// gauges, ticket-latency histogram ([`Self::metrics_snapshot`]).
+    metrics: Metrics,
+    /// Span recorder: one span per `process` pass plus the replayed
+    /// per-task spans of every factorization and solve DAG the service
+    /// ran (pid = rank, tid = worker), on one timeline starting at the
+    /// service epoch — export with [`calu_obs::chrome_trace`].
+    recorder: Recorder,
+    /// Wall-clock zero of the service timeline.
+    epoch: Instant,
 }
 
 impl<T: Scalar> SolverService<T> {
@@ -290,7 +305,16 @@ impl<T: Scalar> SolverService<T> {
             queue: VecDeque::new(),
             results: HashMap::new(),
             next_ticket: 0,
+            metrics: Metrics::new(),
+            recorder: Recorder::new(),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Seconds since the service epoch — the timeline every span and
+    /// latency sample lives on.
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
     }
 
     /// Registers (or replaces) the matrix behind `id` and returns its new
@@ -324,18 +348,24 @@ impl<T: Scalar> SolverService<T> {
     /// [`SubmitError::ShapeMismatch`] for malformed requests.
     pub fn submit(&mut self, id: u64, rhs: Vec<T>) -> std::result::Result<Ticket, SubmitError> {
         if self.queue.len() >= self.opts.queue_capacity {
+            self.metrics.counter_add("serve.rejected", 1);
             return Err(SubmitError::QueueFull { capacity: self.opts.queue_capacity });
         }
         let Some((generation, a)) = self.matrices.get(&id) else {
+            self.metrics.counter_add("serve.rejected", 1);
             return Err(SubmitError::UnknownMatrix { id });
         };
         if rhs.len() != a.rows() {
+            self.metrics.counter_add("serve.rejected", 1);
             return Err(SubmitError::ShapeMismatch { expected: a.rows(), got: rhs.len() });
         }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
         let key = MatrixKey { id, generation: *generation };
-        self.queue.push_back(Request { ticket, key, rhs });
+        let submitted_at = self.now();
+        self.queue.push_back(Request { ticket, key, rhs, submitted_at });
+        self.metrics.counter_add("serve.submitted", 1);
+        self.metrics.gauge_set("serve.queue_depth", self.queue.len() as f64);
         Ok(ticket)
     }
 
@@ -350,6 +380,7 @@ impl<T: Scalar> SolverService<T> {
     /// to [`ServeOpts::max_batch`] columns on the runtime DAG. Results —
     /// solutions or errors — become available to [`Self::try_take`].
     pub fn process(&mut self) -> ProcessReport {
+        let pass_start = self.now();
         let mut rep = ProcessReport::default();
         // FIFO-preserving grouping: groups are processed in order of their
         // first request, requests keep submission order within a group.
@@ -362,6 +393,7 @@ impl<T: Scalar> SolverService<T> {
             }
             bucket.push(req);
         }
+        self.metrics.gauge_set("serve.queue_depth", 0.0);
 
         for key in order {
             let reqs = groups.remove(&key).expect("group recorded with its key");
@@ -373,6 +405,9 @@ impl<T: Scalar> SolverService<T> {
             };
             if let Err(e) = factors {
                 for r in reqs {
+                    let latency = self.now() - r.submitted_at;
+                    self.metrics.observe("serve.ticket_latency_s", latency);
+                    self.metrics.counter_add("serve.completed", 1);
                     self.results.insert(r.ticket.0, Err(e.clone()));
                     rep.completed += 1;
                 }
@@ -386,9 +421,11 @@ impl<T: Scalar> SolverService<T> {
                 Some(e) => &e.factors,
                 None => {
                     let (_, a) = self.matrices.get(&key.id).expect("generation checked fresh");
-                    spare = runtime_calu_factor(a, self.opts.calu, self.opts.rt)
-                        .expect("factorization succeeded moments ago")
-                        .0;
+                    let offset = self.epoch.elapsed().as_secs_f64();
+                    let (f, exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)
+                        .expect("factorization succeeded moments ago");
+                    exec.record_into(&self.recorder, offset);
+                    spare = f;
                     &spare
                 }
             };
@@ -399,20 +436,28 @@ impl<T: Scalar> SolverService<T> {
                 for (c, r) in chunk.iter().enumerate() {
                     b.col_mut(c).copy_from_slice(&r.rhs);
                 }
-                runtime_solve_mat(
+                let offset = self.epoch.elapsed().as_secs_f64();
+                let exec = runtime_solve_mat(
                     factors,
                     b.view_mut(),
                     self.opts.calu.block,
                     self.opts.rhs_block,
                     self.opts.rt.executor,
                 );
+                exec.record_into(&self.recorder, offset);
                 rep.batches += 1;
+                self.metrics.counter_add("serve.batches", 1);
+                self.metrics.observe("serve.batch_size", k as f64);
                 for (c, r) in chunk.iter().enumerate() {
+                    let latency = self.epoch.elapsed().as_secs_f64() - r.submitted_at;
+                    self.metrics.observe("serve.ticket_latency_s", latency);
+                    self.metrics.counter_add("serve.completed", 1);
                     self.results.insert(r.ticket.0, Ok(b.col(c).to_vec()));
                     rep.completed += 1;
                 }
             }
         }
+        self.recorder.record_interval("process".to_string(), "serve", 0, 0, pass_start, self.now());
         rep
     }
 
@@ -427,6 +472,35 @@ impl<T: Scalar> SolverService<T> {
         self.cache.stats()
     }
 
+    /// The unified observability snapshot: every serve-layer signal —
+    /// request counters, queue-depth gauge, cache counters, ticket-latency
+    /// and batch-size histograms (p50/p95/p99) — as one JSON object,
+    /// ready to embed in a bench report or dump to a file.
+    pub fn metrics_snapshot(&self) -> JsonValue {
+        let stats = self.cache.stats();
+        let sync = |name: &str, v: u64| {
+            // Counters are monotone; syncing adds only the delta since the
+            // last snapshot, so repeated snapshots never double-count.
+            let cur = self.metrics.counter(name);
+            self.metrics.counter_add(name, v - cur);
+        };
+        sync("serve.cache.hits", stats.hits);
+        sync("serve.cache.misses", stats.misses);
+        sync("serve.cache.evictions", stats.evictions);
+        self.metrics.gauge_set("serve.cache.entries", stats.entries as f64);
+        self.metrics.gauge_set("serve.cache.bytes", stats.bytes as f64);
+        self.metrics.gauge_set("serve.queue_depth", self.queue.len() as f64);
+        self.metrics.snapshot()
+    }
+
+    /// The service's span timeline so far (pid = rank, tid = worker,
+    /// µs since the service epoch): one `process` span per pass plus the
+    /// per-task spans of every factorization and solve DAG it ran. Export
+    /// with [`calu_obs::chrome_trace`]; the recorder keeps recording.
+    pub fn spans(&self) -> Vec<Span> {
+        self.recorder.snapshot()
+    }
+
     /// Resolves `key`'s factors into the cache (hit: a counter bump; miss:
     /// a runtime factorization). With a zero/overflowed budget the factors
     /// may still not be resident afterwards — `process` recomputes then.
@@ -435,8 +509,11 @@ impl<T: Scalar> SolverService<T> {
             return Ok(());
         }
         let (_, a) = self.matrices.get(&key.id).expect("caller checked registration");
-        let (factors, _exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)?;
+        let offset = self.epoch.elapsed().as_secs_f64();
+        let (factors, exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)?;
+        exec.record_into(&self.recorder, offset);
         rep.factored += 1;
+        self.metrics.counter_add("serve.factored", 1);
         self.cache.insert(key, factors);
         Ok(())
     }
@@ -727,6 +804,62 @@ mod tests {
         );
         svc.process();
         svc.submit(1, vec![0.0; n]).expect("processing drains the queue");
+    }
+
+    #[test]
+    fn metrics_and_spans_capture_the_serving_story() {
+        for executor in executors() {
+            let mut rng = StdRng::seed_from_u64(905);
+            let n = 48;
+            let a: Matrix<f64> = gen::randn(&mut rng, n, n);
+            let mut svc = SolverService::new(opts_with(executor));
+            svc.register(1, a);
+            for _ in 0..5 {
+                svc.submit(1, vec![1.0; n]).unwrap();
+            }
+            svc.process();
+            for _ in 0..3 {
+                svc.submit(1, vec![2.0; n]).unwrap();
+            }
+            svc.process();
+
+            let snap = svc.metrics_snapshot();
+            let counters = snap.get("counters").expect("counters section");
+            let c = |name: &str| counters.get(name).and_then(|v| v.as_u64()).unwrap_or(0);
+            assert_eq!(c("serve.submitted"), 8, "{executor:?}");
+            assert_eq!(c("serve.completed"), 8);
+            assert_eq!(c("serve.factored"), 1, "second pass must hit the cache");
+            assert_eq!(c("serve.cache.hits"), 1);
+            assert_eq!(c("serve.cache.misses"), 1);
+            let gauges = snap.get("gauges").expect("gauges section");
+            assert_eq!(gauges.get("serve.queue_depth").and_then(|v| v.as_f64()), Some(0.0));
+            let hist = snap
+                .get("histograms")
+                .and_then(|h| h.get("serve.ticket_latency_s"))
+                .expect("latency histogram");
+            assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(8));
+            assert!(hist.get("p99").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+            // Snapshots are idempotent: syncing twice must not double-count.
+            let again = svc.metrics_snapshot();
+            assert_eq!(
+                again
+                    .get("counters")
+                    .and_then(|v| v.get("serve.cache.hits"))
+                    .and_then(|v| { v.as_u64() }),
+                Some(1)
+            );
+
+            // The span timeline round-trips as a valid chrome trace and
+            // carries both the pass spans and the replayed task spans.
+            let spans = svc.spans();
+            assert_eq!(spans.iter().filter(|s| s.name == "process").count(), 2);
+            assert!(spans.iter().any(|s| s.cat == "serve"));
+            assert!(spans.iter().any(|s| s.name.contains("Panel")), "factor tasks recorded");
+            assert!(spans.iter().any(|s| s.name.contains("Solve")), "solve tasks recorded");
+            let parsed =
+                calu_obs::parse_chrome_trace(&calu_obs::chrome_trace(&spans)).expect("valid trace");
+            assert_eq!(parsed.len(), spans.len());
+        }
     }
 
     #[test]

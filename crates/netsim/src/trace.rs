@@ -16,6 +16,7 @@
 
 use crate::comm::RankStats;
 use crate::runner::SimReport;
+use calu_obs::Span;
 
 /// What a rank was doing during a trace segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,6 +190,70 @@ pub fn render_gantt_labeled(traces: &[RankTrace], labels: &[String], width: usiz
     out
 }
 
+// ---------------------------------------------------------------------------
+// Obs interop: Gantt timelines ↔ structured spans
+// ---------------------------------------------------------------------------
+
+/// Converts per-rank Gantt timelines into [`calu_obs`] spans (pid = rank
+/// index, tid = 0, virtual seconds → µs), ready for Chrome-trace export
+/// alongside real executor spans. `Idle` segments are dropped — a span
+/// records work; idle is the gap between spans, which trace viewers show
+/// natively. Output is sorted by start time, as
+/// [`calu_obs::chrome_trace`] expects.
+pub fn traces_to_spans(traces: &[RankTrace]) -> Vec<Span> {
+    let mut out: Vec<Span> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(rank, tr)| {
+            tr.events.iter().filter(|e| e.kind != SegKind::Idle).map(move |e| Span {
+                name: match e.kind {
+                    SegKind::Compute => "compute".to_string(),
+                    SegKind::Send => "send".to_string(),
+                    SegKind::Idle => unreachable!("idle segments are filtered"),
+                },
+                cat: "sim",
+                pid: rank as u32,
+                tid: 0,
+                ts_us: e.start * 1e6,
+                dur_us: e.duration() * 1e6,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us).then(a.pid.cmp(&b.pid)).then(a.tid.cmp(&b.tid)));
+    out
+}
+
+/// The reverse direction: buckets spans into one [`RankTrace`] lane per
+/// `(pid, tid)` — so *measured* executor timelines can reuse the text
+/// Gantt renderer that normally draws modeled simulator time. Returns the
+/// lanes with `"r<pid>.w<tid>"` labels for [`render_gantt_labeled`], in
+/// `(pid, tid)` order. Spans whose name or category mentions a send
+/// render as `>` segments, everything else as compute; gaps stay blank.
+pub fn spans_to_traces(spans: &[Span]) -> (Vec<RankTrace>, Vec<String>) {
+    let mut lanes: Vec<(u32, u32)> = spans.iter().map(|s| (s.pid, s.tid)).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut traces = vec![RankTrace::default(); lanes.len()];
+    for s in spans {
+        let lane = lanes.binary_search(&(s.pid, s.tid)).expect("lane recorded");
+        let kind = if s.cat.contains("send") || s.name.contains("send") || s.name.contains("Send") {
+            SegKind::Send
+        } else {
+            SegKind::Compute
+        };
+        traces[lane].events.push(TraceEvent {
+            kind,
+            start: s.ts_us / 1e6,
+            end: (s.ts_us + s.dur_us) / 1e6,
+        });
+    }
+    for tr in &mut traces {
+        tr.events.sort_by(|a, b| a.start.total_cmp(&b.start));
+    }
+    let labels = lanes.iter().map(|&(p, t)| format!("r{p}.w{t}")).collect();
+    (traces, labels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +340,42 @@ mod tests {
     fn gantt_empty_trace_is_benign() {
         let g = render_gantt(&[RankTrace::default()], 10);
         assert!(g.starts_with("time 0"));
+    }
+
+    #[test]
+    fn traces_convert_to_spans_and_back() {
+        let (_r, traces, _) = run_sim_traced(2, MachineConfig::power5(), |cm| {
+            if cm.rank() == 0 {
+                cm.compute(1e-3, 100.0);
+                cm.send(1, 0, 10, Payload::Empty, Link::Col);
+            } else {
+                cm.recv(0, 0);
+                cm.compute(5e-4, 50.0);
+            }
+        });
+        let spans = traces_to_spans(&traces);
+        // Work segments survive, idle is dropped, time scales to µs.
+        let work: usize = traces
+            .iter()
+            .map(|t| t.events.iter().filter(|e| e.kind != SegKind::Idle).count())
+            .sum();
+        assert_eq!(spans.len(), work);
+        assert!(spans.iter().all(|s| s.dur_us > 0.0));
+        assert!(spans.windows(2).all(|w| w[0].ts_us <= w[1].ts_us), "sorted for export");
+        assert!(spans.iter().any(|s| s.name == "send" && s.pid == 0));
+        calu_obs::parse_chrome_trace(&calu_obs::chrome_trace(&spans)).expect("valid trace");
+
+        // Back to lanes: per-kind totals survive the round trip.
+        let (back, labels) = spans_to_traces(&spans);
+        assert_eq!(labels, vec!["r0.w0".to_string(), "r1.w0".to_string()]);
+        for (orig, got) in traces.iter().zip(&back) {
+            for kind in [SegKind::Compute, SegKind::Send] {
+                assert!((orig.total(kind) - got.total(kind)).abs() < 1e-12);
+            }
+            assert_eq!(got.total(SegKind::Idle), 0.0);
+        }
+        let g = render_gantt_labeled(&back, &labels, 40);
+        assert!(g.contains("r0.w0") && g.contains('#'));
     }
 
     #[test]

@@ -223,6 +223,50 @@ impl Task {
             Task::Solve(s) => s.k as usize,
         }
     }
+
+    /// The rank this task's work is attributed to — the trace exporter's
+    /// `pid` lane. Distributed tasks carry their owning grid rank;
+    /// shared-memory and solve tasks all run in one address space (rank 0).
+    pub fn trace_rank(&self) -> u32 {
+        match *self {
+            Task::Dist(d) => d.rank,
+            _ => 0,
+        }
+    }
+
+    /// Stable kind slug for the trace exporter's `cat` field (Chrome and
+    /// Perfetto group and filter events by category).
+    pub fn cat(&self) -> &'static str {
+        match *self {
+            Task::Panel { .. } => "panel",
+            Task::Swap { .. } => "swap",
+            Task::Trsm { .. } => "trsm",
+            Task::Gemm { .. } => "gemm",
+            Task::Dist(d) => match d.kind {
+                DistKind::Cand => "cand",
+                DistKind::TsluLeg => "tslu_leg",
+                DistKind::PanelGetf2 => "panel_getf2",
+                DistKind::PivSend => "piv_send",
+                DistKind::PivRecv => "piv_recv",
+                DistKind::Swap => "swap",
+                DistKind::WSend => "w_send",
+                DistKind::Second => "second",
+                DistKind::PanelSend => "panel_send",
+                DistKind::PanelRecv => "panel_recv",
+                DistKind::Trsm => "trsm",
+                DistKind::USend => "u_send",
+                DistKind::URecv => "u_recv",
+                DistKind::Gemm => "gemm",
+            },
+            Task::Solve(s) => match s.kind {
+                SolveKind::Piv => "solve_piv",
+                SolveKind::TrsmL => "solve_trsm_l",
+                SolveKind::GemmL => "solve_gemm_l",
+                SolveKind::TrsmU => "solve_trsm_u",
+                SolveKind::GemmU => "solve_gemm_u",
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for Task {

@@ -26,12 +26,13 @@
 //!   send / idle) for `render_gantt` and synthesized [`RankStats`] — the
 //!   modeled counterpart of a `run_sim` report.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use calu_netsim::collectives::{ceil_log2, prev_pow2};
 use calu_netsim::grid::numroc;
 use calu_netsim::machine::{flops_gemm, flops_ger, flops_getf2, flops_trsm_left, flops_trsm_right};
 use calu_netsim::{Link, MachineConfig, RankStats, RankTrace, SegKind, TraceEvent};
+use calu_obs::CommTerm;
 
 use crate::dag::{DistKind, DistTask, LuDag, LuShape, Task, TaskId};
 
@@ -922,6 +923,136 @@ pub fn simulate_dist_schedule(
     DistSchedule { traces, per_rank: stats, makespan }
 }
 
+// ---------------------------------------------------------------------------
+// Communication-ledger terms
+// ---------------------------------------------------------------------------
+
+/// The canonical communication-ledger term a distributed task kind is
+/// accounted under (`None` for pure-compute kinds). Shared by the modeled
+/// side ([`modeled_comm_terms`]), the exact mailbox predictor
+/// ([`expected_mailbox_comm`]), and `calu-core`'s measured `dist_rt`
+/// instrumentation, so the three views of a transfer land in the same row
+/// of a reconciliation table.
+pub fn dist_comm_term(kind: DistKind) -> Option<&'static str> {
+    match kind {
+        DistKind::TsluLeg => Some("tslu_leg"),
+        DistKind::PivSend | DistKind::PivRecv => Some("piv_bcast"),
+        DistKind::PanelSend | DistKind::PanelRecv => Some("panel_bcast"),
+        DistKind::USend | DistKind::URecv => Some("u_bcast"),
+        DistKind::WSend | DistKind::Second => Some("w_bcast"),
+        DistKind::Swap => Some("swap"),
+        DistKind::PanelGetf2 => Some("panel_getf2"),
+        DistKind::Cand | DistKind::Trsm | DistKind::Gemm => None,
+    }
+}
+
+fn sum_terms(totals: BTreeMap<&'static str, (u64, u64)>, source: &'static str) -> Vec<CommTerm> {
+    totals.into_iter().map(|(term, (msgs, words))| CommTerm { term, msgs, words, source }).collect()
+}
+
+/// The paper's skeleton predictions per ledger term: [`DistCostModel::cost`]
+/// message/word counts summed over the DAG's tasks and grouped by
+/// [`dist_comm_term`]. This is the *first-order* side of the
+/// reconciliation — e.g. every TSLU leg is charged the full-width
+/// candidate payload `2 + b + b²`, where the real mailbox sends smaller
+/// sets on late/ragged steps — so reconciling a measured ledger against
+/// it quantifies exactly how far the closed forms sit from the wire.
+pub fn modeled_comm_terms(dag: &LuDag, model: &DistCostModel) -> Vec<CommTerm> {
+    let source = match model.alg {
+        DistPanelAlg::Tslu => "skeleton_calu",
+        DistPanelAlg::Getf2 => "skeleton_pdgetrf",
+    };
+    let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for &t in dag.tasks() {
+        let Task::Dist(d) = t else { continue };
+        let Some(term) = dist_comm_term(d.kind) else { continue };
+        let c = model.cost(t);
+        let e = totals.entry(term).or_insert((0, 0));
+        e.0 += c.msgs;
+        e.1 += c.words;
+    }
+    sum_terms(totals, source)
+}
+
+/// The *exact* expected mailbox traffic of a distributed DAG: per ledger
+/// term, the message/word totals the real-data runner's mailbox must
+/// produce. Unlike the skeleton ([`modeled_comm_terms`]), TSLU leg
+/// payloads are predicted by simulating candidate counts through the
+/// butterfly — a rank owning `r` panel rows elects `min(r, b)` candidates
+/// (payload `2 + c + c·b` words), and a combine keeps `min(c₁ + c₂, b)` —
+/// so the prediction is exact even on ragged and late steps where the
+/// closed form over-counts. Broadcast terms (pivot list, packed panel,
+/// `W`, `U₁₂`) are geometry-determined and counted once per receiver.
+///
+/// `dist_rt`'s measured ledger equals this prediction term-for-term on
+/// every successful run — the property the reconciliation tests assert.
+/// The `swap` term (data-dependent pivot-row exchanges) and `PDGETF2`'s
+/// internal panel traffic are deliberately absent: they never cross the
+/// mailbox, so the skeleton is their only expectation.
+pub fn expected_mailbox_comm(dag: &LuDag, geom: &DistGeom, alg: DistPanelAlg) -> Vec<CommTerm> {
+    let pr = geom.pr;
+    let legs = tslu_leg_count(pr);
+    let steps = geom.shape.steps();
+
+    // pre[k][leg][prow]: candidate count of `prow`'s accumulator entering
+    // leg `leg` of step `k`'s butterfly.
+    let mut pre: Vec<Vec<Vec<usize>>> = Vec::new();
+    if alg == DistPanelAlg::Tslu {
+        for k in 0..steps {
+            let jb = geom.jb(k);
+            let mut counts: Vec<usize> = (0..pr).map(|p| geom.panel_rows(p, k).min(jb)).collect();
+            let mut per_leg = Vec::with_capacity(legs);
+            for leg in 0..legs {
+                per_leg.push(counts.clone());
+                let prev = counts.clone();
+                for (r, c) in counts.iter_mut().enumerate() {
+                    *c = match tslu_leg_role(pr, leg, r) {
+                        LegRole::Exchange { partner } | LegRole::FoldCombine { partner } => {
+                            (prev[r] + prev[partner]).min(jb)
+                        }
+                        LegRole::FoldRecv { partner } => prev[partner],
+                        _ => prev[r],
+                    };
+                }
+            }
+            pre.push(per_leg);
+        }
+    }
+
+    let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    let mut add = |term: &'static str, words: usize| {
+        let e = totals.entry(term).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += words as u64;
+    };
+    for &t in dag.tasks() {
+        let Task::Dist(DistTask { kind, k, j, rank }) = t else { continue };
+        let (k, j, rank) = (k as usize, j as usize, rank as usize);
+        let prow = rank % pr;
+        let jb = geom.jb(k);
+        match kind {
+            DistKind::TsluLeg => {
+                // Send roles only — the same `sends` set the cost model
+                // charges (both exchange partners, fold donors, fold-out).
+                let sends = !matches!(
+                    tslu_leg_role(pr, j, prow),
+                    LegRole::FoldRecv { .. } | LegRole::FoldCombine { .. }
+                );
+                if sends {
+                    let c = pre[k][j][prow];
+                    add("tslu_leg", 2 + c + c * jb);
+                }
+            }
+            DistKind::PivRecv => add("piv_bcast", jb),
+            DistKind::PanelRecv => add("panel_bcast", geom.panel_rows(prow, k) * jb),
+            DistKind::URecv => add("u_bcast", jb * geom.upd_width(k, j)),
+            DistKind::Second if prow != geom.cprow(k) => add("w_bcast", jb * jb),
+            _ => {}
+        }
+    }
+    sum_terms(totals, "mailbox_exact")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,5 +1239,48 @@ mod tests {
         for &t in dag.tasks() {
             assert_eq!(modeled_time(&shape, t, &mch), 0.0);
         }
+    }
+
+    #[test]
+    fn exact_mailbox_prediction_matches_the_skeleton_when_panels_stay_full() {
+        let terms_of = |shape: LuShape| {
+            let geom = DistGeom { shape, pr: 2, pc: 2 };
+            let model = DistCostModel {
+                geom,
+                alg: DistPanelAlg::Tslu,
+                recursive_panel: false,
+                mch: MachineConfig::power5(),
+            };
+            let dag = LuDag::build_dist(shape, (2, 2), 2);
+            let exact = expected_mailbox_comm(&dag, &geom, DistPanelAlg::Tslu);
+            let modeled = modeled_comm_terms(&dag, &model);
+            (exact, modeled)
+        };
+        let find = |v: &[CommTerm], t: &str| v.iter().find(|c| c.term == t).cloned();
+
+        // Tall matrix: every rank holds ≥ jb panel rows at every step, so
+        // each butterfly payload carries a full jb candidates and the
+        // exact predictor reproduces the skeleton term-for-term.
+        let (exact, modeled) = terms_of(LuShape { m: 256, n: 64, nb: 8 });
+        for term in ["tslu_leg", "piv_bcast", "panel_bcast", "u_bcast", "w_bcast"] {
+            let e = find(&exact, term).expect(term);
+            let m = find(&modeled, term).expect(term);
+            assert_eq!((e.msgs, e.words), (m.msgs, m.words), "term {term}");
+            assert_eq!(e.source, "mailbox_exact");
+            assert_eq!(m.source, "skeleton_calu");
+        }
+        // The skeleton also prices terms the mailbox never carries.
+        assert!(find(&modeled, "swap").is_some());
+        assert!(find(&exact, "swap").is_none() && find(&exact, "panel_getf2").is_none());
+
+        // Square matrix: tail steps go ragged, late butterflies carry
+        // fewer than jb candidates, and the exact word count drops
+        // strictly below the first-order skeleton — while the message
+        // counts (one per send role) still agree exactly.
+        let (exact, modeled) = terms_of(LuShape { m: 64, n: 64, nb: 8 });
+        let e = find(&exact, "tslu_leg").unwrap();
+        let m = find(&modeled, "tslu_leg").unwrap();
+        assert_eq!(e.msgs, m.msgs);
+        assert!(e.words < m.words, "ragged tail must shed words: {} vs {}", e.words, m.words);
     }
 }

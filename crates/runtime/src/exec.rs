@@ -37,6 +37,7 @@ use std::time::Instant;
 
 use calu_matrix::{Error, Result};
 use calu_netsim::{RankTrace, SegKind, TraceEvent};
+use calu_obs::Recorder;
 
 use crate::dag::{LuDag, Prio, Task, TaskId};
 
@@ -120,6 +121,40 @@ impl ExecReport {
     pub fn busy(&self) -> f64 {
         self.timings.iter().map(|t| t.end - t.start).sum()
     }
+
+    /// Replays this report's timings into a trace [`Recorder`], shifting
+    /// every interval by `offset_s` seconds. The offset lets a caller that
+    /// runs several executions in sequence (e.g. the serve layer's
+    /// factor-then-solve pipeline) place each report on one shared
+    /// timeline instead of overlapping them all at zero.
+    ///
+    /// Span attribution matches the executors' live tracing: `pid` is the
+    /// task's owning rank ([`Task::trace_rank`]), `tid` the worker index,
+    /// `cat` the task-kind slug ([`Task::cat`]).
+    pub fn record_into(&self, recorder: &Recorder, offset_s: f64) {
+        for t in &self.timings {
+            recorder.record_interval(
+                t.task.to_string(),
+                t.task.cat(),
+                t.task.trace_rank(),
+                t.worker as u32,
+                offset_s + t.start,
+                offset_s + t.end,
+            );
+        }
+    }
+}
+
+/// Records one finished task into a recorder (shared by both executors).
+fn record_timing(recorder: &Recorder, t: &TaskTiming) {
+    recorder.record_interval(
+        t.task.to_string(),
+        t.task.cat(),
+        t.task.trace_rank(),
+        t.worker as u32,
+        t.start,
+        t.end,
+    );
 }
 
 /// Strategy for driving a [`LuDag`] to completion.
@@ -128,7 +163,26 @@ pub trait Executor {
     ///
     /// # Errors
     /// The first task failure (see the module docs on cancellation).
-    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport>;
+    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+        self.execute_traced(dag, runner, None)
+    }
+
+    /// [`Executor::execute`] that additionally records one [`Span`] per
+    /// completed task into `recorder` (`pid` = owning rank, `tid` =
+    /// worker). Recording happens off the worker hot path — in the serial
+    /// replay loop, or on the threaded coordinator as completion events
+    /// arrive — so tracing costs one lock and one push per task.
+    ///
+    /// # Errors
+    /// The first task failure (see the module docs on cancellation).
+    ///
+    /// [`Span`]: calu_obs::Span
+    fn execute_traced<R: TaskRunner>(
+        &self,
+        dag: &LuDag,
+        runner: &R,
+        recorder: Option<&Recorder>,
+    ) -> Result<ExecReport>;
 }
 
 /// Deterministic one-worker executor: replays [`LuDag::serial_schedule`].
@@ -136,7 +190,12 @@ pub trait Executor {
 pub struct SerialExecutor;
 
 impl Executor for SerialExecutor {
-    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+    fn execute_traced<R: TaskRunner>(
+        &self,
+        dag: &LuDag,
+        runner: &R,
+        recorder: Option<&Recorder>,
+    ) -> Result<ExecReport> {
         let t0 = Instant::now();
         let mut report = ExecReport { workers: 1, ..Default::default() };
         for id in dag.serial_schedule() {
@@ -144,8 +203,12 @@ impl Executor for SerialExecutor {
             let start = t0.elapsed().as_secs_f64();
             runner.run(task)?;
             let end = t0.elapsed().as_secs_f64();
+            let timing = TaskTiming { task, worker: 0, start, end };
+            if let Some(rec) = recorder {
+                record_timing(rec, &timing);
+            }
             report.order.push(task);
-            report.timings.push(TaskTiming { task, worker: 0, start, end });
+            report.timings.push(timing);
         }
         report.wall = t0.elapsed().as_secs_f64();
         Ok(report)
@@ -215,7 +278,12 @@ impl Drop for CancelOnUnwind<'_> {
 }
 
 impl Executor for ThreadedExecutor {
-    fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+    fn execute_traced<R: TaskRunner>(
+        &self,
+        dag: &LuDag,
+        runner: &R,
+        recorder: Option<&Recorder>,
+    ) -> Result<ExecReport> {
         let total = dag.len();
         let workers = self.resolved_threads(total);
         if total == 0 {
@@ -298,6 +366,9 @@ impl Executor for ThreadedExecutor {
             while let Ok(ev) = events_rx.recv() {
                 match ev {
                     Event::Done(t) => {
+                        if let Some(rec) = recorder {
+                            record_timing(rec, &t);
+                        }
                         report.order.push(t.task);
                         report.timings.push(t);
                     }
@@ -353,10 +424,24 @@ impl ExecutorKind {
     /// # Errors
     /// Propagates the first task failure.
     pub fn execute<R: TaskRunner>(&self, dag: &LuDag, runner: &R) -> Result<ExecReport> {
+        self.execute_traced(dag, runner, None)
+    }
+
+    /// Dispatches to [`Executor::execute_traced`] on the matching
+    /// implementation.
+    ///
+    /// # Errors
+    /// Propagates the first task failure.
+    pub fn execute_traced<R: TaskRunner>(
+        &self,
+        dag: &LuDag,
+        runner: &R,
+        recorder: Option<&Recorder>,
+    ) -> Result<ExecReport> {
         match *self {
-            ExecutorKind::Serial => SerialExecutor.execute(dag, runner),
+            ExecutorKind::Serial => SerialExecutor.execute_traced(dag, runner, recorder),
             ExecutorKind::Threaded { threads } => {
-                ThreadedExecutor::new(threads).execute(dag, runner)
+                ThreadedExecutor::new(threads).execute_traced(dag, runner, recorder)
             }
         }
     }
@@ -564,5 +649,43 @@ mod tests {
         let g = LuDag::build(LuShape { m: 0, n: 0, nb: 8 }, 1);
         let rep = ThreadedExecutor::default().execute(&g, &|_t| Ok(())).unwrap();
         assert!(rep.order.is_empty());
+    }
+
+    #[test]
+    fn traced_execution_records_one_span_per_task_on_both_executors() {
+        let g = dag(96, 96, 32, 1);
+        for kind in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
+            let rec = Recorder::new();
+            let rep = kind.execute_traced(&g, &|_t| Ok(()), Some(&rec)).unwrap();
+            assert_eq!(rec.len(), g.len(), "{kind:?}");
+            let spans = rec.snapshot();
+            // Shared-memory tasks all live in rank lane 0; tids cover the
+            // worker set; spans match the report's timings 1:1.
+            assert!(spans.iter().all(|s| s.pid == 0));
+            assert!(spans.iter().all(|s| (s.tid as usize) < rep.workers));
+            assert!(spans.iter().all(|s| s.dur_us >= 0.0));
+            let names: std::collections::HashSet<_> =
+                spans.iter().map(|s| s.name.clone()).collect();
+            assert!(names.contains("Panel(0)"));
+            assert!(spans.iter().any(|s| s.cat == "gemm"));
+            // The export of a live recording round-trips.
+            assert!(calu_obs::parse_chrome_trace(&rec.chrome_trace()).is_ok());
+        }
+    }
+
+    #[test]
+    fn record_into_replays_a_report_with_offset() {
+        let g = dag(96, 96, 32, 1);
+        let rep = SerialExecutor.execute(&g, &|_t| Ok(())).unwrap();
+        let rec = Recorder::new();
+        rep.record_into(&rec, 1.0);
+        assert_eq!(rec.len(), g.len());
+        let spans = rec.snapshot();
+        assert!(spans.iter().all(|s| s.ts_us >= 1e6 - 1e-9), "offset must shift all spans");
+        // Untraced execute() + replay equals what execute_traced records.
+        let rec2 = Recorder::new();
+        rep.record_into(&rec2, 0.0);
+        let direct: Vec<_> = rec2.snapshot().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(direct.len(), g.len());
     }
 }

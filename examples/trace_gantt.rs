@@ -8,7 +8,7 @@
 use calu_repro::core::dist::{sim_pdgetf2_panel, sim_tslu_panel};
 use calu_repro::core::LocalLu;
 use calu_repro::matrix::gen;
-use calu_repro::netsim::{render_gantt, MachineConfig, TimeBreakdown};
+use calu_repro::netsim::{render_gantt_labeled, MachineConfig, TimeBreakdown};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,15 +19,16 @@ fn main() {
     let mch = MachineConfig::power5();
 
     println!("Panel factorization of a {m}x{b} panel over {p} simulated POWER5 ranks\n");
+    let rank_labels: Vec<String> = (0..p).map(|r| format!("rank{r}")).collect();
 
     let (rep_t, traces_t) = sim_tslu_panel_traced(&a, p, &mch);
     println!("== TSLU (tournament pivoting): {:.3} ms makespan", rep_t_ms(&rep_t));
-    println!("{}", render_gantt(&traces_t, 100));
+    println!("{}", render_gantt_labeled(&traces_t, &rank_labels, 100));
     println!("   attribution: {}\n", TimeBreakdown::from_report(&rep_t).one_line());
 
     let (rep_p, traces_p) = sim_pdgetf2_panel_traced(&a, p, &mch);
     println!("== PDGETF2 (per-column pivoting): {:.3} ms makespan", rep_t_ms(&rep_p));
-    println!("{}", render_gantt(&traces_p, 100));
+    println!("{}", render_gantt_labeled(&traces_p, &rank_labels, 100));
     println!("   attribution: {}\n", TimeBreakdown::from_report(&rep_p).one_line());
 
     println!(

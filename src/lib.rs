@@ -12,6 +12,11 @@
 //! * [`matrix`] — dense column-major substrate: BLAS-1/2/3 kernels and
 //!   LAPACK-style routines written from scratch (factorizations, solves,
 //!   inverse, condition estimation, equilibration, matrix ensembles).
+//! * [`obs`] — the observability layer: structured tracing (typed spans
+//!   from both executors, Chrome-trace/Perfetto export), a deterministic
+//!   metrics registry (counters, gauges, log-bucketed histograms), and
+//!   the communication ledger that reconciles measured traffic against
+//!   the paper's skeleton predictions — all dependency-free.
 //! * [`netsim`] — a discrete-event message-passing simulator with per-rank
 //!   virtual clocks and an α-β-γ cost model (machine presets for the
 //!   paper's IBM POWER5 and Cray XT4 systems plus a modern cluster),
@@ -59,6 +64,7 @@
 pub use calu_core as core;
 pub use calu_matrix as matrix;
 pub use calu_netsim as netsim;
+pub use calu_obs as obs;
 pub use calu_perfmodel as perfmodel;
 pub use calu_runtime as runtime;
 pub use calu_stability as stability;

@@ -262,11 +262,11 @@ fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
                 // failing reduction): the driver must drain them, leaving
                 // an empty mailbox.
                 assert!(
-                    rep.mailbox_drained_words > 0,
+                    rep.comm.drained_words > 0,
                     "calu d={lookahead} {executor:?}: canceled run must have stranded payloads"
                 );
                 assert_eq!(
-                    rep.mailbox_residual_words, 0,
+                    rep.comm.residual_words, 0,
                     "calu d={lookahead} {executor:?}: mailbox must be empty after the run"
                 );
                 let (rep, d) = dist_pdgetrf_factor_rt(&a, pdg_cfg, rt, MachineConfig::ideal());
@@ -276,7 +276,7 @@ fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
                     "pdgetrf d={lookahead} {executor:?}: zero column {r} must surface absolutely"
                 );
                 assert_eq!(
-                    rep.mailbox_residual_words, 0,
+                    rep.comm.residual_words, 0,
                     "pdgetrf d={lookahead} {executor:?}: mailbox must be empty after the run"
                 );
             }

@@ -1,0 +1,156 @@
+//! Observability-layer integration tests over *committed artifacts*: the
+//! Chrome trace and BENCH records that `serve_calu` and friends write are
+//! checked in, so these tests guarantee the repository's own copies stay
+//! parseable and carry the provenance fields every record must have —
+//! a regenerated artifact that breaks the format fails CI here, not in a
+//! downstream viewer.
+//!
+//! The last test is the property form of the comm-accounting claim: for
+//! arbitrary matrix data the mailbox ledger must equal the exact
+//! predictor term for term (candidate counts depend on geometry, never
+//! on values).
+
+use calu_repro::core::dist::DistCaluConfig;
+use calu_repro::core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
+use calu_repro::matrix::{gen, Matrix};
+use calu_repro::netsim::MachineConfig;
+use calu_repro::obs::{parse_chrome_trace, JsonValue};
+use calu_repro::runtime::ExecutorKind;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+fn committed(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed artifact {} must exist: {e}", path.display()))
+}
+
+#[test]
+fn committed_serve_trace_is_valid_chrome_trace() {
+    let text = committed("TRACE_serve.json");
+
+    // It must be plain JSON with the trace_events shape...
+    let doc = JsonValue::parse(&text).expect("TRACE_serve.json parses as JSON");
+    let events =
+        doc.get("traceEvents").and_then(JsonValue::as_array).expect("top-level traceEvents array");
+    assert!(!events.is_empty(), "committed trace must not be empty");
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(JsonValue::as_str), Some("X"), "complete events only");
+        assert!(ev.get("name").and_then(JsonValue::as_str).is_some());
+        assert!(ev.get("cat").and_then(JsonValue::as_str).is_some());
+        assert!(ev.get("pid").and_then(JsonValue::as_u64).is_some());
+        assert!(ev.get("tid").and_then(JsonValue::as_u64).is_some());
+        assert!(ev.get("ts").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+        assert!(ev.get("dur").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+    }
+
+    let cat_of = |ev: &JsonValue| ev.get("cat").and_then(JsonValue::as_str).map(str::to_string);
+    assert!(
+        events.iter().any(|ev| {
+            ev.get("name").and_then(JsonValue::as_str) == Some("process")
+                && cat_of(ev).as_deref() == Some("serve")
+        }),
+        "serve trace must carry the process-pass interval spans"
+    );
+    assert!(
+        events.iter().any(|ev| cat_of(ev).as_deref() != Some("serve")),
+        "serve trace must also carry the executor's task spans"
+    );
+
+    // ...and round-trip through the span parser, keeping every event.
+    let spans = parse_chrome_trace(&text).expect("trace parses back into spans");
+    assert_eq!(spans.len(), events.len());
+    // The exporter sorts by timestamp — a viewer-friendly invariant.
+    assert!(spans.windows(2).all(|w| w[0].ts_us <= w[1].ts_us), "spans sorted by start time");
+}
+
+#[test]
+fn committed_bench_records_parse_and_carry_host_provenance() {
+    for name in [
+        "BENCH_runtime.json",
+        "BENCH_precision.json",
+        "BENCH_layout.json",
+        "BENCH_dist.json",
+        "BENCH_serve.json",
+    ] {
+        let doc = JsonValue::parse(&committed(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(doc.get("bench").and_then(JsonValue::as_str).is_some(), "{name}: bench id");
+        for field in ["host_threads", "executor_threads", "measured_speedup_valid"] {
+            assert!(doc.get(field).is_some(), "{name}: missing host provenance field {field}");
+        }
+    }
+}
+
+#[test]
+fn committed_serve_record_embeds_metrics_and_trace_pointer() {
+    let doc = JsonValue::parse(&committed("BENCH_serve.json")).expect("parses");
+    assert_eq!(doc.get("trace_file").and_then(JsonValue::as_str), Some("TRACE_serve.json"));
+    assert!(doc.get("trace_spans").and_then(JsonValue::as_u64).unwrap() > 0);
+
+    let metrics = doc.get("metrics").expect("embedded metrics snapshot");
+    let counters = metrics.get("counters").expect("counters section");
+    let submitted = counters.get("serve.submitted").and_then(JsonValue::as_u64).unwrap();
+    let completed = counters.get("serve.completed").and_then(JsonValue::as_u64).unwrap();
+    assert!(submitted > 0, "snapshot scenario submitted requests");
+    assert_eq!(submitted, completed, "hot scenario completes everything it admits");
+    let hists = metrics.get("histograms").expect("histograms section");
+    assert!(hists.get("serve.ticket_latency_s").is_some(), "latency histogram recorded");
+}
+
+#[test]
+fn committed_dist_record_reconciles_comm_exactly() {
+    let doc = JsonValue::parse(&committed("BENCH_dist.json")).expect("parses");
+    let comm = doc.get("comm").expect("comm ledger section");
+    assert_eq!(comm.get("residual_words").and_then(JsonValue::as_u64), Some(0));
+    assert!(comm.get("total_words").and_then(JsonValue::as_u64).unwrap() > 0);
+    let recon = comm.get("reconcile").and_then(JsonValue::as_array).expect("reconcile table");
+    let mut exact_terms = 0;
+    for row in recon {
+        if row.get("source").and_then(JsonValue::as_str) == Some("mailbox_exact") {
+            assert_eq!(
+                row.get("exact").and_then(JsonValue::as_bool),
+                Some(true),
+                "term {:?} must reconcile exactly",
+                row.get("term")
+            );
+            exact_terms += 1;
+        }
+    }
+    assert!(exact_terms >= 4, "tslu/pivot/panel/u terms all present, got {exact_terms}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The exact-accounting property on arbitrary data: whatever the matrix
+    // values, the mailbox ledger equals the exact predictor for every
+    // mailbox term (TSLU legs, pivot/panel/U broadcasts, W blocks) — the
+    // wire counts are a function of geometry alone.
+    #[test]
+    fn mailbox_ledger_matches_exact_prediction_for_arbitrary_data(
+        seed in 0u64..1 << 32,
+        grid_idx in 0usize..3,
+        lookahead in 1usize..4,
+    ) {
+        let (pr, pc) = [(2, 2), (2, 4), (3, 2)][grid_idx];
+        let n = 24;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix = gen::randn(&mut rng, n, n);
+        let cfg = DistCaluConfig { b: 4, pr, pc, local: LocalLu::Classic };
+        let rt = DistRtOpts { lookahead, executor: ExecutorKind::Serial };
+        let (rep, d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+        prop_assert!(d.first_singular.is_none(), "randn matrices are nonsingular");
+        prop_assert_eq!(rep.comm.residual_words, 0);
+        for delta in rep.mailbox_deltas() {
+            if delta.source == "mailbox_exact" {
+                prop_assert!(
+                    delta.exact(),
+                    "{pr}x{pc} d={lookahead} term {}: measured {:?} != expected {:?}",
+                    delta.term, delta.measured, delta.expected
+                );
+            }
+        }
+    }
+}
