@@ -23,7 +23,7 @@
 
 use calu_bench::{write_record, HostInfo};
 use calu_core::dist::{dist_calu_factor_spmd, DistCaluConfig};
-use calu_core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
+use calu_core::{dist_calu_factor_rt, CommKind, DistRtOpts, LocalLu};
 use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
 use calu_obs::JsonValue;
@@ -40,6 +40,7 @@ struct Args {
     model_n: usize,
     model_nb: usize,
     reps: usize,
+    communicator: CommKind,
     out: String,
 }
 
@@ -50,6 +51,7 @@ fn parse_args() -> Args {
         model_n: 2000,
         model_nb: 50,
         reps: 1,
+        communicator: CommKind::InProcess,
         out: "BENCH_dist.json".into(),
     };
     let mut it = std::env::args().skip(1);
@@ -72,11 +74,18 @@ fn parse_args() -> Args {
             "--model-n" => args.model_n = parsed(val()),
             "--model-nb" => args.model_nb = parsed(val()),
             "--reps" => args.reps = parsed(val()),
+            "--communicator" => {
+                let v = val();
+                args.communicator = CommKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown communicator {v:?} (in_process | threaded); try --help");
+                    std::process::exit(2);
+                });
+            }
             "--out" => args.out = val(),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: dist_runtime [--n N] [--nb NB] [--model-n N] [--model-nb NB] \
-                     [--reps R] [--out PATH]"
+                     [--reps R] [--communicator in_process|threaded] [--out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -170,15 +179,22 @@ fn main() {
     let a: Matrix = gen::randn(&mut rng, n, n);
     let cfg = DistCaluConfig { b: nb, pr, pc, local: LocalLu::Recursive };
     let (_rep, reference) = dist_calu_factor_spmd(&a, cfg, MachineConfig::ideal());
+    let communicator = args.communicator;
     println!(
-        "\nmeasured: {n}x{n}, b={nb}, grid {pr}x{pc}, host_threads={host_threads}, reps={}",
+        "\nmeasured: {n}x{n}, b={nb}, grid {pr}x{pc}, communicator={}, host_threads={}, reps={}",
+        communicator.label(),
+        host_threads,
         args.reps
     );
+    // Under the threaded communicator the per-rank DAGs run on one OS
+    // thread per rank and the executor knob is moot, so the "threaded"
+    // column is the rank-thread wall clock; the "serial" column stays the
+    // in-process baseline either way.
     println!("{:>5} {:>12} {:>12} {:>9}", "depth", "serial", "threaded", "measured");
     let mut measured = Vec::new();
     for depth in [1usize, 2, 3] {
-        let run = |executor: ExecutorKind| {
-            let rt = DistRtOpts { lookahead: depth, executor };
+        let run = |executor: ExecutorKind, communicator: CommKind| {
+            let rt = DistRtOpts { lookahead: depth, executor, communicator };
             let t0 = Instant::now();
             let (_rep, d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
             let dt = t0.elapsed().as_secs_f64();
@@ -190,8 +206,9 @@ fn main() {
             );
             dt
         };
-        let serial_s = best_of(args.reps, || run(ExecutorKind::Serial));
-        let threaded_s = best_of(args.reps, || run(ExecutorKind::Threaded { threads: 0 }));
+        let serial_s = best_of(args.reps, || run(ExecutorKind::Serial, CommKind::InProcess));
+        let threaded_s =
+            best_of(args.reps, || run(ExecutorKind::Threaded { threads: 0 }, communicator));
         println!(
             "{:>5} {:>10.1}ms {:>10.1}ms {:>8.2}x",
             depth,
@@ -212,7 +229,7 @@ fn main() {
     // --- Comm-ledger reconciliation: one instrumented run on the measured
     // grid; every mailbox word the run actually moved, reconciled against
     // the exact predictor (asserted equal) and the paper's skeleton.
-    let rt = DistRtOpts { lookahead: 2, executor: ExecutorKind::Serial };
+    let rt = DistRtOpts { lookahead: 2, executor: ExecutorKind::Serial, communicator };
     let (rep, _d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
     for d in rep.mailbox_deltas() {
         if d.source == "mailbox_exact" {
@@ -271,6 +288,7 @@ fn main() {
         .collect();
     let record = host
         .stamp(JsonValue::obj().set("bench", "dist_runtime").set("model", "power5"))
+        .set("communicator", communicator.label())
         .set("bitwise_equal_to_spmd", true)
         .set(
             "best_modeled_lookahead_win",
@@ -286,6 +304,7 @@ fn main() {
                 .set("n", n)
                 .set("b", nb)
                 .set("grid", format!("{pr}x{pc}"))
+                .set("communicator", communicator.label())
                 .set("rows", measured_json),
         )
         .set("comm", comm);

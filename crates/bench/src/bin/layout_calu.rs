@@ -216,7 +216,12 @@ fn main() {
             .set("modeled_time_tiled_s", r.modeled_tiled_s)
     };
     let record = host
-        .stamp(JsonValue::obj().set("bench", "layout_calu").set("nb", nb))
+        .stamp(
+            JsonValue::obj()
+                .set("bench", "layout_calu")
+                .set("nb", nb)
+                .set("communicator", "shared_memory"),
+        )
         .set("reps", args.reps)
         .set("model", "xt4")
         .set("rows", rows.iter().map(row_json).collect::<JsonValue>());

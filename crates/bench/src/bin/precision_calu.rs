@@ -158,7 +158,13 @@ fn main() {
         })
         .collect();
     let record = host
-        .stamp(JsonValue::obj().set("bench", "precision_calu").set("n", n).set("nb", nb))
+        .stamp(
+            JsonValue::obj()
+                .set("bench", "precision_calu")
+                .set("n", n)
+                .set("nb", nb)
+                .set("communicator", "shared_memory"),
+        )
         .set("reps", args.reps)
         .set("model", "power5")
         .set("factor_f64_s", t64)

@@ -176,7 +176,13 @@ fn main() {
             .set("modeled_cp_speedup", r.modeled_serial_s / r.modeled_cp_s)
     };
     let record = host
-        .stamp(JsonValue::obj().set("bench", "runtime_calu").set("n", n).set("nb", nb))
+        .stamp(
+            JsonValue::obj()
+                .set("bench", "runtime_calu")
+                .set("n", n)
+                .set("nb", nb)
+                .set("communicator", "shared_memory"),
+        )
         .set("reps", args.reps)
         .set("model", "power5")
         .set("rows", rows.iter().map(row_json).collect::<JsonValue>());

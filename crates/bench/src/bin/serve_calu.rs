@@ -232,7 +232,12 @@ fn main() {
             .expect("scenario grid covers this point")
     };
     let mut record = host.stamp(
-        JsonValue::obj().set("bench", "serve_calu").set("n", n).set("nb", nb).set("reqs", reqs),
+        JsonValue::obj()
+            .set("bench", "serve_calu")
+            .set("n", n)
+            .set("nb", nb)
+            .set("reqs", reqs)
+            .set("communicator", "shared_memory"),
     );
     for &(_, exec_name) in &executors {
         let floor = rate(exec_name, 1, "cold");

@@ -37,9 +37,12 @@
 //! plus a synthesized [`SimReport`] and the wall-clock [`ExecReport`] of
 //! whichever executor actually ran the tasks.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use crate::comm::{
+    CommKind, Communicator, InProcessComm, MpiComm, MAIL_ACC as ACC, MAIL_PAN as PAN,
+    MAIL_PIV as PIV, MAIL_U12 as U12, MAIL_WBK as WBK,
+};
 use crate::dist::{assemble_2d, DistCaluConfig, DistFactors, DistPdgetrfConfig};
 use crate::tournament::{reduce_pair, Candidates};
 use crate::tslu::{local_candidates, winners_to_ipiv, LocalLu};
@@ -69,13 +72,21 @@ pub struct DistRtOpts {
     /// Which executor drives the DAG. The serial executor replays the
     /// deterministic critical-path order; the threaded executor runs
     /// ranks' tasks concurrently (factors are bitwise identical either
-    /// way).
+    /// way). Under the [`CommKind::Threaded`] communicator the rank
+    /// threads *are* the parallelism and this field is ignored.
     pub executor: ExecutorKind,
+    /// Which [`Communicator`] moves cross-rank payloads:
+    /// [`CommKind::InProcess`] (the shared mailbox, behavior-preserving
+    /// default), [`CommKind::Threaded`] (ranks as OS threads over
+    /// per-rank channels), or [`CommKind::Mpi`] (the error-returning
+    /// stub). Factors are bitwise identical under every supported
+    /// backend.
+    pub communicator: CommKind,
 }
 
 impl Default for DistRtOpts {
     fn default() -> Self {
-        Self { lookahead: 1, executor: ExecutorKind::Serial }
+        Self { lookahead: 1, executor: ExecutorKind::Serial, communicator: CommKind::InProcess }
     }
 }
 
@@ -120,6 +131,9 @@ pub struct DistRtReport {
     /// canceled run (singular pivot) the tasks that completed before
     /// cancellation are still present.
     pub spans: Vec<Span>,
+    /// Stable name of the [`Communicator`] that moved the payloads
+    /// (`"in_process"` or `"threaded"`).
+    pub communicator: &'static str,
 }
 
 impl DistRtReport {
@@ -146,35 +160,37 @@ impl DistRtReport {
 
 /// Shared-mutable handle to one rank's local [`TileMatrix`] — the
 /// per-rank counterpart of `rt`'s `SharedTiles`. The DAG's edges prove
-/// that concurrently running tasks touch disjoint elements.
-struct RankCell<T> {
+/// that concurrently running tasks touch disjoint elements. (The
+/// rank-thread driver in [`crate::dist_threaded`] reuses it with a
+/// stronger guarantee: one thread owns the whole matrix.)
+pub(crate) struct RankCell<T> {
     ptr: *mut T,
-    lay: TileLayout,
+    pub(crate) lay: TileLayout,
 }
 
 unsafe impl<T: Send> Send for RankCell<T> {}
 unsafe impl<T: Sync> Sync for RankCell<T> {}
 
 impl<T: Scalar> RankCell<T> {
-    fn new(a: &mut TileMatrix<T>) -> Self {
+    pub(crate) fn new(a: &mut TileMatrix<T>) -> Self {
         Self { ptr: a.as_mut_slice().as_mut_ptr(), lay: a.layout() }
     }
 
     /// Local rows of this rank.
-    fn rows(&self) -> usize {
+    pub(crate) fn rows(&self) -> usize {
         self.lay.rows()
     }
 
     /// # Safety
     /// The caller's task must hold (via DAG ordering) access to the
     /// element.
-    unsafe fn get(&self, li: usize, lj: usize) -> T {
+    pub(crate) unsafe fn get(&self, li: usize, lj: usize) -> T {
         unsafe { *self.ptr.add(self.lay.elem_offset(li, lj)) }
     }
 
     /// # Safety
     /// The caller's task must hold exclusive access to the element.
-    unsafe fn set(&self, li: usize, lj: usize, v: T) {
+    pub(crate) unsafe fn set(&self, li: usize, lj: usize, v: T) {
         unsafe { *self.ptr.add(self.lay.elem_offset(li, lj)) = v };
     }
 
@@ -185,7 +201,7 @@ impl<T: Scalar> RankCell<T> {
     /// # Safety
     /// The caller's task must hold exclusive element access via DAG
     /// ordering, and the block must be in range of the tile.
-    unsafe fn tile_block(
+    pub(crate) unsafe fn tile_block(
         &self,
         ti: usize,
         tj: usize,
@@ -204,9 +220,9 @@ impl<T: Scalar> RankCell<T> {
 /// Shared pivot vector (the `rt` module's cell, re-stated): the single
 /// designated panel task writes each step's slots exclusively; nothing
 /// reads them until assembly.
-struct IpivCell {
-    ptr: *mut usize,
-    len: usize,
+pub(crate) struct IpivCell {
+    pub(crate) ptr: *mut usize,
+    pub(crate) len: usize,
 }
 
 unsafe impl Send for IpivCell {}
@@ -216,22 +232,13 @@ impl IpivCell {
     /// # Safety
     /// Only the designated panel task of the step owning `base..` may
     /// call this, and nothing else may access the range concurrently.
-    unsafe fn publish(&self, base: usize, local: &[usize]) {
+    pub(crate) unsafe fn publish(&self, base: usize, local: &[usize]) {
         debug_assert!(base + local.len() <= self.len);
         for (i, &p) in local.iter().enumerate() {
             unsafe { *self.ptr.add(base + i) = base + p };
         }
     }
 }
-
-/// Mailbox message classes (key: `(class, k, j, rank-or-prow)`).
-const ACC: u8 = 0; // butterfly accumulator slots (j = leg index)
-const PIV: u8 = 1; // swap list of step k (canonical slot: prow = cprow)
-const WBK: u8 = 2; // post-swap W block of step k
-const PAN: u8 = 3; // packed panel rows of one process row
-const U12: u8 = 4; // U₁₂ of block column j
-
-type MailKey = (u8, u32, u32, u32);
 
 // ---------------------------------------------------------------------------
 // The runner
@@ -247,12 +254,15 @@ struct DistRunner<T> {
     lookahead: usize,
     cells: Vec<RankCell<T>>,
     ipiv: IpivCell,
-    /// Cross-rank payloads, `Arc`d so consumers read without copying.
-    /// Keys are unique per message; the DAG orders every post before its
-    /// fetches. No payload is read across steps, and the panel throttle
-    /// proves old steps complete, so [`Self::evict_completed_steps`]
-    /// bounds the mailbox to the lookahead window.
-    mail: Mutex<HashMap<MailKey, Arc<Vec<f64>>>>,
+    /// The communicator seam, carrying cross-rank payloads `Arc`d so
+    /// consumers read without copying. This runner drives the shared
+    /// [`InProcessComm`] mailbox (held as a trait object so the seam the
+    /// rank-thread driver crosses is exercised here too): keys are unique
+    /// per message, the DAG orders every post before its fetches, no
+    /// payload is read across steps, and the panel throttle proves old
+    /// steps complete, so [`Self::evict_completed_steps`] bounds the
+    /// mailbox to the lookahead window.
+    comm: Box<dyn Communicator>,
     /// Measured communication: every mailbox send/arrival and cross-owner
     /// pivot-row exchange, counted per rank per term as it happens.
     ledger: CommLedger,
@@ -267,20 +277,16 @@ impl<T: Scalar> DistRunner<T> {
         self.geom.shape.nb
     }
 
+    /// Posts to the shared mailbox: `from`/destinations are implicit (the
+    /// DAG is the wire), so the seam's routing arguments stay empty.
     fn post(&self, class: u8, k: usize, j: usize, who: usize, data: Vec<f64>) {
         let key = (class, k as u32, j as u32, who as u32);
-        let prev = self.mail.lock().expect("mailbox poisoned").insert(key, Arc::new(data));
-        debug_assert!(prev.is_none(), "mail slot {key:?} posted twice");
+        self.comm.post(0, key, data, &[]).expect("the in-process mailbox cannot refuse a post");
     }
 
     fn fetch(&self, class: u8, k: usize, j: usize, who: usize) -> Arc<Vec<f64>> {
         let key = (class, k as u32, j as u32, who as u32);
-        self.mail
-            .lock()
-            .expect("mailbox poisoned")
-            .get(&key)
-            .unwrap_or_else(|| panic!("mail slot {key:?} missing — DAG edge bug"))
-            .clone()
+        self.comm.fetch(0, key).expect("the in-process mailbox cannot refuse a fetch")
     }
 
     /// The accumulator process row `r` reads after `l` butterfly legs —
@@ -391,7 +397,7 @@ impl<T: Scalar> DistRunner<T> {
     fn evict_completed_steps(&self, k: usize) {
         if k > self.lookahead {
             let cutoff = (k - self.lookahead - 1) as u32;
-            self.mail.lock().expect("mailbox poisoned").retain(|key, _| key.1 > cutoff);
+            self.comm.evict_before(0, cutoff);
         }
     }
 
@@ -400,20 +406,16 @@ impl<T: Scalar> DistRunner<T> {
     /// success path (the last lookahead window's payloads are still
     /// resident) and, crucially, after a cancellation, where payloads
     /// posted for recv tasks that were canceled have no remaining reader
-    /// and would leak for the runner's lifetime. Recovers from a poisoned
-    /// lock: drain runs during shutdown, where a panicked task must not
-    /// block the cleanup.
+    /// and would leak for the runner's lifetime. (Every [`Communicator`]
+    /// lock site recovers from poisoning — drain runs during shutdown,
+    /// where a panicked task must not block the cleanup.)
     fn drain_mailbox(&self) -> usize {
-        let mut mail = self.mail.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let words = mail.values().map(|v| v.len()).sum();
-        mail.clear();
-        words
+        self.comm.drain()
     }
 
     /// Payload words currently posted (the post-drain residual check).
     fn mailbox_words(&self) -> usize {
-        let mail = self.mail.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        mail.values().map(|v| v.len()).sum()
+        self.comm.residual_words()
     }
 
     /// Words of one posted payload — 0 if the slot is absent. Used by the
@@ -421,8 +423,7 @@ impl<T: Scalar> DistRunner<T> {
     /// slot is a DAG ancestor of the peeking task, so it cannot race with
     /// its producer, and the current step is never evicted).
     fn mail_len(&self, class: u8, k: usize, j: usize, who: usize) -> usize {
-        let key = (class, k as u32, j as u32, who as u32);
-        self.mail.lock().expect("mailbox poisoned").get(&key).map_or(0, |v| v.len())
+        self.comm.peek_words(0, (class, k as u32, j as u32, who as u32))
     }
 
     /// Ledger entry for one completed communication task — the measured
@@ -833,8 +834,37 @@ impl<T: Scalar> TaskRunner for DistRunner<T> {
 // Drivers
 // ---------------------------------------------------------------------------
 
+/// Dispatches on the communicator seam: the shared-mailbox path below,
+/// the rank-thread driver in [`crate::dist_threaded`], or the MPI stub —
+/// which is exercised through the trait object exactly as a linked MPI
+/// backend would be, so its refusal surfaces as [`Error::Unsupported`]
+/// before any work begins.
 #[allow(clippy::too_many_arguments)]
 fn run_dist<T: Scalar>(
+    a: &Matrix<T>,
+    b: usize,
+    pr: usize,
+    pc: usize,
+    local: LocalLu,
+    alg: DistPanelAlg,
+    rt: DistRtOpts,
+    mch: &MachineConfig,
+) -> Result<(DistRtReport, DistFactors<T>)> {
+    match rt.communicator {
+        CommKind::InProcess => Ok(run_dist_in_process(a, b, pr, pc, local, alg, rt, mch)),
+        CommKind::Threaded => {
+            Ok(crate::dist_threaded::run_dist_threaded(a, b, pr, pc, local, alg, rt, mch))
+        }
+        CommKind::Mpi => {
+            let stub: Box<dyn Communicator> = Box::new(MpiComm::new());
+            stub.post(0, (PIV, 0, 0, 0), Vec::new(), &[])?;
+            unreachable!("the MPI stub refuses every post")
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_dist_in_process<T: Scalar>(
     a: &Matrix<T>,
     b: usize,
     pr: usize,
@@ -868,9 +898,10 @@ fn run_dist<T: Scalar>(
         lookahead: rt.lookahead,
         cells: locals.iter_mut().map(RankCell::new).collect(),
         ipiv: IpivCell { ptr: ipiv.as_mut_ptr(), len: kn },
-        mail: Mutex::new(HashMap::new()),
+        comm: Box::new(InProcessComm::new()),
         ledger: CommLedger::new(),
     };
+    let communicator = runner.comm.name();
     let recorder = Recorder::new();
     let (exec, first_singular) = match rt.executor.execute_traced(&dag, &runner, Some(&recorder)) {
         Ok(rep) => (rep, None),
@@ -906,6 +937,7 @@ fn run_dist<T: Scalar>(
         expected_mailbox: expected_mailbox_comm(&dag, &geom, alg),
         modeled_terms: modeled_comm_terms(&dag, &model),
         spans: recorder.take(),
+        communicator,
     };
     let lu = assemble_2d(glayout, &locals);
     (report, DistFactors { lu, ipiv, first_singular })
@@ -923,6 +955,22 @@ pub fn dist_calu_factor_rt<T: Scalar>(
     rt: DistRtOpts,
     mch: MachineConfig,
 ) -> (DistRtReport, DistFactors<T>) {
+    try_dist_calu_factor_rt(a, cfg, rt, mch)
+        .expect("distributed CALU failed: the selected communicator is unavailable")
+}
+
+/// Fallible form of [`dist_calu_factor_rt`]: returns
+/// [`Error::Unsupported`] when the selected [`Communicator`] backend
+/// cannot run (the MPI stub) instead of panicking.
+///
+/// # Errors
+/// [`Error::Unsupported`] for [`CommKind::Mpi`].
+pub fn try_dist_calu_factor_rt<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistCaluConfig,
+    rt: DistRtOpts,
+    mch: MachineConfig,
+) -> Result<(DistRtReport, DistFactors<T>)> {
     run_dist(a, cfg.b, cfg.pr, cfg.pc, cfg.local, DistPanelAlg::Tslu, rt, &mch)
 }
 
@@ -938,6 +986,22 @@ pub fn dist_pdgetrf_factor_rt<T: Scalar>(
     rt: DistRtOpts,
     mch: MachineConfig,
 ) -> (DistRtReport, DistFactors<T>) {
+    try_dist_pdgetrf_factor_rt(a, cfg, rt, mch)
+        .expect("distributed PDGETRF failed: the selected communicator is unavailable")
+}
+
+/// Fallible form of [`dist_pdgetrf_factor_rt`]: returns
+/// [`Error::Unsupported`] when the selected [`Communicator`] backend
+/// cannot run (the MPI stub) instead of panicking.
+///
+/// # Errors
+/// [`Error::Unsupported`] for [`CommKind::Mpi`].
+pub fn try_dist_pdgetrf_factor_rt<T: Scalar>(
+    a: &Matrix<T>,
+    cfg: DistPdgetrfConfig,
+    rt: DistRtOpts,
+    mch: MachineConfig,
+) -> Result<(DistRtReport, DistFactors<T>)> {
     run_dist(a, cfg.b, cfg.pr, cfg.pc, LocalLu::Classic, DistPanelAlg::Getf2, rt, &mch)
 }
 
@@ -963,7 +1027,7 @@ mod tests {
                 let (_r, want) = dist_calu_factor_spmd(&a, cfg, MachineConfig::ideal());
                 for depth in 1..=3 {
                     for executor in executors() {
-                        let rt = DistRtOpts { lookahead: depth, executor };
+                        let rt = DistRtOpts { lookahead: depth, executor, ..Default::default() };
                         let (_rep, got) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
                         assert_eq!(want.ipiv, got.ipiv, "{m}x{n} {pr}x{pc} d={depth}");
                         assert_eq!(
@@ -988,7 +1052,7 @@ mod tests {
             let (_r, want) = dist_pdgetrf_factor_spmd(&a, cfg, MachineConfig::ideal());
             for depth in 1..=2 {
                 for executor in executors() {
-                    let rt = DistRtOpts { lookahead: depth, executor };
+                    let rt = DistRtOpts { lookahead: depth, executor, ..Default::default() };
                     let (_rep, got) = dist_pdgetrf_factor_rt(&a, cfg, rt, MachineConfig::ideal());
                     assert_eq!(want.ipiv, got.ipiv, "{pr}x{pc} d={depth}");
                     assert_eq!(want.lu.max_abs_diff(&got.lu), 0.0, "{pr}x{pc} d={depth}");
@@ -1036,7 +1100,7 @@ mod tests {
         for &(pr, pc) in &[(2usize, 2usize), (2, 4), (3, 2)] {
             for depth in 1..=3 {
                 for executor in executors() {
-                    let rt = DistRtOpts { lookahead: depth, executor };
+                    let rt = DistRtOpts { lookahead: depth, executor, ..Default::default() };
                     let cfg = DistCaluConfig { b: 8, pr, pc, local: LocalLu::Classic };
                     let (rep, f) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
                     assert_eq!(f.first_singular, None);
@@ -1080,5 +1144,153 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The tentpole's headline property: with ranks as real OS threads
+    /// exchanging point-to-point messages — no shared matrix state at
+    /// all — both algorithms still produce bitwise-identical factors to
+    /// the SPMD references, on every grid × depth.
+    #[test]
+    fn threaded_communicator_matches_spmd_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7005);
+        for &(m, n, b) in &[(48usize, 48usize, 8usize), (52, 36, 8)] {
+            let a: Matrix = gen::randn(&mut rng, m, n);
+            for &(pr, pc) in &[(1usize, 1usize), (2, 2), (2, 3), (3, 2)] {
+                let calu_cfg = DistCaluConfig { b, pr, pc, local: LocalLu::Recursive };
+                let (_r, want) = dist_calu_factor_spmd(&a, calu_cfg, MachineConfig::ideal());
+                for depth in 1..=3 {
+                    let rt = DistRtOpts {
+                        lookahead: depth,
+                        communicator: CommKind::Threaded,
+                        ..Default::default()
+                    };
+                    let (rep, got) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
+                    assert_eq!(rep.communicator, "threaded");
+                    assert_eq!(want.ipiv, got.ipiv, "calu {m}x{n} {pr}x{pc} d={depth}");
+                    assert_eq!(
+                        want.lu.max_abs_diff(&got.lu),
+                        0.0,
+                        "calu {m}x{n} {pr}x{pc} d={depth}: threaded ranks must reproduce the \
+                         SPMD factors bitwise"
+                    );
+                    assert_eq!(got.first_singular, None);
+
+                    if m == n {
+                        let pd_cfg = DistPdgetrfConfig { b, pr, pc };
+                        let (_r, want) =
+                            dist_pdgetrf_factor_spmd(&a, pd_cfg, MachineConfig::ideal());
+                        let (rep, got) =
+                            dist_pdgetrf_factor_rt(&a, pd_cfg, rt, MachineConfig::ideal());
+                        assert_eq!(rep.communicator, "threaded");
+                        assert_eq!(want.ipiv, got.ipiv, "pdgetrf {pr}x{pc} d={depth}");
+                        assert_eq!(
+                            want.lu.max_abs_diff(&got.lu),
+                            0.0,
+                            "pdgetrf {pr}x{pc} d={depth}: threaded ranks must reproduce the \
+                             SPMD factors bitwise"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Comm accounting stays exact when the messages are physically real:
+    /// under the threaded communicator every `mailbox_exact` term —
+    /// including the new `panel_getf2` term for `PDGETF2`'s decomposed
+    /// picket fence, which only exists on the wire once ranks stop
+    /// sharing panel storage — reconciles measured == expected.
+    #[test]
+    fn threaded_measured_comm_equals_exact_prediction() {
+        let mut rng = StdRng::seed_from_u64(7006);
+        let a: Matrix = gen::randn(&mut rng, 48, 48);
+        for &(pr, pc) in &[(2usize, 2usize), (2, 4), (3, 2)] {
+            for depth in 1..=3 {
+                let rt = DistRtOpts {
+                    lookahead: depth,
+                    communicator: CommKind::Threaded,
+                    ..Default::default()
+                };
+                let cfg = DistCaluConfig { b: 8, pr, pc, local: LocalLu::Classic };
+                let (rep, f) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                assert_eq!(f.first_singular, None);
+                let deltas = rep.mailbox_deltas();
+                assert!(deltas.iter().any(|d| d.source == "mailbox_exact"));
+                for d in &deltas {
+                    if d.source == "mailbox_exact" {
+                        assert!(
+                            d.exact(),
+                            "threaded calu {pr}x{pc} d={depth} term {}: measured {:?} vs \
+                             expected {:?}",
+                            d.term,
+                            d.measured,
+                            d.expected
+                        );
+                    }
+                }
+
+                let cfg = DistPdgetrfConfig { b: 8, pr, pc };
+                let (rep, f) = dist_pdgetrf_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+                assert_eq!(f.first_singular, None);
+                let deltas = rep.mailbox_deltas();
+                assert!(
+                    deltas.iter().any(|d| d.term == "panel_getf2" && d.source == "mailbox_exact"),
+                    "the decomposed PDGETF2 panel must be accounted term-for-term"
+                );
+                for d in &deltas {
+                    if d.source == "mailbox_exact" {
+                        assert!(
+                            d.exact(),
+                            "threaded pdgetrf {pr}x{pc} d={depth} term {}: measured {:?} vs \
+                             expected {:?}",
+                            d.term,
+                            d.measured,
+                            d.expected
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The threaded report is coherent: spans and wall-clock timings come
+    /// from every rank thread (collectives appear once per participant,
+    /// so there are at least as many executions as DAG tasks), the spans
+    /// export as a valid per-rank chrome trace, and the drain leaves no
+    /// residual words.
+    #[test]
+    fn threaded_report_is_coherent() {
+        let mut rng = StdRng::seed_from_u64(7007);
+        let a: Matrix = gen::randn(&mut rng, 64, 64);
+        let cfg = DistCaluConfig { b: 16, pr: 2, pc: 2, local: LocalLu::Classic };
+        let rt = DistRtOpts { communicator: CommKind::Threaded, ..Default::default() };
+        let (rep, _f) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::power5());
+        assert_eq!(rep.communicator, "threaded");
+        assert_eq!(rep.exec.workers, 4);
+        assert!(rep.exec.order.len() >= rep.tasks);
+        assert_eq!(rep.spans.len(), rep.exec.order.len());
+        for pid in 0..4 {
+            assert!(
+                rep.spans.iter().any(|s| s.pid == pid && s.tid == pid),
+                "rank {pid} must contribute wall-clock spans"
+            );
+        }
+        assert!(rep.comm.drained_words > 0);
+        assert_eq!(rep.comm.residual_words, 0);
+        calu_obs::parse_chrome_trace(&calu_obs::chrome_trace(&rep.spans))
+            .expect("threaded spans must export as valid chrome trace");
+    }
+
+    /// The MPI-shaped stub refuses to run, as a typed error — the public
+    /// fallible API surfaces it instead of panicking.
+    #[test]
+    fn mpi_stub_reports_unsupported() {
+        let mut rng = StdRng::seed_from_u64(7008);
+        let a: Matrix = gen::randn(&mut rng, 16, 16);
+        let cfg = DistCaluConfig { b: 8, pr: 2, pc: 2, local: LocalLu::Classic };
+        let rt = DistRtOpts { communicator: CommKind::Mpi, ..Default::default() };
+        let err = try_dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal())
+            .expect_err("the MPI stub must refuse to run");
+        assert!(matches!(err, Error::Unsupported { .. }), "got {err:?}");
     }
 }

@@ -33,8 +33,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod calu;
+pub mod comm;
 pub mod dist;
 pub mod dist_rt;
+pub mod dist_threaded;
 pub mod gepp;
 pub mod instrument;
 pub mod par;
@@ -46,7 +48,11 @@ pub mod tournament;
 pub mod tslu;
 
 pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
-pub use dist_rt::{dist_calu_factor_rt, dist_pdgetrf_factor_rt, DistRtOpts, DistRtReport};
+pub use comm::{CommKind, Communicator, InProcessComm, MpiComm, ThreadedComm};
+pub use dist_rt::{
+    dist_calu_factor_rt, dist_pdgetrf_factor_rt, try_dist_calu_factor_rt,
+    try_dist_pdgetrf_factor_rt, DistRtOpts, DistRtReport,
+};
 pub use gepp::{gepp_factor, gepp_inplace};
 pub use instrument::PivotStats;
 pub use par::{par_calu_factor, par_calu_inplace};

@@ -22,6 +22,18 @@ pub enum Error {
         /// Human-readable description of the violated requirement.
         what: &'static str,
     },
+    /// The operation was canceled because a cooperating task failed
+    /// elsewhere (a singular pivot on another rank of a distributed run).
+    /// Carriers of this variant are collateral, not root causes: the
+    /// originating failure is reported separately.
+    Canceled,
+    /// The requested backend or feature is not available in this build
+    /// (for example the MPI communicator stub, which documents the
+    /// off-box path without linking an MPI library).
+    Unsupported {
+        /// Human-readable description of what is missing.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -31,6 +43,8 @@ impl fmt::Display for Error {
                 write!(f, "zero or non-finite pivot at elimination step {step}")
             }
             Error::BadShape { what } => write!(f, "bad matrix shape: {what}"),
+            Error::Canceled => write!(f, "canceled: a cooperating task failed"),
+            Error::Unsupported { what } => write!(f, "unsupported: {what}"),
         }
     }
 }

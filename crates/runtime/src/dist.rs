@@ -1053,6 +1053,56 @@ pub fn expected_mailbox_comm(dag: &LuDag, geom: &DistGeom, alg: DistPanelAlg) ->
     sum_terms(totals, "mailbox_exact")
 }
 
+/// The *exact* extra traffic the **threaded** communicator's decomposed
+/// `PDGETF2` panel puts on the wire — traffic that simply does not exist
+/// under the in-process mailbox, where all process rows of the panel
+/// column share one storage and the picket fence reads it directly.
+///
+/// Once each rank owns its tiles on a separate thread, every panel
+/// column `jj` of every step costs, with `pr` process rows and panel
+/// width `b_k`:
+///
+/// * a 3-word candidate all-gather — each of the `pr` participants
+///   fetches the other `pr − 1` candidates: `pr·(pr − 1)` messages of 3
+///   words each, and
+/// * the elected pivot's trailing row (`b_k − 1 − jj` words) fetched by
+///   the `pr − 1` non-owners — absent on the last column of a panel.
+///
+/// The pivot-row *exchange* is deliberately not here: like the
+/// trailing-matrix swaps it is data-dependent (only fired when the
+/// winner leaves the diagonal row), so it lands in the unmodeled `swap`
+/// term on both communicators.
+///
+/// Returns the single `panel_getf2` [`CommTerm`] (empty when `pr == 1`
+/// or the panel algorithm is TSLU, whose butterfly is already counted by
+/// [`expected_mailbox_comm`]). The threaded driver appends this to the
+/// mailbox expectation, and the reconciliation tests hold the measured
+/// ledger to the combined prediction term-for-term.
+pub fn expected_threaded_getf2_comm(
+    dag: &LuDag,
+    geom: &DistGeom,
+    alg: DistPanelAlg,
+) -> Vec<CommTerm> {
+    let pr = geom.pr as u64;
+    if alg != DistPanelAlg::Getf2 || pr <= 1 {
+        return Vec::new();
+    }
+    let (mut msgs, mut words) = (0u64, 0u64);
+    for &t in dag.tasks() {
+        let Task::Dist(DistTask { kind: DistKind::PanelGetf2, k, .. }) = t else { continue };
+        let jb = geom.jb(k as usize) as u64;
+        for jj in 0..jb {
+            msgs += pr * (pr - 1);
+            words += 3 * pr * (pr - 1);
+            if jj + 1 < jb {
+                msgs += pr - 1;
+                words += (jb - 1 - jj) * (pr - 1);
+            }
+        }
+    }
+    vec![CommTerm { term: "panel_getf2", msgs, words, source: "mailbox_exact" }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

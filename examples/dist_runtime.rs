@@ -31,7 +31,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let a: Matrix = gen::randn(&mut rng, n, n);
 
-    let rt = DistRtOpts { lookahead: depth, executor: ExecutorKind::Threaded { threads: 0 } };
+    let rt = DistRtOpts {
+        lookahead: depth,
+        executor: ExecutorKind::Threaded { threads: 0 },
+        ..Default::default()
+    };
     let (rep, d) = dist_calu_factor_rt(&a, cfg, rt, mch.clone());
 
     // The DAG-driven factors are bitwise identical to the SPMD loop's.

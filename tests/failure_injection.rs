@@ -250,7 +250,7 @@ fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
         assert_eq!(spmd_pdg.first_singular, Some(r));
         for lookahead in 1..=3 {
             for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
-                let rt = DistRtOpts { lookahead, executor };
+                let rt = DistRtOpts { lookahead, executor, ..Default::default() };
                 let (rep, d) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
                 assert_eq!(
                     d.first_singular,
@@ -280,6 +280,53 @@ fn distributed_dag_cancels_across_ranks_and_reports_absolute_step() {
                     "pdgetrf d={lookahead} {executor:?}: mailbox must be empty after the run"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn threaded_communicator_cancels_across_rank_threads_without_hanging() {
+    // The hard version of the contract above: with `CommKind::Threaded`
+    // every rank is a real OS thread blocked on real point-to-point
+    // fetches, so a singular pivot on ONE rank thread must wake and
+    // cancel the fetches of ALL other rank threads — the whole grid joins
+    // (no hang), `first_singular` carries the absolute step, stranded
+    // in-flight payloads are drained, and the residual is zero.
+    use calu_repro::core::dist::{DistCaluConfig, DistPdgetrfConfig};
+    use calu_repro::core::{dist_calu_factor_rt, dist_pdgetrf_factor_rt, CommKind, DistRtOpts};
+    use calu_repro::netsim::MachineConfig;
+    let n = 32;
+    for &r in &[5usize, 17] {
+        let a = rank_deficient(900 + r as u64, n, r);
+        let calu_cfg = DistCaluConfig { b: 8, pr: 2, pc: 2, local: LocalLu::Classic };
+        let pdg_cfg = DistPdgetrfConfig { b: 8, pr: 2, pc: 2 };
+        for lookahead in 1..=3 {
+            let rt =
+                DistRtOpts { lookahead, communicator: CommKind::Threaded, ..Default::default() };
+            let (rep, d) = dist_calu_factor_rt(&a, calu_cfg, rt, MachineConfig::ideal());
+            assert_eq!(
+                d.first_singular,
+                Some(r),
+                "threaded calu d={lookahead}: zero column {r} must surface absolutely"
+            );
+            assert!(
+                rep.comm.drained_words > 0,
+                "threaded calu d={lookahead}: canceled run must have stranded payloads"
+            );
+            assert_eq!(
+                rep.comm.residual_words, 0,
+                "threaded calu d={lookahead}: rank stashes must be empty after the run"
+            );
+            let (rep, d) = dist_pdgetrf_factor_rt(&a, pdg_cfg, rt, MachineConfig::ideal());
+            assert_eq!(
+                d.first_singular,
+                Some(r),
+                "threaded pdgetrf d={lookahead}: zero column {r} must surface absolutely"
+            );
+            assert_eq!(
+                rep.comm.residual_words, 0,
+                "threaded pdgetrf d={lookahead}: rank stashes must be empty after the run"
+            );
         }
     }
 }

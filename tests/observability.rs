@@ -133,22 +133,26 @@ proptest! {
         seed in 0u64..1 << 32,
         grid_idx in 0usize..3,
         lookahead in 1usize..4,
+        comm_idx in 0usize..2,
     ) {
         let (pr, pc) = [(2, 2), (2, 4), (3, 2)][grid_idx];
+        let communicator =
+            [calu_repro::core::CommKind::InProcess, calu_repro::core::CommKind::Threaded][comm_idx];
         let n = 24;
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Matrix = gen::randn(&mut rng, n, n);
         let cfg = DistCaluConfig { b: 4, pr, pc, local: LocalLu::Classic };
-        let rt = DistRtOpts { lookahead, executor: ExecutorKind::Serial };
+        let rt = DistRtOpts { lookahead, executor: ExecutorKind::Serial, communicator };
         let (rep, d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
         prop_assert!(d.first_singular.is_none(), "randn matrices are nonsingular");
         prop_assert_eq!(rep.comm.residual_words, 0);
+        prop_assert_eq!(rep.communicator, communicator.label());
         for delta in rep.mailbox_deltas() {
             if delta.source == "mailbox_exact" {
                 prop_assert!(
                     delta.exact(),
-                    "{pr}x{pc} d={lookahead} term {}: measured {:?} != expected {:?}",
-                    delta.term, delta.measured, delta.expected
+                    "{pr}x{pc} d={lookahead} {:?} term {}: measured {:?} != expected {:?}",
+                    communicator, delta.term, delta.measured, delta.expected
                 );
             }
         }

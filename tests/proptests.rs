@@ -255,31 +255,36 @@ proptest! {
         seed in 0u64..1_000_000,
         m in 24usize..56,
         n in 24usize..56,
-        gi in 0usize..3,
+        gi in 0usize..4,
         depth in 1usize..4,
     ) {
         // The DAG-driven distributed CALU must reproduce the pre-refactor
         // SPMD loop's factors BITWISE — per grid, lookahead depth,
-        // executor, precision, and ragged shape.
+        // executor, COMMUNICATOR (shared in-process mailbox vs. real
+        // rank threads over point-to-point messages), precision, and
+        // ragged shape. Equality of both communicators to one SPMD
+        // reference is equality of the communicators to each other.
         use calu_repro::core::dist::{dist_calu_factor_spmd, DistCaluConfig};
-        use calu_repro::core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
+        use calu_repro::core::{dist_calu_factor_rt, CommKind, DistRtOpts, LocalLu};
         use calu_repro::netsim::MachineConfig;
         use calu_repro::runtime::ExecutorKind;
-        let (pr, pc) = [(1usize, 1usize), (2, 2), (2, 4)][gi];
+        let (pr, pc) = [(1usize, 1usize), (2, 2), (2, 4), (3, 2)][gi];
         let cfg = DistCaluConfig { b: 8, pr, pc, local: LocalLu::Recursive };
         let a64 = randn_mat(seed, m, n);
         let a32 = a64.cast::<f32>();
         let (_r, want64) = dist_calu_factor_spmd(&a64, cfg, MachineConfig::ideal());
         let (_r, want32) = dist_calu_factor_spmd(&a32, cfg, MachineConfig::ideal());
         for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 2 }] {
-            let rt = DistRtOpts { lookahead: depth, executor };
-            let (_q, got64) = dist_calu_factor_rt(&a64, cfg, rt, MachineConfig::ideal());
-            prop_assert_eq!(&want64.ipiv, &got64.ipiv, "f64 pivots (m={} n={} {}x{} d={})", m, n, pr, pc, depth);
-            prop_assert_eq!(want64.lu.max_abs_diff(&got64.lu), 0.0, "f64 factors (m={} n={} {}x{} d={} {:?})", m, n, pr, pc, depth, executor);
-            prop_assert_eq!(got64.first_singular, None);
-            let (_q, got32) = dist_calu_factor_rt(&a32, cfg, rt, MachineConfig::ideal());
-            prop_assert_eq!(&want32.ipiv, &got32.ipiv, "f32 pivots (m={} n={} {}x{} d={})", m, n, pr, pc, depth);
-            prop_assert_eq!(want32.lu.max_abs_diff(&got32.lu), 0.0f32, "f32 factors (m={} n={} {}x{} d={} {:?})", m, n, pr, pc, depth, executor);
+            for communicator in [CommKind::InProcess, CommKind::Threaded] {
+                let rt = DistRtOpts { lookahead: depth, executor, communicator };
+                let (_q, got64) = dist_calu_factor_rt(&a64, cfg, rt, MachineConfig::ideal());
+                prop_assert_eq!(&want64.ipiv, &got64.ipiv, "f64 pivots (m={} n={} {}x{} d={} {:?})", m, n, pr, pc, depth, communicator);
+                prop_assert_eq!(want64.lu.max_abs_diff(&got64.lu), 0.0, "f64 factors (m={} n={} {}x{} d={} {:?} {:?})", m, n, pr, pc, depth, executor, communicator);
+                prop_assert_eq!(got64.first_singular, None);
+                let (_q, got32) = dist_calu_factor_rt(&a32, cfg, rt, MachineConfig::ideal());
+                prop_assert_eq!(&want32.ipiv, &got32.ipiv, "f32 pivots (m={} n={} {}x{} d={} {:?})", m, n, pr, pc, depth, communicator);
+                prop_assert_eq!(want32.lu.max_abs_diff(&got32.lu), 0.0f32, "f32 factors (m={} n={} {}x{} d={} {:?} {:?})", m, n, pr, pc, depth, executor, communicator);
+            }
         }
     }
 
@@ -288,34 +293,36 @@ proptest! {
         seed in 0u64..1_000_000,
         n in 16usize..48,
         b in 3usize..9,
-        gi in 0usize..3,
+        gi in 0usize..4,
         depth in 1usize..4,
     ) {
         // The runtime-driven PDGETRF baseline stays bitwise equal to the
         // sequential blocked getrf at every grid and lookahead depth
         // (ragged n not a multiple of b included).
         use calu_repro::core::dist::DistPdgetrfConfig;
-        use calu_repro::core::{dist_pdgetrf_factor_rt, DistRtOpts};
+        use calu_repro::core::{dist_pdgetrf_factor_rt, CommKind, DistRtOpts};
         use calu_repro::matrix::lapack::{getrf, GetrfOpts};
         use calu_repro::matrix::NoObs;
         use calu_repro::netsim::MachineConfig;
         use calu_repro::runtime::ExecutorKind;
-        let (pr, pc) = [(1usize, 1usize), (2, 2), (2, 4)][gi];
+        let (pr, pc) = [(1usize, 1usize), (2, 2), (2, 4), (3, 2)][gi];
         let a = randn_mat(seed, n, n);
         let mut lu = a.clone();
         let mut ipiv = vec![0usize; n];
         getrf(lu.view_mut(), &mut ipiv, GetrfOpts { block: b, ..Default::default() }, &mut NoObs)
             .unwrap();
         for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 2 }] {
-            let rt = DistRtOpts { lookahead: depth, executor };
-            let (_rep, d) = dist_pdgetrf_factor_rt(
-                &a,
-                DistPdgetrfConfig { b, pr, pc },
-                rt,
-                MachineConfig::ideal(),
-            );
-            prop_assert_eq!(&d.ipiv, &ipiv, "pivots (n={} b={} {}x{} d={})", n, b, pr, pc, depth);
-            prop_assert_eq!(d.lu.max_abs_diff(&lu), 0.0, "factors (n={} b={} {}x{} d={} {:?})", n, b, pr, pc, depth, executor);
+            for communicator in [CommKind::InProcess, CommKind::Threaded] {
+                let rt = DistRtOpts { lookahead: depth, executor, communicator };
+                let (_rep, d) = dist_pdgetrf_factor_rt(
+                    &a,
+                    DistPdgetrfConfig { b, pr, pc },
+                    rt,
+                    MachineConfig::ideal(),
+                );
+                prop_assert_eq!(&d.ipiv, &ipiv, "pivots (n={} b={} {}x{} d={} {:?})", n, b, pr, pc, depth, communicator);
+                prop_assert_eq!(d.lu.max_abs_diff(&lu), 0.0, "factors (n={} b={} {}x{} d={} {:?} {:?})", n, b, pr, pc, depth, executor, communicator);
+            }
         }
     }
 

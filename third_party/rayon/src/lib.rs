@@ -1,114 +1,314 @@
 //! Offline stand-in for the subset of `rayon` this workspace uses:
 //! [`join`], `prelude::*` (`par_iter().map(..).collect()`), and
-//! `ThreadPoolBuilder` / `ThreadPool::install`.
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
 //!
-//! Parallelism is real (scoped OS threads), but primitive: `join` spawns
-//! one thread for the second closure; `par_iter().map().collect()` chunks
-//! the slice across up to [`current_num_threads`] threads. There is no
-//! work stealing and no pool reuse — adequate for this workspace, where
-//! the rayon paths are asserted *bitwise equal* to the sequential ones
-//! and wall-clock scaling is informational only.
+//! Parallelism is real **work stealing over persistent workers**, the
+//! same architecture as rayon proper: a pool owns `num_threads` OS
+//! worker threads, each with its own double-ended job queue, plus one
+//! shared injector for work arriving from outside the pool. A worker
+//! pushes the jobs it forks onto the *back* of its own deque and pops
+//! them back LIFO (cache-warm, depth-first); idle workers steal FIFO
+//! from the *front* of other workers' deques or the injector — so a
+//! fork's oldest (largest) pending half is what migrates, and imbalanced
+//! workloads rebalance without any up-front chunking.
+//!
+//! * [`join`] on a worker forks the second closure onto the worker's own
+//!   deque, runs the first inline, then reclaims the fork if no thief
+//!   took it (the common, allocation-light path — the job lives on the
+//!   caller's stack, completion is a latch). While a stolen fork is in
+//!   flight the waiting worker *helps*: it executes other pool work
+//!   instead of blocking.
+//! * [`join`] outside any pool migrates into the global registry (sized
+//!   to the host's available parallelism) via the injector, so nested
+//!   primitives underneath always find themselves on a worker.
+//! * `par_iter().map(f).collect()` splits the slice by recursive
+//!   [`join`] down to a few pieces per worker and reassembles in input
+//!   order — stealing, not static chunking, decides who runs what.
 //!
 //! # Pool-size semantics
 //!
-//! [`ThreadPool::install`] runs its closure on a fresh scoped thread with
-//! a thread-local concurrency limit set to the builder's `num_threads`,
-//! and the limit is **inherited** by every thread this crate spawns
-//! underneath (nested `join`s and `par_iter`s included), so
-//! `ThreadPoolBuilder::new().num_threads(n)` genuinely caps this crate's
-//! primitives at `n` concurrent threads. With `num_threads(1)`, `join`
-//! and `par_iter` degenerate to sequential inline execution on the
-//! installing thread's child — useful for scaling studies.
+//! [`ThreadPool::install`] runs its closure **on a pool worker**, and
+//! every primitive of this crate underneath it schedules exclusively on
+//! that pool's `num_threads` workers — there is no other thread the work
+//! could run on, so a depth-`d` nest of `join`s/`par_iter`s is globally
+//! capped at `num_threads` concurrent threads (not `num_threads^d`; the
+//! old spawn-per-call stand-in needed a census to fake this, the pool
+//! gets it by construction). With `num_threads(1)` every fork degenerates
+//! to sequential inline execution on the single worker — useful for
+//! scaling studies. `num_threads(0)` (the default) means "host
+//! parallelism", matching rayon.
 //!
 //! # Remaining gaps vs. real rayon
 //!
-//! * **No pool reuse**: every `install`/`join`/`par_iter` spawns fresh
-//!   scoped threads rather than dispatching to persistent workers, so the
-//!   per-call overhead is a thread spawn (~10 µs), not a queue push.
-//! * **No work stealing**: `par_iter` splits into equal contiguous chunks
-//!   up front; imbalanced workloads are not rebalanced. (The task-graph
-//!   runtime in `calu-runtime` has its own shared-pool scheduler and does
-//!   not rely on this crate.)
+//! * Deques are `Mutex<VecDeque>`, not lock-free Chase-Lev: correct and
+//!   contention-adequate at this workspace's fork granularity (panel
+//!   tiles), but a real implementation steals without locks.
 //! * `spawn`, `scope`, `ParallelSlice`, bridges, and the rest of rayon's
-//!   surface are absent.
+//!   surface are absent; `collect` materializes per-split `Vec`s rather
+//!   than driving a `Consumer` tree.
+//! * The global registry is never torn down (rayon leaks it too);
+//!   [`ThreadPool`] joins its workers on drop.
 
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-/// An installed pool's context: the configured limit plus a census of
-/// threads currently executing pool work (the installing thread counts as
-/// one). The census is shared by every thread this crate spawns under the
-/// install, so *nested* `join`s and `par_iter`s draw from one global
-/// budget instead of each independently spawning up to the limit — a
-/// depth-`d` nest of parallel calls stays at `limit` threads, not
-/// `limit^d`.
-#[derive(Clone)]
-struct PoolCtx {
-    limit: usize,
-    active: Arc<AtomicUsize>,
+// ---------------------------------------------------------------------------
+// Job plumbing: type-erased pointers to stack-allocated closures, completed
+// through a latch. The pointee outlives the pointer because every fork's
+// owner blocks (or help-steals) until the latch is set before returning.
+
+#[derive(Clone, Copy)]
+struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
 }
 
-impl PoolCtx {
-    /// Tries to reserve one worker slot; on success the caller must
-    /// [`Self::release`] it when the worker finishes.
-    fn try_reserve(&self) -> bool {
-        self.active
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
-                if a < self.limit {
-                    Some(a + 1)
-                } else {
-                    None
-                }
-            })
-            .is_ok()
+// SAFETY: a JobRef is only ever executed once, while the StackJob it points
+// to is kept alive by the forking stack frame waiting on its latch.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.exec)(self.ptr);
+    }
+}
+
+/// One-shot completion flag, waitable both by blocking (non-worker threads)
+/// and by polling (workers, which help-steal instead of sleeping).
+struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch { done: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
     }
 
-    fn release(&self) {
-        self.active.fetch_sub(1, Ordering::AcqRel);
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
     }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Serialize with a sleeping waiter's recheck-then-wait.
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.cv.notify_all();
+    }
+
+    fn wait_blocking(&self) {
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !self.probe() {
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+// SAFETY: the UnsafeCells are touched only by the single executor (guarded
+// by the one-shot JobRef) and, after the latch is set, by the single waiter.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
+    fn new(f: F) -> Self {
+        StackJob { f: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    unsafe fn exec_erased(this: *const ()) {
+        let job = &*(this as *const Self);
+        let f = (*job.f.get()).take().expect("job executed twice");
+        *job.result.get() = Some(catch_unwind(AssertUnwindSafe(f)));
+        job.latch.set();
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const Self as *const (), exec: Self::exec_erased }
+    }
+
+    /// Takes the result after the latch is set; re-raises a payload if the
+    /// closure panicked on whichever thread executed it.
+    fn take_result(&self) -> R {
+        debug_assert!(self.latch.probe());
+        // SAFETY: latch set — the executor is done with both cells.
+        match unsafe { (*self.result.get()).take() } {
+            Some(Ok(r)) => r,
+            Some(Err(payload)) => resume_unwind(payload),
+            None => unreachable!("latch set without a result"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the persistent worker pool.
+
+struct Registry {
+    /// Per-worker deques: owner pushes/pops LIFO at the back, thieves
+    /// steal FIFO from the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Work arriving from threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    terminate: AtomicBool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 thread_local! {
-    /// Pool context installed by [`ThreadPool::install`]; `None` means
-    /// "no pool" (host parallelism, no census).
-    static POOL: RefCell<Option<PoolCtx>> = const { RefCell::new(None) };
+    /// Set for the lifetime of a worker thread: its registry and index.
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
 }
 
-fn pool_ctx() -> Option<PoolCtx> {
-    POOL.with_borrow(|p| p.clone())
+fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with_borrow(Clone::clone)
 }
 
-/// The concurrency limit in effect on this thread: the installed pool
-/// size, or the host's available parallelism outside any pool.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+}
+
+impl Registry {
+    fn new(n: usize) -> Arc<Self> {
+        let n = n.max(1);
+        let reg = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(n);
+        for index in 0..n {
+            let r = Arc::clone(&reg);
+            let h = std::thread::Builder::new()
+                .name(format!("rayon-compat-{index}"))
+                .spawn(move || r.worker_main(index))
+                .expect("rayon-compat: failed to spawn pool worker");
+            handles.push(h);
+        }
+        *reg.handles.lock().unwrap_or_else(|e| e.into_inner()) = handles;
+        reg
+    }
+
+    fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn notify(&self) {
+        let _guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sleep_cv.notify_all();
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.notify();
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        self.notify();
+    }
+
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].lock().unwrap_or_else(|e| e.into_inner()).pop_back()
+    }
+
+    /// Own deque (LIFO) first, then the injector, then steal round-robin
+    /// from the other workers (FIFO — the oldest fork is the biggest).
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.pop_local(index) {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+            return Some(job);
+        }
+        let n = self.num_threads();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) =
+                self.deques[victim].lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_main(self: Arc<Self>, index: usize) {
+        WORKER.set(Some((Arc::clone(&self), index)));
+        loop {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: the forking frame waits on the job's latch.
+                unsafe { job.execute() };
+                continue;
+            }
+            if self.terminate.load(Ordering::Acquire) {
+                break;
+            }
+            let guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
+            // Timed wait: a push between our failed scan and this wait
+            // would be missed otherwise; 1 ms bounds that race.
+            let _ = self
+                .sleep_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Runs `f` on a worker of this registry: inline when already on one,
+    /// else injected and waited for (blocking — the caller is not a pool
+    /// thread, it has no work to help with).
+    fn in_worker<R: Send>(self: &Arc<Self>, f: impl FnOnce() -> R + Send) -> R {
+        if let Some((reg, _)) = current_worker() {
+            if Arc::ptr_eq(&reg, self) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f);
+        self.inject(job.as_job_ref());
+        job.latch.wait_blocking();
+        job.take_result()
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The registry used outside any installed pool, sized to the host.
+fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(host_parallelism()))
+}
+
+/// The concurrency limit in effect on this thread: the owning pool's
+/// worker count on a pool thread, or the host's available parallelism
+/// outside any pool.
 pub fn current_num_threads() -> usize {
-    pool_ctx()
-        .map(|c| c.limit)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1))
-        .max(1)
-}
-
-/// Runs `f` on a scoped thread that inherits the caller's pool context
-/// (`std::thread::scope` does not propagate thread-locals by itself).
-fn spawn_inheriting<'scope, 'env, R: Send + 'scope>(
-    s: &'scope std::thread::Scope<'scope, 'env>,
-    f: impl FnOnce() -> R + Send + 'scope,
-) -> std::thread::ScopedJoinHandle<'scope, R> {
-    let ctx = pool_ctx();
-    s.spawn(move || {
-        POOL.set(ctx);
-        f()
-    })
+    match current_worker() {
+        Some((reg, _)) => reg.num_threads(),
+        None => global_registry().num_threads(),
+    }
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///
-/// Under an installed pool the second closure is spawned only when the
-/// pool's *global* worker budget has a free slot (the slot is returned
-/// when the closure finishes); otherwise — including under a limit of 1 —
-/// both run sequentially on the calling thread.
+/// On a pool worker this is a classic work-stealing fork: `b` is pushed
+/// onto the worker's own deque, `a` runs inline, and then `b` is either
+/// reclaimed and run inline (nobody stole it) or its completion is
+/// awaited while *helping* — executing other pool jobs instead of
+/// blocking. On a single-worker pool both closures run inline
+/// sequentially. Outside any pool the call migrates into the global
+/// registry first, so the fork lands on real workers.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -116,33 +316,75 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    if let Some(ctx) = pool_ctx() {
-        if !ctx.try_reserve() {
+    if let Some((reg, index)) = current_worker() {
+        if reg.num_threads() <= 1 {
             let ra = a();
             let rb = b();
             return (ra, rb);
         }
-        let release = ctx.clone();
-        return std::thread::scope(|s| {
-            let hb = spawn_inheriting(s, move || {
-                let r = b();
-                release.release();
-                r
-            });
-            let ra = a();
-            (ra, hb.join().expect("rayon-compat join: task panicked"))
-        });
+        return join_on_worker(&reg, index, a, b);
     }
-    std::thread::scope(|s| {
-        let hb = spawn_inheriting(s, b);
+    let reg = global_registry();
+    if reg.num_threads() <= 1 {
         let ra = a();
-        (ra, hb.join().expect("rayon-compat join: task panicked"))
-    })
+        let rb = b();
+        return (ra, rb);
+    }
+    reg.in_worker(move || join(a, b))
+}
+
+fn join_on_worker<A, B, RA, RB>(reg: &Arc<Registry>, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(b);
+    let b_ref = b_job.as_job_ref();
+    reg.push_local(index, b_ref);
+    let ra = a();
+    while !b_job.latch.probe() {
+        // Fast path: our fork is still the newest thing in our deque —
+        // reclaim and run it inline. (Nested forks inside `a` are fully
+        // resolved before `a` returns, so the only job of ours that can
+        // still be queued is `b` itself; anything else found here was
+        // queued by work we executed while helping, and running it keeps
+        // the pool making progress either way.)
+        if let Some(job) = reg.pop_local(index) {
+            // SAFETY: jobs run exactly once; forkers wait on latches.
+            unsafe { job.execute() };
+            continue;
+        }
+        // A thief has `b`: help with other pool work while it finishes.
+        if let Some(job) = reg.find_work(index) {
+            // SAFETY: as above.
+            unsafe { job.execute() };
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    (ra, b_job.take_result())
+}
+
+/// Splits `items` by recursive [`join`] down to pieces of at most
+/// `max_piece`, mapping each through `f`; concatenation preserves input
+/// order by construction. Which worker runs which piece is decided by
+/// stealing at run time.
+fn map_split<'a, T, R, F>(items: &'a [T], f: &F, max_piece: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    if items.len() <= max_piece {
+        return items.iter().map(f).collect();
+    }
+    let mid = items.len() / 2;
+    let (left, right) = items.split_at(mid);
+    let (mut lv, rv) = join(|| map_split(left, f, max_piece), || map_split(right, f, max_piece));
+    lv.extend(rv);
+    lv
 }
 
 /// Parallel-iterator traits and adaptors.
@@ -192,14 +434,15 @@ pub mod prelude {
     }
 
     impl<'a, T: Sync, F> ParMap<'a, T, F> {
-        /// Runs the map across threads and collects in input order.
+        /// Runs the map across the pool's workers and collects in input
+        /// order.
         ///
-        /// Under an installed pool the worker count is bounded by the
-        /// pool's **global** budget, not just the per-call limit: the
-        /// caller keeps the first chunk, each further chunk spawns only
-        /// if a budget slot is free (returned when the chunk finishes),
-        /// and chunks that find the budget exhausted run inline on the
-        /// caller — so nested `par_iter`s never multiply past the limit.
+        /// The slice is split by recursive [`crate::join`] into a few
+        /// pieces per worker, so the load balances by work stealing: a
+        /// worker that finishes its half steals the biggest pending piece
+        /// of another's. All execution stays on the owning pool's
+        /// workers, so nested `par_iter`s are globally capped at the pool
+        /// size by construction.
         pub fn collect<C, R>(self) -> C
         where
             F: Fn(&'a T) -> R + Sync,
@@ -207,54 +450,14 @@ pub mod prelude {
             C: FromIterator<R>,
         {
             let n = self.items.len();
-            let threads = crate::current_num_threads().min(n);
+            let threads = crate::current_num_threads().min(n.max(1));
             if n <= 1 || threads <= 1 {
                 return self.items.iter().map(&self.f).collect();
             }
-            let chunk = n.div_ceil(threads);
-            let f = &self.f;
-            let ctx = crate::pool_ctx();
-            let mut out: Vec<Vec<R>> = std::thread::scope(|s| {
-                // (chunk index, handle) for spawned chunks; inline results
-                // are computed on the caller after the spawns are in flight.
-                let mut handles = Vec::new();
-                let mut inline = Vec::new();
-                for (i, c) in self.items.chunks(chunk).enumerate() {
-                    let reserved = if i == 0 {
-                        false // the caller works too; it holds its own slot
-                    } else {
-                        match &ctx {
-                            Some(ctx) => ctx.try_reserve(),
-                            None => true,
-                        }
-                    };
-                    if reserved {
-                        let release = ctx.clone();
-                        handles.push((
-                            i,
-                            crate::spawn_inheriting(s, move || {
-                                let r = c.iter().map(f).collect::<Vec<R>>();
-                                if let Some(ctx) = release {
-                                    ctx.release();
-                                }
-                                r
-                            }),
-                        ));
-                    } else {
-                        inline.push((i, c));
-                    }
-                }
-                let mut parts: Vec<(usize, Vec<R>)> = inline
-                    .into_iter()
-                    .map(|(i, c)| (i, c.iter().map(f).collect::<Vec<R>>()))
-                    .collect();
-                for (i, h) in handles {
-                    parts.push((i, h.join().expect("rayon-compat map: task panicked")));
-                }
-                parts.sort_by_key(|(i, _)| *i);
-                parts.into_iter().map(|(_, v)| v).collect()
-            });
-            out.drain(..).flatten().collect()
+            // A few pieces per worker: enough slack for stealing to
+            // rebalance, not so many that fork overhead dominates.
+            let max_piece = n.div_ceil(threads * 4).max(1);
+            crate::map_split(self.items, &self.f, max_piece).into_iter().collect()
         }
     }
 }
@@ -285,57 +488,60 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests a pool size, enforced as the concurrency limit of every
+    /// Requests a pool size: the number of persistent worker threads the
+    /// built pool owns, and therefore the hard concurrency cap of every
     /// primitive of this crate that runs inside [`ThreadPool::install`].
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its workers.
     ///
     /// # Errors
     /// Never fails in this stand-in (kept for API compatibility).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads })
+        let n = if self.num_threads == 0 { host_parallelism() } else { self.num_threads };
+        Ok(ThreadPool { registry: Registry::new(n) })
     }
 }
 
-/// A handle mimicking `rayon::ThreadPool`.
-#[derive(Debug)]
+/// A handle mimicking `rayon::ThreadPool`: owns persistent worker
+/// threads, joined on drop.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.registry.num_threads()).finish()
+    }
 }
 
 impl ThreadPool {
-    /// The pool's configured concurrency limit.
+    /// The pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        if self.num_threads == 0 {
-            std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
-        } else {
-            self.num_threads
-        }
+        self.registry.num_threads()
     }
 
-    /// Runs `f` inside the pool: on a fresh scoped thread carrying a pool
-    /// context (size limit + shared worker census, inherited by every
-    /// nested `join`/`par_iter` spawn), so this crate's primitives are
-    /// globally capped at the pool size no matter how deeply they nest
-    /// (see the crate docs for the remaining gaps vs. real rayon).
+    /// Runs `f` **on a pool worker** and returns its result. Every
+    /// `join`/`par_iter` underneath schedules exclusively on this pool's
+    /// workers, so the pool size caps total concurrency no matter how
+    /// deeply the primitives nest.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        let ctx = PoolCtx {
-            limit: self.current_num_threads(),
-            // The installing thread itself occupies one slot.
-            active: Arc::new(AtomicUsize::new(1)),
-        };
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                POOL.set(Some(ctx));
-                f()
-            })
-            .join()
-            .expect("rayon-compat install: task panicked")
-        })
+        self.registry.in_worker(f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.notify();
+        let handles =
+            std::mem::take(&mut *self.registry.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
@@ -403,14 +609,14 @@ mod tests {
 
     #[test]
     fn pool_limit_inherits_into_nested_spawns() {
-        // The limit must survive into the *spawned* side of a join (the
-        // thread-local does not propagate by itself) and keep capping
-        // nested primitives there.
+        // The limit must hold on the *forked* side of a join too — with a
+        // real pool that is automatic, because the fork can only ever run
+        // on one of the pool's own workers.
         let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let (outer, spawned) =
             pool.install(|| super::join(super::current_num_threads, super::current_num_threads));
         assert_eq!(outer, 2);
-        assert_eq!(spawned, 2, "spawned join arm must inherit the installed limit");
+        assert_eq!(spawned, 2, "forked join arm must see the pool's limit");
 
         // And a limit of 1 forces joins inline on whatever thread runs them.
         let pool1 = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
@@ -430,10 +636,10 @@ mod tests {
 
     #[test]
     fn nested_par_iters_share_one_global_budget() {
-        // Regression: an installed limit of 2 must bound the *total*
-        // concurrent worker count even when par_iters nest — before the
-        // shared census, each nesting level independently spawned up to
-        // the limit (4x4 -> up to 4 concurrent workers here).
+        // An installed limit of 2 must bound the *total* concurrent worker
+        // count even when par_iters nest — the pool has exactly 2 worker
+        // threads and all nested work runs on them, so 4x4 nested
+        // par_iters cannot exceed 2 concurrent leaves.
         use std::sync::atomic::{AtomicUsize, Ordering};
         let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let active = AtomicUsize::new(0);
@@ -490,5 +696,51 @@ mod tests {
         assert_eq!(total, 4);
         let p = peak.load(Ordering::Acquire);
         assert!(p <= 2, "pool of 2 ran {p} join arms concurrently");
+    }
+
+    #[test]
+    fn work_stealing_rebalances_imbalanced_halves() {
+        // One heavy element at the front: with static half/half chunking a
+        // 2-worker pool would serialize behind it; stealing lets the other
+        // worker drain the rest of the slice meanwhile. Correctness (order
+        // preserved) is asserted; the rebalancing itself is what the pool
+        // provides by construction.
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = pool.install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    x * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_workers_are_persistent_across_installs() {
+        // Two installs on one pool must reuse the same worker threads —
+        // the pool is persistent, not spawn-per-call.
+        let pool = super::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let first = pool.install(|| std::thread::current().id());
+        let second = pool.install(|| std::thread::current().id());
+        assert_eq!(first, second, "installs must dispatch to the same persistent worker");
+    }
+
+    #[test]
+    fn join_propagates_panics_from_the_forked_side() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = pool.install(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                super::join(|| 1, || -> usize { panic!("forked arm exploded") })
+            }))
+            .err()
+        });
+        let payload = caught.expect("panic must propagate to the join caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "forked arm exploded");
     }
 }
