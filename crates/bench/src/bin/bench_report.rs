@@ -1,0 +1,280 @@
+//! Profiling and regression front-end over the observability stack.
+//!
+//! Two modes:
+//!
+//! * `bench_report --trace PATH [--wall-s S] [--out PATH]` — parse a
+//!   Chrome trace (e.g. `TRACE_serve.json`, or a `--trace-out` export
+//!   from any bench bin), run `calu_obs::analyze` over it, and render the
+//!   resulting [`Profile`] as a deterministic JSON report. Asserts the
+//!   analysis invariants on the way out: every worker's compute +
+//!   comm-wait + overhead + idle sums to wall-clock **exactly**, and the
+//!   measured critical path is ≤ wall and ≥ every single worker's own
+//!   longest span chain. (A bare trace carries no ledger/queue-delay side
+//!   channels, so its busy time all lands in `compute` — the bins that
+//!   have the side channels embed the fully attributed profile in their
+//!   `BENCH_*.json` records.)
+//! * `bench_report --diff A.json B.json [--tol REL]` — structural diff of
+//!   two bench records (any `BENCH_*.json`): walks both JSON trees,
+//!   reports every leaf that differs (numeric leaves with their relative
+//!   difference, largest first) and every key present on one side only.
+//!   Without `--tol` the diff is informational and always exits 0; with
+//!   `--tol` the exit code is 1 if any numeric leaf moved by more than
+//!   the given relative tolerance — the regression-detection mode CI can
+//!   gate on.
+//!
+//! Host-dependent fields (`host_threads`, wall-clock seconds) *will*
+//! differ across machines; pick comparison pairs (same host, or modeled
+//! sections only) accordingly — see EXPERIMENTS.md on measured-speedup
+//! honesty.
+
+use calu_obs::analyze::longest_chain_ns;
+use calu_obs::{parse_chrome_trace, JsonValue, Profile, ProfileInputs};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_report --trace PATH [--wall-s S] [--out PATH]\n\
+         \u{20}      bench_report --diff A.json B.json [--tol REL]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One differing leaf between two records.
+struct Diff {
+    path: String,
+    a: String,
+    b: String,
+    /// Relative difference for numeric leaves; `None` for type/shape/
+    /// string/bool differences (always reported, never tolerated).
+    rel: Option<f64>,
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else {
+        (a - b).abs() / f64::max(a.abs(), b.abs())
+    }
+}
+
+/// Walks both trees, collecting every difference with its JSON-pointer
+/// path. Object keys are compared as sets (order changes are not
+/// differences); arrays are compared element-wise.
+fn diff_json(path: &str, a: &JsonValue, b: &JsonValue, out: &mut Vec<Diff>) {
+    match (a.as_object(), b.as_object()) {
+        (Some(ao), Some(bo)) => {
+            let am: BTreeMap<&str, &JsonValue> = ao.iter().map(|(k, v)| (k.as_str(), v)).collect();
+            let bm: BTreeMap<&str, &JsonValue> = bo.iter().map(|(k, v)| (k.as_str(), v)).collect();
+            for (k, av) in &am {
+                match bm.get(k) {
+                    Some(bv) => diff_json(&format!("{path}/{k}"), av, bv, out),
+                    None => out.push(Diff {
+                        path: format!("{path}/{k}"),
+                        a: "present".into(),
+                        b: "missing".into(),
+                        rel: None,
+                    }),
+                }
+            }
+            for k in bm.keys() {
+                if !am.contains_key(k) {
+                    out.push(Diff {
+                        path: format!("{path}/{k}"),
+                        a: "missing".into(),
+                        b: "present".into(),
+                        rel: None,
+                    });
+                }
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => {
+            out.push(Diff { path: path.into(), a: a.to_json(), b: b.to_json(), rel: None });
+            return;
+        }
+    }
+    match (a.as_array(), b.as_array()) {
+        (Some(aa), Some(ba)) => {
+            if aa.len() != ba.len() {
+                out.push(Diff {
+                    path: path.into(),
+                    a: format!("{} elements", aa.len()),
+                    b: format!("{} elements", ba.len()),
+                    rel: None,
+                });
+            }
+            for (i, (av, bv)) in aa.iter().zip(ba).enumerate() {
+                diff_json(&format!("{path}/{i}"), av, bv, out);
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => {
+            out.push(Diff { path: path.into(), a: a.to_json(), b: b.to_json(), rel: None });
+            return;
+        }
+    }
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        if x != y {
+            out.push(Diff {
+                path: path.into(),
+                a: a.to_json(),
+                b: b.to_json(),
+                rel: Some(rel_diff(x, y)),
+            });
+        }
+        return;
+    }
+    if a.to_json() != b.to_json() {
+        out.push(Diff { path: path.into(), a: a.to_json(), b: b.to_json(), rel: None });
+    }
+}
+
+fn run_trace(path: &str, wall_s: f64, out: Option<&str>) {
+    let spans = parse_chrome_trace(&read(path)).unwrap_or_else(|e| {
+        eprintln!("{path} is not a valid chrome trace: {e}");
+        std::process::exit(2);
+    });
+    // A bare trace has no ledger or queue-delay side channels; the
+    // partition still holds exactly, with busy time reported as compute.
+    let profile = Profile::build(&spans, ProfileInputs { wall_s, ..Default::default() });
+    for w in &profile.workers {
+        assert!(
+            w.partition_exact(),
+            "lane ({},{}) violates the sum-to-wall partition",
+            w.pid,
+            w.tid
+        );
+    }
+    assert!(profile.measured_cp_ns <= profile.wall_ns, "measured critical path exceeds wall-clock");
+    // Each worker's own longest chain bounds the global chain from below.
+    let mut lanes: BTreeMap<(u32, u32), Vec<(u64, u64)>> = BTreeMap::new();
+    for (s, iv) in spans.iter().zip(calu_obs::analyze::intervals_ns(&spans)) {
+        lanes.entry((s.pid, s.tid)).or_default().push(iv);
+    }
+    for ((pid, tid), ivs) in lanes {
+        assert!(
+            longest_chain_ns(&ivs) <= profile.measured_cp_ns,
+            "lane ({pid},{tid}) chains longer than the measured critical path"
+        );
+    }
+    let report = JsonValue::obj()
+        .set("report", "bench_report")
+        .set("trace", path)
+        .set("profile", profile.to_json());
+    let text = report.pretty();
+    match out {
+        Some(p) => {
+            std::fs::write(p, format!("{text}\n")).unwrap_or_else(|e| {
+                eprintln!("cannot write {p}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote {p}");
+        }
+        None => println!("{text}"),
+    }
+    println!(
+        "{} spans, {} workers: partition exact, measured CP {:.3}ms <= wall {:.3}ms ✓",
+        profile.spans,
+        profile.workers.len(),
+        profile.measured_cp_ns as f64 / 1e6,
+        profile.wall_ns as f64 / 1e6
+    );
+}
+
+fn run_diff(a_path: &str, b_path: &str, tol: Option<f64>) {
+    let parse = |path: &str| {
+        JsonValue::parse(&read(path)).unwrap_or_else(|e| {
+            eprintln!("{path} is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (parse(a_path), parse(b_path));
+    let mut diffs = Vec::new();
+    diff_json("", &a, &b, &mut diffs);
+    // Largest numeric movement first; structural differences lead.
+    diffs.sort_by(|x, y| y.rel.unwrap_or(f64::INFINITY).total_cmp(&x.rel.unwrap_or(f64::INFINITY)));
+    if diffs.is_empty() {
+        println!("{a_path} and {b_path}: identical");
+        return;
+    }
+    println!("{a_path} vs {b_path}: {} differing leaves", diffs.len());
+    for d in &diffs {
+        match d.rel {
+            Some(r) => println!("  {:>9.4}% {}: {} -> {}", r * 1e2, d.path, d.a, d.b),
+            None => println!("  structural {}: {} -> {}", d.path, d.a, d.b),
+        }
+    }
+    if let Some(tol) = tol {
+        let worst = diffs.iter().filter_map(|d| d.rel).fold(0.0, f64::max);
+        let structural = diffs.iter().filter(|d| d.rel.is_none()).count();
+        if worst > tol || structural > 0 {
+            eprintln!(
+                "regression gate: worst relative change {:.4}% > {:.4}% tolerance \
+                 (or {structural} structural changes)",
+                worst * 1e2,
+                tol * 1e2
+            );
+            std::process::exit(1);
+        }
+        println!("within tolerance {:.4}% ✓", tol * 1e2);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace: Option<String> = None;
+    let mut wall_s = 0.0_f64;
+    let mut out: Option<String> = None;
+    let mut diff: Vec<String> = Vec::new();
+    let mut tol: Option<f64> = None;
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage();
+            })
+        };
+        let parsed = |v: String| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value {v:?}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--trace" => trace = Some(val()),
+            "--wall-s" => wall_s = parsed(val()),
+            "--out" => out = Some(val()),
+            "--diff" => {
+                diff.push(val());
+                diff.push(val());
+            }
+            "--tol" => tol = Some(parsed(val())),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_report --trace PATH [--wall-s S] [--out PATH]\n\
+                     \u{20}      bench_report --diff A.json B.json [--tol REL]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                usage();
+            }
+        }
+    }
+    match (trace, diff.len()) {
+        (Some(path), 0) => run_trace(&path, wall_s, out.as_deref()),
+        (None, 2) => run_diff(&diff[0], &diff[1], tol),
+        _ => usage(),
+    }
+}

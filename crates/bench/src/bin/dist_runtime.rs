@@ -26,12 +26,14 @@ use calu_core::dist::{dist_calu_factor_spmd, DistCaluConfig};
 use calu_core::{dist_calu_factor_rt, CommKind, DistRtOpts, LocalLu};
 use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
-use calu_obs::JsonValue;
+use calu_obs::analyze::{dag_span_chain_ns, intervals_ns, measured_phase_ns, reconcile_phases};
+use calu_obs::{JsonValue, Profile, ProfileInputs};
 use calu_runtime::{
     simulate_dist_schedule, DistCostModel, DistGeom, DistPanelAlg, ExecutorKind, LuDag, LuShape,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::time::Instant;
 
 struct Args {
@@ -42,6 +44,7 @@ struct Args {
     reps: usize,
     communicator: CommKind,
     out: String,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +56,7 @@ fn parse_args() -> Args {
         reps: 1,
         communicator: CommKind::InProcess,
         out: "BENCH_dist.json".into(),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -82,10 +86,12 @@ fn parse_args() -> Args {
                 });
             }
             "--out" => args.out = val(),
+            "--trace-out" => args.trace_out = Some(val()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: dist_runtime [--n N] [--nb NB] [--model-n N] [--model-nb NB] \
-                     [--reps R] [--communicator in_process|threaded] [--out PATH]"
+                     [--reps R] [--communicator in_process|threaded] [--out PATH] \
+                     [--trace-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -253,6 +259,93 @@ fn main() {
         .to_json(&rep.expected_mailbox)
         .set("skeleton", rep.skeleton_deltas().iter().map(|d| d.to_json()).collect::<JsonValue>());
 
+    // --- Wait-state profile and measured critical path of the
+    // instrumented run. The sum-to-wall partition is exact per worker
+    // (Profile::build asserts it); the measured critical path is
+    // sandwiched between the DAG's longest executed span chain and the
+    // wall clock.
+    let mshape = LuShape { m: n, n, nb };
+    let mdag = LuDag::build_dist(mshape, (pr, pc), 2);
+    let intervals = intervals_ns(&rep.spans);
+    // Collectives execute once per participant under the threaded
+    // communicator, so one DAG task may own several span instances; the
+    // task-level edges fan out to all instance pairs and the analyzer
+    // keeps the temporally consistent ones.
+    let mut instances: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, s) in rep.spans.iter().enumerate() {
+        instances.entry(s.name.clone()).or_default().push(i);
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for u in 0..mdag.len() {
+        let Some(us) = instances.get(&mdag.tasks()[u].to_string()) else { continue };
+        for &v in mdag.successors(u) {
+            let Some(vs) = instances.get(&mdag.tasks()[v].to_string()) else { continue };
+            for &iu in us {
+                for &iv in vs {
+                    edges.push((iu, iv));
+                }
+            }
+        }
+    }
+    let dag_chain_ns = dag_span_chain_ns(&intervals, &edges);
+    let waits: Vec<((u32, u32), u64)> =
+        rep.comm.wait_rank_totals().into_iter().map(|(r, ns)| ((r, r), ns)).collect();
+    let overheads = rep.exec.queue_delay_ns_by_lane();
+    let profile = Profile::build(
+        &rep.spans,
+        ProfileInputs { wall_s: rep.exec.wall, comm_wait_ns: &waits, overhead_ns: &overheads },
+    );
+    assert!(profile.workers.iter().all(|w| w.partition_exact()), "sum-to-wall must be exact");
+    assert!(
+        dag_chain_ns <= profile.measured_cp_ns,
+        "the DAG's longest executed span chain bounds the measured critical path from below"
+    );
+    assert!(
+        profile.measured_cp_ns <= profile.wall_ns,
+        "the measured critical path cannot exceed the wall clock"
+    );
+    // Model-vs-measured reconciliation against the POWER5 skeleton, per
+    // phase (task category), not just totals; the headline ratio compares
+    // measured chained-span seconds to the modeled critical path.
+    let meas_model = DistCostModel {
+        geom: DistGeom { shape: mshape, pr, pc },
+        alg: DistPanelAlg::Tslu,
+        recursive_panel: true,
+        mch: mch.clone(),
+    };
+    let modeled_cp_s = mdag.critical_path(|t| meas_model.cost(t).total(&mch));
+    let measured_vs_modeled_cp = (dag_chain_ns as f64 / 1e9) / modeled_cp_s;
+    let mut modeled_phase: std::collections::BTreeMap<&'static str, f64> = Default::default();
+    for id in 0..mdag.len() {
+        let t = mdag.tasks()[id];
+        *modeled_phase.entry(t.cat()).or_default() += meas_model.cost(t).total(&mch);
+    }
+    let modeled_phase: Vec<(String, f64)> =
+        modeled_phase.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    let phases = reconcile_phases(&measured_phase_ns(&rep.spans), &modeled_phase);
+    println!(
+        "profile: {} workers partition {:.2}ms of wall exactly; DAG span chain {:.2}ms <= \
+         measured CP {:.2}ms <= wall, measured/modeled CP = {:.3}",
+        profile.workers.len(),
+        profile.wall_ns as f64 / 1e6,
+        dag_chain_ns as f64 / 1e6,
+        profile.measured_cp_ns as f64 / 1e6,
+        measured_vs_modeled_cp
+    );
+    let profile_json = profile
+        .to_json()
+        .set("dag_span_chain_ns", dag_chain_ns)
+        .set("dag_span_chain_s", dag_chain_ns as f64 / 1e9)
+        .set("modeled_cp_s", modeled_cp_s)
+        .set("measured_vs_modeled_cp", measured_vs_modeled_cp)
+        .set("phases", phases.iter().map(|p| p.to_json()).collect::<JsonValue>());
+
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, calu_obs::chrome_trace(&rep.spans))
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+        println!("wrote {path} ({} spans)", rep.spans.len());
+    }
+
     // --- JSON record.
     let modeled_json: JsonValue = modeled
         .iter()
@@ -307,6 +400,7 @@ fn main() {
                 .set("communicator", communicator.label())
                 .set("rows", measured_json),
         )
-        .set("comm", comm);
+        .set("comm", comm)
+        .set("profile", profile_json);
     write_record(&args.out, &record);
 }

@@ -22,15 +22,17 @@
 //! single-core host: the threaded-executor rows then measure executor
 //! overhead, not a parallel win (see EXPERIMENTS.md).
 //!
-//! Usage: `layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]`
-//! (defaults: n=0 meaning the 512 and 1024 record sizes, nb=128, reps=1,
-//! threads=0 = host, out=BENCH_layout.json).
+//! Usage: `layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]
+//! [--trace-out PATH]` (defaults: n=0 meaning the 512 and 1024 record
+//! sizes, nb=128, reps=1, threads=0 = host, out=BENCH_layout.json). With
+//! `--trace-out`, one extra tile-major threaded run at the largest size
+//! exports its task timeline as a Chrome trace for `bench_report --trace`.
 
 use calu_bench::{write_record, HostInfo};
 use calu_core::{runtime_calu_inplace, runtime_calu_tiles, CaluOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix, NoObs, TileMatrix};
 use calu_netsim::MachineConfig;
-use calu_obs::JsonValue;
+use calu_obs::{JsonValue, Recorder};
 use calu_runtime::{
     modeled_cache_traffic, modeled_time_layout, ExecutorKind, LuDag, LuShape, TileLocality,
 };
@@ -44,10 +46,18 @@ struct Args {
     reps: usize,
     threads: usize,
     out: String,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { n: 0, nb: 128, reps: 1, threads: 0, out: "BENCH_layout.json".into() };
+    let mut args = Args {
+        n: 0,
+        nb: 128,
+        reps: 1,
+        threads: 0,
+        out: "BENCH_layout.json".into(),
+        trace_out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -68,9 +78,11 @@ fn parse_args() -> Args {
             "--reps" => args.reps = parsed(val()),
             "--threads" => args.threads = parsed(val()),
             "--out" => args.out = val(),
+            "--trace-out" => args.trace_out = Some(val()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]"
+                    "usage: layout_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH] \
+                     [--trace-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -191,6 +203,26 @@ fn main() {
                 modeled_tiled_s: mt,
             });
         }
+    }
+
+    if let Some(path) = &args.trace_out {
+        // One extra tile-major threaded run at the largest size, replayed
+        // into a Chrome trace so `bench_report --trace` can profile it.
+        let n = *sizes.last().expect("sizes non-empty");
+        let a: Matrix = gen::randn(&mut rng, n, n);
+        let mut t = TileMatrix::from_matrix(&a, nb, nb);
+        let opts = CaluOpts { block: nb, p: 4, ..Default::default() };
+        let rt = RuntimeOpts {
+            lookahead: 1,
+            executor: ExecutorKind::Threaded { threads: args.threads },
+            parallel_panel: false,
+        };
+        let (ipiv, rep) = runtime_calu_tiles(&mut t, opts, rt, &mut NoObs).expect("traced run");
+        assert_eq!(ipiv.len(), n);
+        let rec = Recorder::new();
+        rep.record_into(&rec, 0.0);
+        std::fs::write(path, rec.chrome_trace()).expect("write trace json");
+        println!("wrote {path} ({} spans)", rec.len());
     }
 
     if !host.measured_speedup_valid {

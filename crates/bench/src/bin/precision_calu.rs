@@ -14,14 +14,16 @@
 //! * **convergence**: the per-iteration backward-error trajectory of
 //!   `ir_solve` and whether the `f64` HPL gate passed.
 //!
-//! Usage: `precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]`
-//! (defaults: n=768, nb=96, reps=1, out=BENCH_precision.json).
+//! Usage: `precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]
+//! [--trace-out PATH]` (defaults: n=768, nb=96, reps=1,
+//! out=BENCH_precision.json). With `--trace-out`, one extra `f32` run
+//! exports its task timeline as a Chrome trace for `bench_report --trace`.
 
 use calu_bench::{write_record, HostInfo};
 use calu_core::{ir_solve, runtime_calu_factor, CaluOpts, IrOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix, Scalar};
 use calu_netsim::{MachineConfig, Precision};
-use calu_obs::JsonValue;
+use calu_obs::{JsonValue, Recorder};
 use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,10 +34,12 @@ struct Args {
     nb: usize,
     reps: usize,
     out: String,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { n: 768, nb: 96, reps: 1, out: "BENCH_precision.json".into() };
+    let mut args =
+        Args { n: 768, nb: 96, reps: 1, out: "BENCH_precision.json".into(), trace_out: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -55,8 +59,12 @@ fn parse_args() -> Args {
             "--nb" => args.nb = parsed(val()),
             "--reps" => args.reps = parsed(val()),
             "--out" => args.out = val(),
+            "--trace-out" => args.trace_out = Some(val()),
             "--help" | "-h" => {
-                eprintln!("usage: precision_calu [--n N] [--nb NB] [--reps R] [--out PATH]");
+                eprintln!(
+                    "usage: precision_calu [--n N] [--nb NB] [--reps R] [--out PATH] \
+                     [--trace-out PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -126,6 +134,17 @@ fn main() {
         cp32 * 1e3,
         cp64 / cp32
     );
+
+    if let Some(path) = &args.trace_out {
+        // One extra f32 run, replayed into a Chrome trace so
+        // `bench_report --trace` can profile the low-precision schedule.
+        let (f, rep) = runtime_calu_factor(&a32, opts, rt).expect("traced run succeeds");
+        assert_eq!(f.ipiv.len(), n);
+        let rec = Recorder::new();
+        rep.record_into(&rec, 0.0);
+        std::fs::write(path, rec.chrome_trace()).expect("write trace json");
+        println!("wrote {path} ({} spans)", rec.len());
+    }
 
     // --- ir_solve end to end: f32 factor + f64 refinement.
     let ir_opts = IrOpts { calu: opts, rt, max_iter: 10 };

@@ -17,14 +17,17 @@
 //! committed record from a single-core CI container cannot be mistaken
 //! for a parallel-win measurement (see EXPERIMENTS.md).
 //!
-//! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]`
-//! (defaults: n=1024, nb=128, reps=1, threads=0 = host, out=BENCH_runtime.json).
+//! Usage: `runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]
+//! [--trace-out PATH]` (defaults: n=1024, nb=128, reps=1, threads=0 = host,
+//! out=BENCH_runtime.json). With `--trace-out`, one extra threaded run at
+//! the deepest lookahead exports its task timeline as a Chrome trace that
+//! `bench_report --trace` (or `chrome://tracing`) can consume.
 
 use calu_bench::{write_record, HostInfo};
 use calu_core::{runtime_calu_factor, CaluOpts, RuntimeOpts};
 use calu_matrix::{gen, Matrix};
 use calu_netsim::MachineConfig;
-use calu_obs::JsonValue;
+use calu_obs::{JsonValue, Recorder};
 use calu_runtime::{modeled_time, ExecutorKind, LuDag, LuShape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,10 +39,18 @@ struct Args {
     reps: usize,
     threads: usize,
     out: String,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { n: 1024, nb: 128, reps: 1, threads: 0, out: "BENCH_runtime.json".into() };
+    let mut args = Args {
+        n: 1024,
+        nb: 128,
+        reps: 1,
+        threads: 0,
+        out: "BENCH_runtime.json".into(),
+        trace_out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -60,9 +71,11 @@ fn parse_args() -> Args {
             "--reps" => args.reps = parsed(val()),
             "--threads" => args.threads = parsed(val()),
             "--out" => args.out = val(),
+            "--trace-out" => args.trace_out = Some(val()),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH]"
+                    "usage: runtime_calu [--n N] [--nb NB] [--reps R] [--threads T] [--out PATH] \
+                     [--trace-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -162,6 +175,22 @@ fn main() {
              critical-path win of {:.2}x",
             rows.iter().map(|r| r.modeled_serial_s / r.modeled_cp_s).fold(0.0, f64::max)
         );
+    }
+
+    if let Some(path) = &args.trace_out {
+        // One extra threaded run at the deepest lookahead, replayed into a
+        // Chrome trace so `bench_report --trace` can profile it.
+        let rt = RuntimeOpts {
+            lookahead: 3,
+            executor: ExecutorKind::Threaded { threads: args.threads },
+            parallel_panel: false,
+        };
+        let (f, rep) = runtime_calu_factor(&a, opts, rt).expect("traced run succeeds");
+        assert_eq!(f.ipiv.len(), n);
+        let rec = Recorder::new();
+        rep.record_into(&rec, 0.0);
+        std::fs::write(path, rec.chrome_trace()).expect("write trace json");
+        println!("wrote {path} ({} spans)", rec.len());
     }
 
     let row_json = |r: &Row| {

@@ -35,7 +35,7 @@
 //!   posted payloads — under [`ThreadedComm`] there is no other channel.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -73,6 +73,27 @@ pub const MAIL_GUR: u8 = 7;
 /// `PDGETF2` pivot-row exchange segment (`j` = panel column, `who` =
 /// sender prow).
 pub const MAIL_GRX: u8 = 8;
+
+/// Number of mail classes (`MAIL_ACC..=MAIL_GRX`) — sizes the per-class
+/// wait counters.
+const MAIL_CLASSES: usize = 9;
+
+/// The [`CommLedger`](calu_obs::CommLedger) term a mail class's traffic is
+/// accounted under — the same attribution the senders/receivers use for
+/// word counts, so blocked-fetch wait time lands next to the words that
+/// explain it.
+pub fn mail_class_term(class: u8) -> &'static str {
+    match class {
+        MAIL_ACC => "tslu_leg",
+        MAIL_PIV => "piv_bcast",
+        MAIL_WBK => "w_bcast",
+        MAIL_PAN => "panel_bcast",
+        MAIL_U12 => "u_bcast",
+        MAIL_SWP => "swap",
+        MAIL_GCD | MAIL_GUR | MAIL_GRX => "panel_getf2",
+        _ => unreachable!("unknown mail class {class}"),
+    }
+}
 
 /// Which communicator backend a distributed run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -253,6 +274,10 @@ struct RankBox {
     stash: Mutex<HashMap<MailKey, Arc<Vec<f64>>>>,
     /// Set by [`Communicator::cancel`]; checked by every blocked fetch.
     canceled: AtomicBool,
+    /// Nanoseconds this rank spent blocked in [`Communicator::fetch`],
+    /// per mail class. Only misses pay: a fetch whose key is already
+    /// stashed records nothing.
+    wait_ns: [AtomicU64; MAIL_CLASSES],
 }
 
 /// Ranks as real OS threads: rank `r`'s thread owns inbox `r`, sends are
@@ -283,6 +308,7 @@ impl ThreadedComm {
                 rx: Mutex::new(rx),
                 stash: Mutex::new(HashMap::new()),
                 canceled: AtomicBool::new(false),
+                wait_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             });
         }
         Self { senders, boxes }
@@ -291,6 +317,22 @@ impl ThreadedComm {
     /// Number of ranks.
     pub fn ranks(&self) -> usize {
         self.boxes.len()
+    }
+
+    /// Nanoseconds rank `rank` spent blocked in [`Communicator::fetch`],
+    /// aggregated per ledger term ([`mail_class_term`]); zero-wait terms
+    /// are omitted, terms sorted. The driver folds these into the
+    /// [`CommLedger`](calu_obs::CommLedger) after the run.
+    pub fn wait_ns(&self, rank: usize) -> Vec<(&'static str, u64)> {
+        let mut terms: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for (class, w) in self.boxes[rank].wait_ns.iter().enumerate() {
+            let nanos = w.load(Ordering::Relaxed);
+            if nanos > 0 {
+                *terms.entry(mail_class_term(class as u8)).or_default() += nanos;
+            }
+        }
+        terms.into_iter().collect()
     }
 
     fn stash_insert(
@@ -325,28 +367,29 @@ impl Communicator for ThreadedComm {
 
     fn fetch(&self, at: usize, key: MailKey) -> Result<Arc<Vec<f64>>> {
         let rb = &self.boxes[at];
+        // Fast path: already stashed means no waiting — and no wait-clock
+        // entry, so the ledger's wait rows measure only genuine blocking.
+        if let Some(v) = rb.stash.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            return Ok(v.clone());
+        }
         let start = Instant::now();
-        loop {
+        let res = loop {
             if let Some(v) = rb.stash.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
-                return Ok(v.clone());
+                break Ok(v.clone());
             }
             if rb.canceled.load(Ordering::Acquire) {
-                return Err(Error::Canceled);
+                break Err(Error::Canceled);
             }
             let rx = rb.rx.lock().unwrap_or_else(PoisonError::into_inner);
             match rx.recv_timeout(POLL) {
                 Ok((k, v)) => {
-                    let hit = k == key;
                     Self::stash_insert(&rb.stash, k, v);
                     // Opportunistically drain whatever else already
                     // arrived so the stash stays warm for stash-only
-                    // consumers.
+                    // consumers. The loop re-reads from the stash
+                    // (single exit path).
                     while let Ok((k2, v2)) = rx.try_recv() {
                         Self::stash_insert(&rb.stash, k2, v2);
-                    }
-                    if hit {
-                        // Loop re-reads from the stash (single exit path).
-                        continue;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -357,10 +400,12 @@ impl Communicator for ThreadedComm {
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     // All senders dropped: only possible during teardown.
-                    return Err(Error::Canceled);
+                    break Err(Error::Canceled);
                 }
             }
-        }
+        };
+        rb.wait_ns[key.0 as usize].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        res
     }
 
     fn peek_words(&self, at: usize, key: MailKey) -> usize {
@@ -560,6 +605,33 @@ mod tests {
         // Rank 1 evicts independently; its in-flight copy is untouched.
         c.evict_before(1, 3);
         assert_eq!(*c.fetch(1, (MAIL_ACC, 5, 0, 0)).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn threaded_wait_clocks_charge_blocking_fetches_only() {
+        let c = ThreadedComm::new(2);
+        // Stash hit: no wait recorded.
+        c.post(0, KEY, vec![1.0], &[0]).unwrap();
+        assert_eq!(*c.fetch(0, KEY).unwrap(), vec![1.0]);
+        assert!(c.wait_ns(0).is_empty(), "stash hits must not charge the wait clock");
+        // Blocked fetch: the wait lands on the key's ledger term.
+        std::thread::scope(|s| {
+            let c = &c;
+            let h = s.spawn(move || c.fetch(1, (MAIL_U12, 0, 2, 0)).unwrap());
+            std::thread::sleep(Duration::from_millis(30));
+            c.post(0, (MAIL_U12, 0, 2, 0), vec![2.0], &[1]).unwrap();
+            assert_eq!(*h.join().unwrap(), vec![2.0]);
+        });
+        let waits = c.wait_ns(1);
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].0, "u_bcast");
+        assert!(waits[0].1 >= 10_000_000, "~30ms of blocking must register (got {})", waits[0].1);
+        assert!(c.wait_ns(0).is_empty(), "only the blocked rank pays");
+        // All nine mail classes map onto the ledger vocabulary.
+        for class in 0..9u8 {
+            assert!(!mail_class_term(class).is_empty());
+        }
+        assert_eq!(mail_class_term(MAIL_GCD), mail_class_term(MAIL_GRX));
     }
 
     #[test]

@@ -152,6 +152,32 @@ impl DistRtReport {
     pub fn skeleton_deltas(&self) -> Vec<CommDelta> {
         self.comm.reconcile(&self.modeled_terms)
     }
+
+    /// This report's headline numbers in the standard [`calu_obs::Metrics`]
+    /// snapshot form (the same vocabulary `SolverService` reports in):
+    /// mailbox drain counters, total words/messages, fetch-wait totals
+    /// (overall and per ledger term), and a per-rank wait-seconds
+    /// histogram. Deterministic for a deterministic report.
+    pub fn metrics_snapshot(&self) -> calu_obs::JsonValue {
+        let m = calu_obs::Metrics::new();
+        m.counter_add("dist.tasks", self.tasks as u64);
+        m.counter_add("dist.executed", self.exec.order.len() as u64);
+        m.counter_add("dist.mailbox_drained_words", self.comm.drained_words);
+        m.counter_add("dist.mailbox_residual_words", self.comm.residual_words);
+        let total = self.comm.total();
+        m.counter_add("dist.comm.words", total.words);
+        m.counter_add("dist.comm.msgs", total.msgs);
+        m.counter_add("dist.fetch_wait_ns", self.comm.wait_total_ns());
+        for (term, nanos) in self.comm.wait_term_totals() {
+            m.counter_add(&format!("dist.fetch_wait_ns.{term}"), nanos);
+        }
+        for (_rank, nanos) in self.comm.wait_rank_totals() {
+            m.observe("dist.rank_fetch_wait_s", nanos as f64 / 1e9);
+        }
+        m.gauge_set("dist.workers", self.exec.workers as f64);
+        m.gauge_set("dist.wall_s", self.exec.wall);
+        m.snapshot()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1279,6 +1305,31 @@ mod tests {
         assert_eq!(rep.comm.residual_words, 0);
         calu_obs::parse_chrome_trace(&calu_obs::chrome_trace(&rep.spans))
             .expect("threaded spans must export as valid chrome trace");
+
+        // The standard metrics snapshot carries the drain counters and
+        // the fetch-wait totals, not just the raw report fields.
+        let snap = rep.metrics_snapshot();
+        let counters = snap.get("counters").expect("snapshot has counters");
+        assert_eq!(
+            counters.get("dist.mailbox_drained_words").and_then(calu_obs::JsonValue::as_u64),
+            Some(rep.comm.drained_words)
+        );
+        assert_eq!(
+            counters.get("dist.mailbox_residual_words").and_then(calu_obs::JsonValue::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            counters.get("dist.comm.words").and_then(calu_obs::JsonValue::as_u64),
+            Some(rep.comm.total().words)
+        );
+        assert_eq!(
+            counters.get("dist.fetch_wait_ns").and_then(calu_obs::JsonValue::as_u64),
+            Some(rep.comm.wait_total_ns())
+        );
+        // Rank threads really blocked somewhere in this 2x2 run, and the
+        // wait rows attribute that blocking per (rank, term).
+        assert!(!rep.comm.waits.is_empty(), "threaded fetches must record wait rows");
+        assert!(rep.comm.wait_total_ns() > 0);
     }
 
     /// The MPI-shaped stub refuses to run, as a typed error — the public

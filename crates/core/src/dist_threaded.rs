@@ -762,7 +762,11 @@ impl<T: Scalar> RankWorker<'_, T> {
                         start,
                         end,
                     );
-                    timings.push(TaskTiming { task, worker: self.rank, start, end });
+                    // Each rank replays its projection serially, so a task
+                    // is "ready" the moment the rank reaches it: queue
+                    // delay is zero by construction and the real waiting
+                    // is inside tasks, accounted as blocked-fetch time.
+                    timings.push(TaskTiming { task, worker: self.rank, ready: start, start, end });
                 }
                 Err(Error::SingularPivot { step }) => {
                     self.comm.cancel(self.rank);
@@ -849,6 +853,14 @@ pub(crate) fn run_dist_threaded<T: Scalar>(
     ledger.set_drain(drained as u64, residual as u64);
     if first_singular.is_none() {
         assert_eq!(residual, 0, "threaded mailboxes leaked {residual} words after the drain");
+    }
+    // Fold the communicator's blocked-fetch wait clocks into the ledger
+    // before the report snapshot: per-(rank, term) wait rows ride next to
+    // the word counts they explain.
+    for rank in 0..pr * pc {
+        for (term, nanos) in comm.wait_ns(rank) {
+            ledger.record_wait(rank as u32, term, nanos);
+        }
     }
     let comm_report = ledger.report();
 

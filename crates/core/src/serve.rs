@@ -425,6 +425,7 @@ impl<T: Scalar> SolverService<T> {
                     let (f, exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)
                         .expect("factorization succeeded moments ago");
                     exec.record_into(&self.recorder, offset);
+                    self.observe_queue_delays(&exec);
                     spare = f;
                     &spare
                 }
@@ -445,6 +446,7 @@ impl<T: Scalar> SolverService<T> {
                     self.opts.rt.executor,
                 );
                 exec.record_into(&self.recorder, offset);
+                self.observe_queue_delays(&exec);
                 rep.batches += 1;
                 self.metrics.counter_add("serve.batches", 1);
                 self.metrics.observe("serve.batch_size", k as f64);
@@ -472,10 +474,21 @@ impl<T: Scalar> SolverService<T> {
         self.cache.stats()
     }
 
+    /// Feeds every executed task's ready-to-start gap into the
+    /// `serve.task_queue_delay_s` histogram — the wait-state signal
+    /// (scheduler overhead) riding next to the latency histograms.
+    fn observe_queue_delays(&self, exec: &ExecReport) {
+        for t in &exec.timings {
+            self.metrics.observe("serve.task_queue_delay_s", t.queue_delay());
+        }
+    }
+
     /// The unified observability snapshot: every serve-layer signal —
     /// request counters, queue-depth gauge, cache counters, ticket-latency
-    /// and batch-size histograms (p50/p95/p99) — as one JSON object,
-    /// ready to embed in a bench report or dump to a file.
+    /// / batch-size / task-queue-delay histograms (p50/p95/p99), and the
+    /// work-stealing pool's wait-state counters (steals, failed-steal
+    /// spins, parked nanoseconds) — as one JSON object, ready to embed in
+    /// a bench report or dump to a file.
     pub fn metrics_snapshot(&self) -> JsonValue {
         let stats = self.cache.stats();
         let sync = |name: &str, v: u64| {
@@ -487,6 +500,14 @@ impl<T: Scalar> SolverService<T> {
         sync("serve.cache.hits", stats.hits);
         sync("serve.cache.misses", stats.misses);
         sync("serve.cache.evictions", stats.evictions);
+        // The shared-memory parallel paths (panel factorization etc.) run
+        // on the global work-stealing pool; its counters are monotone, so
+        // the same delta-sync keeps repeated snapshots idempotent.
+        let pool = rayon::global_pool_stats();
+        sync("serve.pool.steals", pool.iter().map(|s| s.steals).sum());
+        sync("serve.pool.failed_steals", pool.iter().map(|s| s.failed_steals).sum());
+        sync("serve.pool.park_ns", pool.iter().map(|s| s.park_ns).sum());
+        self.metrics.gauge_set("serve.pool.workers", pool.len() as f64);
         self.metrics.gauge_set("serve.cache.entries", stats.entries as f64);
         self.metrics.gauge_set("serve.cache.bytes", stats.bytes as f64);
         self.metrics.gauge_set("serve.queue_depth", self.queue.len() as f64);
@@ -512,6 +533,7 @@ impl<T: Scalar> SolverService<T> {
         let offset = self.epoch.elapsed().as_secs_f64();
         let (factors, exec) = runtime_calu_factor(a, self.opts.calu, self.opts.rt)?;
         exec.record_into(&self.recorder, offset);
+        self.observe_queue_delays(&exec);
         rep.factored += 1;
         self.metrics.counter_add("serve.factored", 1);
         self.cache.insert(key, factors);
@@ -839,6 +861,15 @@ mod tests {
                 .expect("latency histogram");
             assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(8));
             assert!(hist.get("p99").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+            // Wait-state signals: one queue-delay observation per executed
+            // task (factor DAG + batched solves), and pool gauges present.
+            let qd = snap
+                .get("histograms")
+                .and_then(|h| h.get("serve.task_queue_delay_s"))
+                .expect("queue-delay histogram");
+            assert!(qd.get("count").and_then(|v| v.as_u64()).unwrap() > 0, "{executor:?}");
+            assert!(qd.get("min").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+            assert!(gauges.get("serve.pool.workers").and_then(|v| v.as_f64()).unwrap() >= 1.0);
             // Snapshots are idempotent: syncing twice must not double-count.
             let again = svc.metrics_snapshot();
             assert_eq!(

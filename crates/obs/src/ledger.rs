@@ -77,6 +77,20 @@ pub struct CommTerm {
     pub source: &'static str,
 }
 
+/// One blocked-wait row: nanoseconds `rank` spent blocked in a
+/// `Communicator::fetch` waiting on payloads of `term`. Only backends
+/// where waiting is physically real (the threaded communicator) record
+/// these; synchronous mailboxes leave the table empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitRow {
+    /// Grid rank that blocked.
+    pub rank: u32,
+    /// Term name of the payload waited for (`tslu_leg`, `piv_bcast`, ...).
+    pub term: &'static str,
+    /// Total blocked nanoseconds, summed over fetches.
+    pub wait_ns: u64,
+}
+
 /// One reconciled term: measured total vs expected total.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommDelta {
@@ -125,6 +139,8 @@ impl CommDelta {
 struct LedgerInner {
     /// (rank, term, sent) → counts.
     cells: BTreeMap<(u32, &'static str, bool), CommCounts>,
+    /// (rank, term) → blocked-fetch nanoseconds.
+    waits: BTreeMap<(u32, &'static str), u64>,
     drained_words: u64,
     residual_words: u64,
 }
@@ -156,6 +172,17 @@ impl CommLedger {
         inner.cells.entry((rank, term, false)).or_default().add(CommCounts { msgs: 1, words });
     }
 
+    /// Adds `nanos` of blocked-fetch wait attributed to `rank` under
+    /// `term`. Wait time is a property of the transport, not the wire:
+    /// only communicators where a fetch physically blocks record it.
+    pub fn record_wait(&self, rank: u32, term: &'static str, nanos: u64) {
+        if nanos == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        *inner.waits.entry((rank, term)).or_default() += nanos;
+    }
+
     /// Records the mailbox end-of-run drain: `drained` words evicted
     /// during the run plus `residual` words still posted at completion
     /// (0 in the happy path).
@@ -174,6 +201,11 @@ impl CommLedger {
                 .iter()
                 .map(|(&(rank, term, sent), &counts)| CommRow { rank, term, sent, counts })
                 .collect(),
+            waits: inner
+                .waits
+                .iter()
+                .map(|(&(rank, term), &wait_ns)| WaitRow { rank, term, wait_ns })
+                .collect(),
             drained_words: inner.drained_words,
             residual_words: inner.residual_words,
         }
@@ -185,6 +217,9 @@ impl CommLedger {
 pub struct CommLedgerReport {
     /// Measured cells, sorted by (rank, term, direction).
     pub rows: Vec<CommRow>,
+    /// Blocked-fetch wait rows, sorted by (rank, term); empty under
+    /// synchronous backends.
+    pub waits: Vec<WaitRow>,
     /// Mailbox words evicted by lookahead-window retirement during the run.
     pub drained_words: u64,
     /// Mailbox words still posted at run completion (0 in the happy path).
@@ -224,6 +259,29 @@ impl CommLedgerReport {
         let mut totals: BTreeMap<u32, CommCounts> = BTreeMap::new();
         for row in &self.rows {
             totals.entry(row.rank).or_default().add(row.counts);
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Total blocked-fetch nanoseconds across all ranks and terms.
+    pub fn wait_total_ns(&self) -> u64 {
+        self.waits.iter().map(|w| w.wait_ns).sum()
+    }
+
+    /// Blocked-fetch nanoseconds per term, sorted by term name.
+    pub fn wait_term_totals(&self) -> Vec<(&'static str, u64)> {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for w in &self.waits {
+            *totals.entry(w.term).or_default() += w.wait_ns;
+        }
+        totals.into_iter().collect()
+    }
+
+    /// Blocked-fetch nanoseconds per rank, sorted by rank.
+    pub fn wait_rank_totals(&self) -> Vec<(u32, u64)> {
+        let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
+        for w in &self.waits {
+            *totals.entry(w.rank).or_default() += w.wait_ns;
         }
         totals.into_iter().collect()
     }
@@ -283,6 +341,19 @@ impl CommLedgerReport {
             .set("total_words", self.total().words)
             .set("drained_words", self.drained_words)
             .set("residual_words", self.residual_words);
+        if !self.waits.is_empty() {
+            let waits: JsonValue = self
+                .waits
+                .iter()
+                .map(|w| {
+                    JsonValue::obj()
+                        .set("rank", u64::from(w.rank))
+                        .set("term", w.term)
+                        .set("wait_ns", w.wait_ns)
+                })
+                .collect();
+            doc = doc.set("waits", waits).set("wait_total_ns", self.wait_total_ns());
+        }
         if !expected.is_empty() {
             let recon: JsonValue =
                 self.reconcile(expected).iter().map(CommDelta::to_json).collect();
@@ -356,6 +427,27 @@ mod tests {
         let recon = parsed.get("reconcile").unwrap().as_array().unwrap();
         assert_eq!(recon.len(), 2, "tslu_leg + unmodeled piv_bcast");
         assert_eq!(recon[0].get("exact").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn waits_accumulate_per_rank_and_term_and_serialize() {
+        let ledger = sample_ledger();
+        ledger.record_wait(0, "tslu_leg", 1_000);
+        ledger.record_wait(0, "tslu_leg", 500);
+        ledger.record_wait(2, "piv_bcast", 250);
+        ledger.record_wait(3, "u_bcast", 0); // zero waits leave no row
+        let rep = ledger.report();
+        assert_eq!(rep.waits.len(), 2);
+        assert_eq!(rep.wait_total_ns(), 1_750);
+        assert_eq!(rep.wait_term_totals(), vec![("piv_bcast", 250), ("tslu_leg", 1_500)]);
+        assert_eq!(rep.wait_rank_totals(), vec![(0, 1_500), (2, 250)]);
+        let json = rep.to_json(&[]);
+        assert_eq!(json.get("wait_total_ns").and_then(JsonValue::as_u64), Some(1_750));
+        assert_eq!(json.get("waits").and_then(JsonValue::as_array).unwrap().len(), 2);
+        // A wait-free ledger serializes without the wait section at all.
+        let silent = sample_ledger().report();
+        assert_eq!(silent.wait_total_ns(), 0);
+        assert!(silent.to_json(&[]).get("waits").is_none());
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!   term by term — TSLU butterfly legs, pivot/panel/U/W broadcasts —
 //!   turning "matches to first order" into asserted equality or a
 //!   quantified gap.
+//! * [`analyze`] — the analysis tier over the other three: ingests spans
+//!   (live or parsed from a Chrome trace) plus the ledger's wait rows and
+//!   the executors' queue delays and produces a [`Profile`] — per-worker
+//!   wall-clock partitioned into compute / comm-wait / overhead / idle
+//!   with an *exact* sum-to-wall invariant — alongside the measured
+//!   critical path ([`analyze::longest_chain_ns`], optionally restricted
+//!   to DAG edges via [`analyze::dag_span_chain_ns`]) and per-phase
+//!   model-vs-measured reconciliation ([`analyze::reconcile_phases`]).
 //! * [`json`] — the minimal [`JsonValue`] writer/parser everything above
 //!   serializes through (the container has no serde; determinism is the
 //!   point, not convenience).
@@ -34,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
+pub use analyze::{PhaseRatio, Profile, ProfileInputs, WorkerProfile};
 pub use json::JsonValue;
-pub use ledger::{CommCounts, CommDelta, CommLedger, CommLedgerReport, CommRow, CommTerm};
+pub use ledger::{CommCounts, CommDelta, CommLedger, CommLedgerReport, CommRow, CommTerm, WaitRow};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use trace::{chrome_trace, parse_chrome_trace, Recorder, Span};

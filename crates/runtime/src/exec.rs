@@ -65,10 +65,22 @@ pub struct TaskTiming {
     pub task: Task,
     /// Worker index that ran it (0 for the serial executor).
     pub worker: usize,
+    /// Seconds from run start to the instant the task became *ready*
+    /// (its last dependency completed; 0 for tasks ready at submission).
+    pub ready: f64,
     /// Seconds from run start to task start.
     pub start: f64,
     /// Seconds from run start to task end.
     pub end: f64,
+}
+
+impl TaskTiming {
+    /// Scheduler queue delay: seconds between this task becoming ready and
+    /// a worker starting it. The per-task ingredient of the profile's
+    /// *overhead* partition (see `calu_obs::analyze`).
+    pub fn queue_delay(&self) -> f64 {
+        (self.start - self.ready).max(0.0)
+    }
 }
 
 /// What an executor did: completion order, per-task timings, makespan.
@@ -120,6 +132,27 @@ impl ExecReport {
     /// Seconds spent computing, summed over workers.
     pub fn busy(&self) -> f64 {
         self.timings.iter().map(|t| t.end - t.start).sum()
+    }
+
+    /// Total scheduler queue delay (ready-to-start gap) in seconds,
+    /// summed over all tasks.
+    pub fn queue_delay(&self) -> f64 {
+        self.timings.iter().map(TaskTiming::queue_delay).sum()
+    }
+
+    /// Per-lane queue-delay nanoseconds, keyed the way this report's
+    /// spans are attributed — `(pid, tid)` = ([`Task::trace_rank`],
+    /// worker index) — ready to feed `calu_obs::analyze` as the
+    /// overhead side channel. Lanes are sorted; zero-delay lanes are
+    /// still listed so every span lane has a row.
+    pub fn queue_delay_ns_by_lane(&self) -> Vec<((u32, u32), u64)> {
+        let mut lanes: std::collections::BTreeMap<(u32, u32), u64> =
+            std::collections::BTreeMap::new();
+        for t in &self.timings {
+            *lanes.entry((t.task.trace_rank(), t.worker as u32)).or_default() +=
+                (t.queue_delay() * 1e9).round().max(0.0) as u64;
+        }
+        lanes.into_iter().collect()
     }
 
     /// Replays this report's timings into a trace [`Recorder`], shifting
@@ -198,12 +231,24 @@ impl Executor for SerialExecutor {
     ) -> Result<ExecReport> {
         let t0 = Instant::now();
         let mut report = ExecReport { workers: 1, ..Default::default() };
+        // Replay dependency counts alongside the schedule so each task
+        // carries the instant it became ready (its last dependency's end;
+        // 0 for tasks with no dependencies) — the schedule order
+        // guarantees dependencies complete before their successors run.
+        let mut deps = dag.dep_counts().to_vec();
+        let mut ready_at = vec![0.0_f64; dag.len()];
         for id in dag.serial_schedule() {
             let task = dag.tasks()[id];
             let start = t0.elapsed().as_secs_f64();
             runner.run(task)?;
             let end = t0.elapsed().as_secs_f64();
-            let timing = TaskTiming { task, worker: 0, start, end };
+            let timing = TaskTiming { task, worker: 0, ready: ready_at[id], start, end };
+            for &succ in dag.successors(id) {
+                deps[succ] -= 1;
+                if deps[succ] == 0 {
+                    ready_at[succ] = end;
+                }
+            }
             if let Some(rec) = recorder {
                 record_timing(rec, &timing);
             }
@@ -219,6 +264,10 @@ impl Executor for SerialExecutor {
 struct Pool {
     ready: BinaryHeap<Reverse<(Prio, TaskId)>>,
     deps: Vec<usize>,
+    /// Seconds from run start at which each task became ready (stamped
+    /// when its dependency count reaches zero; 0 for initially-ready
+    /// tasks). Read by the claiming worker for queue-delay accounting.
+    ready_at: Vec<f64>,
     /// Tasks not yet claimed by a worker.
     unclaimed: usize,
     canceled: bool,
@@ -297,7 +346,13 @@ impl Executor for ThreadedExecutor {
                 ready.push(Reverse((dag.priority(id), id)));
             }
         }
-        let pool = Mutex::new(Pool { ready, deps, unclaimed: total, canceled: false });
+        let pool = Mutex::new(Pool {
+            ready,
+            deps,
+            ready_at: vec![0.0; total],
+            unclaimed: total,
+            canceled: false,
+        });
         let bell = Condvar::new();
         let (events_tx, events_rx) = crossbeam::channel::unbounded::<Event>();
 
@@ -315,7 +370,7 @@ impl Executor for ThreadedExecutor {
                 // `into_inner` rather than cascading the sibling workers
                 // into a secondary panic per worker.
                 s.spawn(move || loop {
-                    let id = {
+                    let (id, ready) = {
                         let mut p = pool.lock().expect("runtime pool poisoned");
                         loop {
                             if p.canceled || p.unclaimed == 0 {
@@ -323,7 +378,7 @@ impl Executor for ThreadedExecutor {
                             }
                             if let Some(Reverse((_, id))) = p.ready.pop() {
                                 p.unclaimed -= 1;
-                                break id;
+                                break (id, p.ready_at[id]);
                             }
                             p = bell.wait(p).expect("runtime pool poisoned");
                         }
@@ -340,13 +395,19 @@ impl Executor for ThreadedExecutor {
                             for &succ in dag.successors(id) {
                                 p.deps[succ] -= 1;
                                 if p.deps[succ] == 0 {
+                                    p.ready_at[succ] = end;
                                     p.ready.push(Reverse((dag.priority(succ), succ)));
                                 }
                             }
                             drop(p);
                             bell.notify_all();
-                            let _ =
-                                tx.send(Event::Done(TaskTiming { task, worker: w, start, end }));
+                            let _ = tx.send(Event::Done(TaskTiming {
+                                task,
+                                worker: w,
+                                ready,
+                                start,
+                                end,
+                            }));
                         }
                         Err(e) => {
                             pool.lock().expect("runtime pool poisoned").canceled = true;
@@ -670,6 +731,35 @@ mod tests {
             assert!(spans.iter().any(|s| s.cat == "gemm"));
             // The export of a live recording round-trips.
             assert!(calu_obs::parse_chrome_trace(&rec.chrome_trace()).is_ok());
+        }
+    }
+
+    #[test]
+    fn ready_stamps_bound_task_starts_on_both_executors() {
+        let g = dag(128, 128, 32, 2);
+        for kind in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
+            let rep = kind
+                .execute(&g, &|_t| {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(rep.timings.len(), g.len());
+            for t in &rep.timings {
+                assert!(t.ready >= 0.0, "{kind:?}: {} ready must be non-negative", t.task);
+                assert!(
+                    t.ready <= t.start + 1e-12,
+                    "{kind:?}: {} cannot start before it is ready",
+                    t.task
+                );
+                assert!(t.queue_delay() >= 0.0);
+            }
+            // Dependency-free tasks are ready at submission time.
+            let first = rep.timings.iter().find(|t| t.task == Task::Panel { k: 0 }).unwrap();
+            assert_eq!(first.ready, 0.0, "{kind:?}: Panel(0) has no dependencies");
+            // The lane table covers the delays exactly (ns rounding).
+            let total_ns: u64 = rep.queue_delay_ns_by_lane().iter().map(|&(_, v)| v).sum();
+            assert!((total_ns as f64 / 1e9 - rep.queue_delay()).abs() < 1e-3 * g.len() as f64);
         }
     }
 

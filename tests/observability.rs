@@ -14,7 +14,7 @@ use calu_repro::core::dist::DistCaluConfig;
 use calu_repro::core::{dist_calu_factor_rt, DistRtOpts, LocalLu};
 use calu_repro::matrix::{gen, Matrix};
 use calu_repro::netsim::MachineConfig;
-use calu_repro::obs::{parse_chrome_trace, JsonValue};
+use calu_repro::obs::{parse_chrome_trace, JsonValue, Profile, ProfileInputs};
 use calu_repro::runtime::ExecutorKind;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -64,6 +64,43 @@ fn committed_serve_trace_is_valid_chrome_trace() {
     assert_eq!(spans.len(), events.len());
     // The exporter sorts by timestamp — a viewer-friendly invariant.
     assert!(spans.windows(2).all(|w| w[0].ts_us <= w[1].ts_us), "spans sorted by start time");
+}
+
+#[test]
+fn committed_serve_trace_round_trips_through_the_analyzer() {
+    // The committed trace must stay analyzable, not merely parseable: the
+    // analyzer's wall-clock partition has to hold exactly on it, and the
+    // measured critical path has to land inside [0, wall].
+    let spans = parse_chrome_trace(&committed("TRACE_serve.json")).expect("trace parses");
+    let profile = Profile::build(&spans, ProfileInputs::default());
+    assert_eq!(profile.spans, spans.len(), "every span lands in some worker lane");
+    assert!(!profile.workers.is_empty());
+    for w in &profile.workers {
+        assert!(
+            w.partition_exact(),
+            "lane ({},{}): compute+comm_wait+overhead+idle must equal wall exactly",
+            w.pid,
+            w.tid
+        );
+        // No side channels in a bare trace: busy time is all compute.
+        assert_eq!(w.comm_wait_ns, 0);
+        assert_eq!(w.overhead_ns, 0);
+    }
+    assert!(profile.measured_cp_ns > 0, "a non-empty trace has a non-empty chain");
+    assert!(profile.measured_cp_ns <= profile.wall_ns);
+
+    // The JSON rendering keeps the partition: the four _ns components of
+    // every worker still sum to its wall_ns after serialization.
+    let doc = JsonValue::parse(&profile.to_json().to_json()).expect("profile JSON parses");
+    let workers = doc.get("per_worker").and_then(JsonValue::as_array).expect("per_worker");
+    assert_eq!(workers.len(), profile.workers.len());
+    for w in workers {
+        let f = |k: &str| w.get(k).and_then(JsonValue::as_u64).expect("u64 field");
+        assert_eq!(
+            f("compute_ns") + f("comm_wait_ns") + f("overhead_ns") + f("idle_ns"),
+            f("wall_ns")
+        );
+    }
 }
 
 #[test]
@@ -155,6 +192,59 @@ proptest! {
                     communicator, delta.term, delta.measured, delta.expected
                 );
             }
+        }
+    }
+
+    // The wait-state property: for every communicator × executor × grid,
+    // feeding a run's spans plus its measured side channels (blocked
+    // fetch-wait per rank, queue delay per lane) to the analyzer yields a
+    // per-worker partition of wall-clock into compute + comm-wait +
+    // overhead + idle that is EXACT in integer nanoseconds — no epsilon.
+    #[test]
+    fn wait_state_partition_is_exact_across_communicators_and_grids(
+        seed in 0u64..1 << 32,
+        grid_idx in 0usize..3,
+        lookahead in 1usize..3,
+        comm_idx in 0usize..2,
+    ) {
+        let (pr, pc) = [(2, 2), (2, 4), (3, 2)][grid_idx];
+        let communicator =
+            [calu_repro::core::CommKind::InProcess, calu_repro::core::CommKind::Threaded][comm_idx];
+        let n = 24;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix = gen::randn(&mut rng, n, n);
+        let cfg = DistCaluConfig { b: 4, pr, pc, local: LocalLu::Classic };
+        let rt = DistRtOpts { lookahead, executor: ExecutorKind::Serial, communicator };
+        let (rep, d) = dist_calu_factor_rt(&a, cfg, rt, MachineConfig::ideal());
+        prop_assert!(d.first_singular.is_none(), "randn matrices are nonsingular");
+
+        let waits: Vec<((u32, u32), u64)> =
+            rep.comm.wait_rank_totals().into_iter().map(|(r, ns)| ((r, r), ns)).collect();
+        let overheads = rep.exec.queue_delay_ns_by_lane();
+        let profile = Profile::build(
+            &rep.spans,
+            ProfileInputs { wall_s: rep.exec.wall, comm_wait_ns: &waits, overhead_ns: &overheads },
+        );
+        prop_assert_eq!(profile.spans, rep.spans.len());
+        prop_assert!(!profile.workers.is_empty());
+        for w in &profile.workers {
+            prop_assert!(
+                w.partition_exact(),
+                "{pr}x{pc} d={lookahead} {:?} lane ({},{}): \
+                 compute {} + comm_wait {} + overhead {} + idle {} != wall {}",
+                communicator, w.pid, w.tid,
+                w.compute_ns, w.comm_wait_ns, w.overhead_ns, w.idle_ns, w.wall_ns
+            );
+        }
+        prop_assert!(profile.measured_cp_ns <= profile.wall_ns);
+        // The threaded communicator moves payloads through real channels,
+        // so its ledger always records blocked-fetch wait somewhere.
+        if communicator == calu_repro::core::CommKind::Threaded {
+            prop_assert!(rep.comm.wait_total_ns() > 0, "threaded runs block on first fetches");
+            prop_assert!(
+                profile.workers.iter().map(|w| w.comm_wait_ns).sum::<u64>() > 0,
+                "recorded waits must surface in the profile"
+            );
         }
     }
 }

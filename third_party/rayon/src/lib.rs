@@ -54,9 +54,9 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Job plumbing: type-erased pointers to stack-allocated closures, completed
@@ -153,12 +153,41 @@ impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
 // ---------------------------------------------------------------------------
 // Registry: the persistent worker pool.
 
+/// Per-worker wait-state counters, updated with relaxed atomics on the
+/// scheduling paths (one add per steal attempt or park interval — far off
+/// the job-execution hot path).
+#[derive(Default)]
+struct WorkerCounters {
+    steals: AtomicU64,
+    failed_steals: AtomicU64,
+    park_ns: AtomicU64,
+}
+
+/// A point-in-time snapshot of one worker's wait-state counters — how
+/// often it took work from a sibling's deque, how often a full scan came
+/// up empty, and how long it has slept waiting for work. Monotone over
+/// the pool's lifetime; profilers diff two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolWorkerStats {
+    /// Jobs taken from another worker's deque (injector pops and local
+    /// pops are not steals).
+    pub steals: u64,
+    /// Work-finding scans (own deque + injector + every sibling) that
+    /// found nothing — the spinning half of idle time.
+    pub failed_steals: u64,
+    /// Nanoseconds parked in the sleep condvar between failed scans —
+    /// the sleeping half of idle time.
+    pub park_ns: u64,
+}
+
 struct Registry {
     /// Per-worker deques: owner pushes/pops LIFO at the back, thieves
     /// steal FIFO from the front.
     deques: Vec<Mutex<VecDeque<JobRef>>>,
     /// Work arriving from threads outside the pool.
     injector: Mutex<VecDeque<JobRef>>,
+    /// Per-worker steal/park accounting, indexed like `deques`.
+    counters: Vec<WorkerCounters>,
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     terminate: AtomicBool,
@@ -184,6 +213,7 @@ impl Registry {
         let reg = Arc::new(Registry {
             deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
+            counters: (0..n).map(|_| WorkerCounters::default()).collect(),
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             terminate: AtomicBool::new(false),
@@ -240,10 +270,24 @@ impl Registry {
             if let Some(job) =
                 self.deques[victim].lock().unwrap_or_else(|e| e.into_inner()).pop_front()
             {
+                self.counters[index].steals.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
+        self.counters[index].failed_steals.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Snapshot of every worker's wait-state counters.
+    fn stats(&self) -> Vec<PoolWorkerStats> {
+        self.counters
+            .iter()
+            .map(|c| PoolWorkerStats {
+                steals: c.steals.load(Ordering::Relaxed),
+                failed_steals: c.failed_steals.load(Ordering::Relaxed),
+                park_ns: c.park_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     fn worker_main(self: Arc<Self>, index: usize) {
@@ -260,10 +304,14 @@ impl Registry {
             let guard = self.sleep_lock.lock().unwrap_or_else(|e| e.into_inner());
             // Timed wait: a push between our failed scan and this wait
             // would be missed otherwise; 1 ms bounds that race.
+            let parked = Instant::now();
             let _ = self
                 .sleep_cv
                 .wait_timeout(guard, Duration::from_millis(1))
                 .unwrap_or_else(|e| e.into_inner());
+            self.counters[index]
+                .park_ns
+                .fetch_add(parked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 
@@ -298,6 +346,15 @@ pub fn current_num_threads() -> usize {
         Some((reg, _)) => reg.num_threads(),
         None => global_registry().num_threads(),
     }
+}
+
+/// Wait-state counters of the **global** registry's workers (the pool
+/// that serves `join`/`par_iter` outside any installed pool) — one
+/// [`PoolWorkerStats`] per worker. Counters are monotone; callers diff
+/// snapshots to attribute an interval. Instantiates the global registry
+/// if nothing has used it yet.
+pub fn global_pool_stats() -> Vec<PoolWorkerStats> {
+    global_registry().stats()
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
@@ -531,6 +588,13 @@ impl ThreadPool {
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         self.registry.in_worker(f)
     }
+
+    /// Wait-state counters of this pool's workers, one
+    /// [`PoolWorkerStats`] per worker: steals, failed-steal spins, and
+    /// parked nanoseconds. Monotone since pool construction.
+    pub fn worker_stats(&self) -> Vec<PoolWorkerStats> {
+        self.registry.stats()
+    }
 }
 
 impl Drop for ThreadPool {
@@ -728,6 +792,48 @@ mod tests {
         let first = pool.install(|| std::thread::current().id());
         let second = pool.install(|| std::thread::current().id());
         assert_eq!(first, second, "installs must dispatch to the same persistent worker");
+    }
+
+    #[test]
+    fn worker_stats_count_parks_and_cover_every_worker() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let stats = pool.worker_stats();
+        assert_eq!(stats.len(), 2, "one stats row per worker");
+        // Idle workers loop failed scans + 1ms parks; give them a beat.
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let idle = pool.worker_stats();
+        assert!(
+            idle.iter().map(|s| s.park_ns).sum::<u64>() > 0,
+            "idle workers must accumulate park time"
+        );
+        assert!(idle.iter().map(|s| s.failed_steals).sum::<u64>() > 0);
+        // Counters are monotone.
+        let again = pool.worker_stats();
+        for (a, b) in idle.iter().zip(&again) {
+            assert!(b.steals >= a.steals);
+            assert!(b.failed_steals >= a.failed_steals);
+            assert!(b.park_ns >= a.park_ns);
+        }
+        // An imbalanced workload on 2 workers actually steals: one heavy
+        // element up front, the rest drained by the sibling.
+        let v: Vec<u64> = (0..256).collect();
+        let _: Vec<u64> = pool.install(|| {
+            v.par_iter()
+                .map(|&x| {
+                    if x == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    x
+                })
+                .collect()
+        });
+        let after = pool.worker_stats();
+        assert!(
+            after.iter().map(|s| s.steals).sum::<u64>() > 0,
+            "an imbalanced par_iter on 2 workers must migrate work"
+        );
+        // The global registry exposes the same surface.
+        assert_eq!(super::global_pool_stats().len(), super::global_registry().num_threads());
     }
 
     #[test]
