@@ -14,6 +14,7 @@ use crate::tslu::{tslu_factor, LocalLu};
 use calu_matrix::blas3::{gemm, par_gemm, trsm};
 use calu_matrix::perm::apply_ipiv;
 use calu_matrix::{Diag, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, Uplo};
+use calu_runtime::PanelMode;
 
 /// CALU tuning parameters.
 #[derive(Debug, Clone, Copy)]
@@ -28,11 +29,23 @@ pub struct CaluOpts {
     pub local: LocalLu,
     /// Run trailing updates on the rayon pool.
     pub parallel_update: bool,
+    /// How the runtime engines factor panels ([`PanelMode::Gathered`] is
+    /// the bitwise sequential reference; [`PanelMode::Resident`] is the
+    /// per-tile tournament subgraph). The sequential sweeps here
+    /// ([`calu_inplace`]/[`calu_factor`]) always run gathered and ignore
+    /// this knob.
+    pub panel_mode: PanelMode,
 }
 
 impl Default for CaluOpts {
     fn default() -> Self {
-        Self { block: 64, p: 4, local: LocalLu::Recursive, parallel_update: false }
+        Self {
+            block: 64,
+            p: 4,
+            local: LocalLu::Recursive,
+            parallel_update: false,
+            panel_mode: PanelMode::Gathered,
+        }
     }
 }
 
@@ -189,7 +202,7 @@ mod tests {
         let a0: Matrix = gen::randn(&mut rng, 72, 72);
         let f = calu_factor(
             &a0,
-            CaluOpts { block: 12, p: 1, local: LocalLu::Classic, parallel_update: false },
+            CaluOpts { block: 12, p: 1, local: LocalLu::Classic, ..Default::default() },
         )
         .unwrap();
         let mut g = a0.clone();

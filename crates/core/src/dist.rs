@@ -1374,7 +1374,7 @@ mod tests {
         );
         let f = calu_factor(
             &a,
-            CaluOpts { block: 8, p: 1, local: LocalLu::Classic, parallel_update: false },
+            CaluOpts { block: 8, p: 1, local: LocalLu::Classic, ..Default::default() },
         )
         .unwrap();
         assert_eq!(d.ipiv, f.ipiv);

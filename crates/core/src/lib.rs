@@ -48,6 +48,7 @@ pub mod tournament;
 pub mod tslu;
 
 pub use calu::{calu_factor, calu_inplace, CaluOpts, LuFactors};
+pub use calu_runtime::PanelMode;
 pub use comm::{CommKind, Communicator, InProcessComm, MpiComm, ThreadedComm};
 pub use dist_rt::{
     dist_calu_factor_rt, dist_pdgetrf_factor_rt, try_dist_calu_factor_rt,

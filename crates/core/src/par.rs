@@ -48,7 +48,6 @@ pub fn par_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
 mod tests {
     use super::*;
     use crate::calu::{calu_factor, CaluOpts};
-    use crate::tslu::LocalLu;
     use calu_matrix::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -58,7 +57,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(121);
         for &(n, b, p) in &[(96, 16, 4), (130, 32, 8), (64, 64, 4)] {
             let a0: Matrix = gen::randn(&mut rng, n, n);
-            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let opts = CaluOpts { block: b, p, ..Default::default() };
             let seq = calu_factor(&a0, opts).unwrap();
             let par = par_calu_factor(&a0, opts).unwrap();
             assert_eq!(seq.ipiv, par.ipiv, "n={n} b={b} p={p}");

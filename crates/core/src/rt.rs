@@ -30,17 +30,24 @@
 //! the panel events — the only ordered ones — are serialized by the
 //! panel chain.
 
+use calu_matrix::blas1::scal;
+use calu_matrix::blas2::ger;
 use calu_matrix::blas3::{gemm, trsm};
+use calu_matrix::lapack::lu_nopiv;
 use calu_matrix::perm::apply_ipiv;
 use calu_matrix::{
-    Diag, Error, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side, TileLayout,
-    TileMatrix, Uplo,
+    Diag, Error, MatView, MatViewMut, Matrix, NoObs, PivotObserver, Result, Scalar, Side,
+    TileLayout, TileMatrix, Uplo,
 };
-use calu_runtime::{ExecReport, ExecutorKind, LuDag, LuShape, Task, TaskRunner};
+use calu_runtime::{
+    panel_tree_levels, panel_tree_resolve, ExecReport, ExecutorKind, LuDag, LuShape, PanelMode,
+    Task, TaskRunner,
+};
 use std::sync::Mutex;
 
 use crate::calu::{CaluOpts, LuFactors};
-use crate::tslu::tslu_factor_with;
+use crate::tournament::{reduce_pair, Candidates};
+use crate::tslu::{local_candidates, tslu_factor_with, winners_to_ipiv, LocalLu};
 
 /// How a runtime-scheduled factorization should execute.
 #[derive(Debug, Clone, Copy)]
@@ -198,6 +205,114 @@ impl<T: Scalar, O: PivotObserver<T> + Send> PivotObserver<T> for MutexObs<'_, '_
     }
 }
 
+/// Per-step candidate-slot store of the resident panel subgraph
+/// ([`PanelMode::Resident`]): one slot per tournament-tree node (leaves
+/// included), written exactly once by the node's `PanelElect`/`PanelReduce`
+/// task and taken exactly once by its parent (or by `PanelFinish` at the
+/// root). The tree edges order every write before its read; the per-slot
+/// mutex only publishes the memory across workers — it is never contended
+/// beyond that handoff. Slot placement uses the same
+/// [`panel_tree_resolve`] the DAG builder uses for edge endpoints, so both
+/// sides agree on where each subtree's winners live.
+struct ResidentPanels<T> {
+    steps: Vec<StepSlots<T>>,
+}
+
+struct StepSlots<T> {
+    /// Leaf count: tiles spanned by this step's panel.
+    t: usize,
+    /// Flat-slot offset of each tree level.
+    offsets: Vec<usize>,
+    slots: Vec<Mutex<Option<Candidates<T>>>>,
+}
+
+impl<T: Scalar> ResidentPanels<T> {
+    fn new(shape: &LuShape) -> Self {
+        let rb = shape.row_blocks();
+        let steps = (0..shape.steps())
+            .map(|k| {
+                let t = rb - k;
+                let counts = panel_tree_levels(t);
+                let mut offsets = Vec::with_capacity(counts.len());
+                let mut total = 0usize;
+                for &c in &counts {
+                    offsets.push(total);
+                    total += c;
+                }
+                StepSlots { t, offsets, slots: (0..total).map(|_| Mutex::new(None)).collect() }
+            })
+            .collect();
+        Self { steps }
+    }
+
+    fn put(&self, k: usize, level: usize, i: usize, cand: Candidates<T>) {
+        let s = &self.steps[k];
+        let prev = s.slots[s.offsets[level] + i].lock().expect("slot mutex").replace(cand);
+        debug_assert!(prev.is_none(), "candidate slot written twice");
+    }
+
+    /// Takes subtree node `(level, i)`'s candidate set, resolving
+    /// pass-through single-child nodes down to the producing descendant.
+    fn take(&self, k: usize, level: usize, i: usize) -> Candidates<T> {
+        let s = &self.steps[k];
+        let (l, i) = panel_tree_resolve(s.t, level, i);
+        s.slots[s.offsets[l] + i]
+            .lock()
+            .expect("slot mutex")
+            .take()
+            .expect("candidate produced by a DAG-ordered predecessor")
+    }
+
+    fn root_level(&self, k: usize) -> usize {
+        self.steps[k].offsets.len() - 1
+    }
+}
+
+/// `PanelElect` body shared by both runners: tournament election on one
+/// tile's rows of the panel. Only the `≤ nb × jb` election copy intrinsic
+/// to tournament pivoting is made — the resident tile itself is read in
+/// place and left untouched. `r0` is the tile's first row, panel-local,
+/// so the elected `Candidates::rows` are panel-local row ids the reduce
+/// tree can fold directly.
+fn elect_resident<T: Scalar>(block: MatView<'_, T>, r0: usize, local: LocalLu) -> Candidates<T> {
+    let rows: Vec<usize> = (r0..r0 + block.rows()).collect();
+    local_candidates(&block.to_matrix(), &rows, local)
+}
+
+/// `PanelApply` body shared by both runners: forms one tile's rows of the
+/// panel's `L₂₁` in place against the finished `U₁₁`. For each panel
+/// column `j` it scales the tile's column by `1/u_jj` and rank-1-updates
+/// the columns right of it — exactly the restriction of `lu_nopiv`'s
+/// per-column `scal`+`ger` sweep to rows lying entirely below the
+/// diagonal block, in the same column order with the same kernels, so for
+/// a given pivot sequence the tile holds bitwise the values a full-height
+/// panel elimination would have produced (column `j`'s update of a row
+/// below the diagonal depends only on that row and `U₁₁`, never on other
+/// trailing rows).
+fn apply_l21<T: Scalar, O: PivotObserver<T>>(
+    u11: MatView<'_, T>,
+    mut tile: MatViewMut<'_, T>,
+    obs: &mut O,
+) {
+    let jb = u11.cols();
+    debug_assert_eq!(tile.cols(), jb);
+    let mut urow = vec![T::ZERO; jb.saturating_sub(1)];
+    for j in 0..jb {
+        let inv = u11.get(j, j).recip();
+        scal(inv, tile.col_mut(j));
+        obs.on_multipliers(tile.col(j));
+        let width = jb - j - 1;
+        if width > 0 {
+            for (c, u) in urow[..width].iter_mut().enumerate() {
+                *u = u11.get(j, j + 1 + c);
+            }
+            let (left, mut right) = tile.rb_mut().split_at_col_mut(j + 1);
+            ger(-T::ONE, left.col(j), &urow[..width], right.rb_mut());
+            obs.on_stage(&right.as_view());
+        }
+    }
+}
+
 /// Binds the LU kernels to runtime tasks over one matrix.
 struct LuRunner<'a, T, O> {
     mat: SharedMat<T>,
@@ -205,6 +320,9 @@ struct LuRunner<'a, T, O> {
     shape: LuShape,
     opts: CaluOpts,
     parallel_panel: bool,
+    /// Candidate store of the resident panel subgraph
+    /// (`Some` iff `opts.panel_mode == PanelMode::Resident`).
+    resident: Option<ResidentPanels<T>>,
     obs: Mutex<&'a mut O>,
 }
 
@@ -229,6 +347,65 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuRunner<'_, T, O> {
                 )
                 .map_err(rebase_singular(base))?;
                 unsafe { self.ipiv.publish(base, &r.ipiv) };
+                Ok(())
+            }
+            Task::PanelElect { k, ti } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let rows = self.shape.row_range(ti);
+                // SAFETY: the elect only reads its own tile's rows of
+                // block column k (its gemm predecessor is done; the next
+                // writer, PanelFinish, is DAG-ordered after it through the
+                // reduce tree).
+                let block = unsafe { self.mat.block(rows.start, base, rows.len(), jb) };
+                let cand = elect_resident(block.as_view(), rows.start - base, self.opts.local);
+                self.resident.as_ref().expect("resident store").put(k, 0, ti - k, cand);
+                Ok(())
+            }
+            Task::PanelReduce { k, level, ti, .. } => {
+                let store = self.resident.as_ref().expect("resident store");
+                let i = (ti - k) >> level;
+                let lo = store.take(k, level - 1, 2 * i);
+                let hi = store.take(k, level - 1, 2 * i + 1);
+                store.put(k, level, i, reduce_pair(&lo, &hi));
+                Ok(())
+            }
+            Task::PanelFinish { k } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let store = self.resident.as_ref().expect("resident store");
+                let root = store.take(k, store.root_level(k), 0);
+                let local = winners_to_ipiv(&root.rows, m - base);
+                // Swap the tournament winners to the top of the panel's
+                // own block column (every elect is DAG-ordered before this
+                // task through the reduce tree, every later toucher after
+                // it; the Swap tasks handle all other columns).
+                // SAFETY: Finish exclusively owns rows base..m of block
+                // column k and the step's ipiv slots.
+                let panel = unsafe { self.mat.block(base, base, m - base, jb) };
+                apply_ipiv(panel, &local);
+                // Factor the diagonal block's rows (jb ≤ h_k): rows
+                // 0..h_k of the pivoted panel fully determine their own
+                // elimination, so this is self-contained — and where a
+                // genuinely singular panel surfaces.
+                let h = self.shape.row_range(k).len();
+                let diag = unsafe { self.mat.block(base, base, h, jb) };
+                let mut obs = MutexObs(&self.obs);
+                lu_nopiv(diag, &mut obs).map_err(rebase_singular(base))?;
+                unsafe { self.ipiv.publish(base, &local) };
+                Ok(())
+            }
+            Task::PanelApply { k, ti } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let rows = self.shape.row_range(ti);
+                // SAFETY: the apply owns its tile's rows of block column
+                // k; U₁₁ is stable under concurrent readers (sibling
+                // applies and this step's trsms all read it).
+                let u11 = unsafe { self.mat.block(base, base, jb, jb) };
+                let tile = unsafe { self.mat.block(rows.start, base, rows.len(), jb) };
+                let mut obs = MutexObs(&self.obs);
+                apply_l21(u11.as_view(), tile, &mut obs);
                 Ok(())
             }
             Task::Swap { k, j } => {
@@ -353,6 +530,9 @@ struct LuTileRunner<'a, T, O> {
     shape: LuShape,
     opts: CaluOpts,
     parallel_panel: bool,
+    /// Candidate store of the resident panel subgraph
+    /// (`Some` iff `opts.panel_mode == PanelMode::Resident`).
+    resident: Option<ResidentPanels<T>>,
     obs: Mutex<&'a mut O>,
 }
 
@@ -394,6 +574,63 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuTileRunner<'_, T, O
                     dst.copy_from(scratch.view().submatrix(r0, 0, h, jb));
                 }
                 unsafe { self.ipiv.publish(base, &r.ipiv) };
+                Ok(())
+            }
+            Task::PanelElect { k, ti } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let h = self.shape.row_range(ti).len();
+                // SAFETY: reads its own resident tile's panel columns
+                // only; the next writer (PanelFinish's cross-tile swaps)
+                // is DAG-ordered after it through the reduce tree. No
+                // gather — this is the copy elision the mode is for.
+                let src = unsafe { self.tiles.tile_block(ti, k, 0, 0, h, jb) };
+                let cand = elect_resident(src.as_view(), ti * nb - base, self.opts.local);
+                self.resident.as_ref().expect("resident store").put(k, 0, ti - k, cand);
+                Ok(())
+            }
+            Task::PanelReduce { k, level, ti, .. } => {
+                let store = self.resident.as_ref().expect("resident store");
+                let i = (ti - k) >> level;
+                let lo = store.take(k, level - 1, 2 * i);
+                let hi = store.take(k, level - 1, 2 * i + 1);
+                store.put(k, level, i, reduce_pair(&lo, &hi));
+                Ok(())
+            }
+            Task::PanelFinish { k } => {
+                let base = k * nb;
+                let jb = self.shape.panel_width(k);
+                let store = self.resident.as_ref().expect("resident store");
+                let root = store.take(k, store.root_level(k), 0);
+                let local = winners_to_ipiv(&root.rows, m - base);
+                // Cross-tile winner swaps on the panel's own columns; the
+                // Swap tasks handle every other column.
+                // SAFETY: Finish exclusively owns rows base..m of block
+                // column k (all elects are ordered before it, all applies
+                // and swaps after) and the step's ipiv slots.
+                for (i, &p) in local.iter().enumerate() {
+                    if p != i {
+                        unsafe {
+                            self.tiles.swap_rows_in_cols(base + i, base + p, base..base + jb);
+                        }
+                    }
+                }
+                let h = self.shape.row_range(k).len();
+                let diag = unsafe { self.tiles.tile_block(k, k, 0, 0, h, jb) };
+                let mut obs = MutexObs(&self.obs);
+                lu_nopiv(diag, &mut obs).map_err(rebase_singular(base))?;
+                unsafe { self.ipiv.publish(base, &local) };
+                Ok(())
+            }
+            Task::PanelApply { k, ti } => {
+                let jb = self.shape.panel_width(k);
+                let h = self.shape.row_range(ti).len();
+                // SAFETY: the apply owns tile (ti, k); U₁₁ (tile (k,k))
+                // is stable under concurrent readers.
+                let u11 = unsafe { self.tiles.tile_block(k, k, 0, 0, jb, jb) };
+                let tile = unsafe { self.tiles.tile_block(ti, k, 0, 0, h, jb) };
+                let mut obs = MutexObs(&self.obs);
+                apply_l21(u11.as_view(), tile, &mut obs);
                 Ok(())
             }
             Task::Swap { k, j } => {
@@ -443,10 +680,27 @@ impl<T: Scalar, O: PivotObserver<T> + Send> TaskRunner for LuTileRunner<'_, T, O
     }
 }
 
+/// Builds the resident-mode candidate store when the panel mode needs it.
+fn resident_store<T: Scalar>(mode: PanelMode, shape: &LuShape) -> Option<ResidentPanels<T>> {
+    match mode {
+        PanelMode::Gathered => None,
+        PanelMode::Resident => Some(ResidentPanels::new(shape)),
+    }
+}
+
 /// In-place CALU scheduled by the task-graph runtime; same numerical
 /// contract as [`calu_inplace`](crate::calu::calu_inplace) (factors and
 /// pivots bitwise identical at every lookahead depth and on both
 /// executors), plus an [`ExecReport`] of what actually ran where.
+///
+/// Under [`PanelMode::Resident`] (`opts.panel_mode`) the bitwise contract
+/// changes referent: panels factor through the per-tile tournament
+/// subgraph — a *different but equally deterministic* tournament tree
+/// (tile-height leaves instead of `opts.p` row blocks) — so factors are
+/// bitwise reproducible across executors, lookahead depths, and runs, but
+/// are not bitwise equal to the gathered/sequential reference, and the
+/// observer's per-step pivot thresholds are measured within the diagonal
+/// tile rather than the full panel column.
 ///
 /// The observer sees the same events as the sequential sweep; only their
 /// order differs (trailing-update stages arrive per tile, concurrent with
@@ -466,13 +720,14 @@ pub fn runtime_calu_inplace<T: Scalar, O: PivotObserver<T> + Send>(
     assert!(opts.block > 0 && opts.p > 0, "block and p must be positive");
     let shape = LuShape { m: a.rows(), n: a.cols(), nb: opts.block };
     let mut ipiv = vec![0usize; shape.m.min(shape.n)];
-    let dag = LuDag::build(shape, rt.lookahead);
+    let dag = LuDag::build_with(shape, rt.lookahead, opts.panel_mode);
     let runner = LuRunner {
         mat: SharedMat::new(&mut a),
         ipiv: SharedIpiv { ptr: ipiv.as_mut_ptr(), len: ipiv.len() },
         shape,
         opts,
         parallel_panel: rt.parallel_panel,
+        resident: resident_store(opts.panel_mode, &shape),
         obs: Mutex::new(obs),
     };
     let report = rt.executor.execute(&dag, &runner)?;
@@ -528,13 +783,14 @@ pub fn runtime_calu_tiles<T: Scalar, O: PivotObserver<T> + Send>(
     );
     let shape = LuShape { m: a.rows(), n: a.cols(), nb: opts.block };
     let mut ipiv = vec![0usize; shape.m.min(shape.n)];
-    let dag = LuDag::build(shape, rt.lookahead);
+    let dag = LuDag::build_with(shape, rt.lookahead, opts.panel_mode);
     let runner = LuTileRunner {
         tiles: SharedTiles::new(a),
         ipiv: SharedIpiv { ptr: ipiv.as_mut_ptr(), len: ipiv.len() },
         shape,
         opts,
         parallel_panel: rt.parallel_panel,
+        resident: resident_store(opts.panel_mode, &shape),
         obs: Mutex::new(obs),
     };
     let report = rt.executor.execute(&dag, &runner)?;
@@ -561,7 +817,6 @@ mod tests {
     use super::*;
     use crate::calu::calu_factor;
     use crate::instrument::PivotStats;
-    use crate::tslu::LocalLu;
     use calu_matrix::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -585,7 +840,7 @@ mod tests {
             (97, 97, 16, 3),
         ] {
             let a0: Matrix = gen::randn(&mut rng, m, n);
-            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let opts = CaluOpts { block: b, p, ..Default::default() };
             let seq = calu_factor(&a0, opts).unwrap();
             for depth in 1..=3 {
                 for executor in executors() {
@@ -614,7 +869,7 @@ mod tests {
             (97, 97, 16, 3), // ragged edge tiles in both dimensions
         ] {
             let a0: Matrix = gen::randn(&mut rng, m, n);
-            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let opts = CaluOpts { block: b, p, ..Default::default() };
             let seq = calu_factor(&a0, opts).unwrap();
             for depth in 1..=3 {
                 for executor in executors() {
@@ -751,5 +1006,128 @@ mod tests {
         assert_eq!(rep.order.len(), dag.len());
         assert!(rep.wall > 0.0);
         assert!(!rep.traces().is_empty());
+    }
+
+    /// `||P A - L U||_max` against a reconstruction — validity check for
+    /// resident-mode factors, which follow a *different* (tile-leaf)
+    /// tournament tree than the sequential reference.
+    fn check_plu(orig: &Matrix, lu: &Matrix, ipiv: &[usize], tol: f64) {
+        use calu_matrix::perm::{ipiv_to_perm, permute_rows};
+        let perm = ipiv_to_perm(ipiv, orig.rows());
+        let pa = permute_rows(orig, &perm);
+        let l = lu.unit_lower();
+        let u = lu.upper();
+        let mut prod = Matrix::zeros(orig.rows(), orig.cols());
+        gemm(1.0, l.view(), u.view(), 0.0, prod.view_mut());
+        let d = pa.max_abs_diff(&prod);
+        assert!(d < tol, "||P A - L U||_max = {d} > {tol}");
+    }
+
+    #[test]
+    fn resident_runtime_bitwise_reproducible_and_correct() {
+        // The serial depth-1 flat run is the resident-mode reference; every
+        // executor x depth, on both the flat and tile paths, must reproduce
+        // it bitwise (the ISSUE contract: deterministic across schedules,
+        // not equal to the gathered tree).
+        let mut rng = StdRng::seed_from_u64(910);
+        for &(m, n, b) in &[
+            (96usize, 96usize, 16usize),
+            (130, 130, 32),
+            (100, 60, 16),
+            (60, 100, 16),
+            (97, 97, 16), // ragged edge tiles in both dimensions
+        ] {
+            let a0: Matrix = gen::randn(&mut rng, m, n);
+            let opts = CaluOpts { block: b, panel_mode: PanelMode::Resident, ..Default::default() };
+            let rt0 =
+                RuntimeOpts { lookahead: 1, executor: ExecutorKind::Serial, parallel_panel: false };
+            let (reference, _) = runtime_calu_factor(&a0, opts, rt0).unwrap();
+            check_plu(&a0, &reference.lu, &reference.ipiv, 1e-8 * m as f64);
+            for depth in 1..=3 {
+                for executor in executors() {
+                    let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                    let (f, _) = runtime_calu_factor(&a0, opts, rt).unwrap();
+                    assert_eq!(reference.ipiv, f.ipiv, "{m}x{n} b={b} d={depth} {executor:?}");
+                    assert_eq!(
+                        reference.lu.max_abs_diff(&f.lu),
+                        0.0,
+                        "{m}x{n} b={b} d={depth} {executor:?}: resident factors must be \
+                         bitwise identical across schedules"
+                    );
+                    let (tiles, ipiv, _) = runtime_calu_tiles_factor(&a0, opts, rt).unwrap();
+                    assert_eq!(reference.ipiv, ipiv, "{m}x{n} b={b} d={depth} {executor:?} tiles");
+                    assert_eq!(
+                        reference.lu.max_abs_diff(&tiles.to_matrix()),
+                        0.0,
+                        "{m}x{n} b={b} d={depth} {executor:?}: tile-path resident factors \
+                         must match the flat path bitwise"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_runtime_run_to_run_deterministic() {
+        let mut rng = StdRng::seed_from_u64(911);
+        let a0: Matrix = gen::randn(&mut rng, 120, 120);
+        let opts = CaluOpts { block: 24, panel_mode: PanelMode::Resident, ..Default::default() };
+        let rt = RuntimeOpts {
+            lookahead: 2,
+            executor: ExecutorKind::Threaded { threads: 4 },
+            parallel_panel: false,
+        };
+        let (f1, _) = runtime_calu_factor(&a0, opts, rt).unwrap();
+        for _ in 0..3 {
+            let (f2, _) = runtime_calu_factor(&a0, opts, rt).unwrap();
+            assert_eq!(f1.ipiv, f2.ipiv);
+            assert_eq!(f1.lu.max_abs_diff(&f2.lu), 0.0, "run-to-run determinism");
+        }
+    }
+
+    #[test]
+    fn resident_singular_reports_absolute_step_and_cancels() {
+        let n = 64;
+        // Rank 20: the failure surfaces inside PanelFinish's diagonal-tile
+        // elimination, and must be rebased to the same absolute step the
+        // gathered panel reports — on both runner paths, every schedule.
+        let mut rng = StdRng::seed_from_u64(912);
+        let b = gen::randn(&mut rng, n, 20);
+        let a = Matrix::from_fn(n, n, |i, j| if j < 20 { b[(i, j)] } else { 0.0 });
+        let opts = CaluOpts { block: 8, panel_mode: PanelMode::Resident, ..Default::default() };
+        for depth in 1..=3 {
+            for executor in executors() {
+                let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+                let err = runtime_calu_factor(&a, opts, rt).unwrap_err();
+                assert_eq!(
+                    err,
+                    Error::SingularPivot { step: 20 },
+                    "flat d={depth} {executor:?}: absolute step"
+                );
+                let err = runtime_calu_tiles_factor(&a, opts, rt).unwrap_err();
+                assert_eq!(
+                    err,
+                    Error::SingularPivot { step: 20 },
+                    "tiles d={depth} {executor:?}: absolute step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_runtime_observer_sees_every_step() {
+        // Resident-mode pivot thresholds are measured within the diagonal
+        // tile (documented), so the stats are not compared to the gathered
+        // sweep — but every elimination step must still be observed once.
+        let mut rng = StdRng::seed_from_u64(913);
+        let a0 = gen::randn(&mut rng, 120, 120);
+        let opts = CaluOpts { block: 24, panel_mode: PanelMode::Resident, ..Default::default() };
+        let mut stats = PivotStats::new(a0.max_abs());
+        let mut w = a0.clone();
+        let rt = RuntimeOpts { lookahead: 2, ..Default::default() };
+        runtime_calu_inplace(w.view_mut(), opts, rt, &mut stats).unwrap();
+        assert_eq!(stats.steps(), 120);
+        assert!(stats.tau_min() > 0.0);
+        assert!(stats.growth_factor(1.0) >= 1.0);
     }
 }

@@ -93,7 +93,6 @@ mod tests {
     use super::*;
     use crate::calu::calu_factor;
     use crate::instrument::PivotStats;
-    use crate::tslu::LocalLu;
     use calu_matrix::{gen, Error};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -110,7 +109,7 @@ mod tests {
             (97, 97, 16, 3), // ragged tiles
         ] {
             let a0: Matrix = gen::randn(&mut rng, m, n);
-            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let opts = CaluOpts { block: b, p, ..Default::default() };
             let seq = calu_factor(&a0, opts).unwrap();
             let tiled = tiled_calu_factor(&a0, opts).unwrap();
             assert_eq!(seq.ipiv, tiled.ipiv, "{m}x{n} b={b} p={p}");
@@ -129,7 +128,7 @@ mod tests {
             &[(96usize, 96usize, 16usize, 4usize), (97, 97, 16, 3), (60, 100, 16, 4)]
         {
             let a0: Matrix = gen::randn(&mut rng, m, n);
-            let opts = CaluOpts { block: b, p, local: LocalLu::Recursive, parallel_update: false };
+            let opts = CaluOpts { block: b, p, ..Default::default() };
             let seq = calu_factor(&a0, opts).unwrap();
             let mut tiles = TileMatrix::from_matrix(&a0, b, b);
             let ipiv = tiled_calu_tiles(&mut tiles, opts, &mut NoObs).unwrap();

@@ -48,7 +48,10 @@ pub mod ledger;
 pub mod metrics;
 pub mod trace;
 
-pub use analyze::{PhaseRatio, Profile, ProfileInputs, WorkerProfile};
+pub use analyze::{
+    idle_overlap_ns, intersection_ns, merge_intervals, PhaseRatio, Profile, ProfileInputs,
+    WorkerProfile,
+};
 pub use json::JsonValue;
 pub use ledger::{CommCounts, CommDelta, CommLedger, CommLedgerReport, CommRow, CommTerm, WaitRow};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};

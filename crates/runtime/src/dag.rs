@@ -31,6 +31,16 @@
 //! an edge, tile splits of `gemm`/`trsm`/row-swaps are per-element
 //! reorderings that do not change the fixed k-accumulation order of the
 //! kernels, and the panel kernel itself is untouched.
+//!
+//! [`LuDag::build_with`] additionally offers [`PanelMode::Resident`],
+//! which replaces each monolithic `Panel(k)` with a per-tile tournament
+//! subgraph ([`Task::PanelElect`] → [`Task::PanelReduce`]\* →
+//! [`Task::PanelFinish`] → [`Task::PanelApply`]\*): candidates are elected
+//! on resident tiles with no gather/scatter copy of the panel, folded up a
+//! deterministic binary tree, and `L₂₁` is formed tile-parallel. Resident
+//! executions are bitwise reproducible across executors, depths, and runs
+//! — but use a *different* (still deterministic) tournament tree than the
+//! gathered reference, so the two modes' factors differ.
 
 use calu_netsim::MachineConfig;
 
@@ -42,9 +52,55 @@ pub type TaskId = usize;
 pub enum Task {
     /// TSLU tournament factorization of panel `k` (rows `k·nb..m`,
     /// columns `k·nb..k·nb+jb`), including its own pivot swaps.
+    ///
+    /// The monolithic panel task of [`PanelMode::Gathered`]; under
+    /// [`PanelMode::Resident`] it is replaced by the per-tile tournament
+    /// subgraph `PanelElect → PanelReduce* → PanelFinish → PanelApply*`.
     Panel {
         /// Panel step (block column index).
         k: usize,
+    },
+    /// Tournament leaf of the tile-resident panel ([`PanelMode::Resident`]):
+    /// elect tile `(ti, k)`'s `jb` candidate pivot rows by local LU on the
+    /// resident tile (no gather — the tile is read in place; only the
+    /// `≤ nb × jb` election copy intrinsic to tournament pivoting is made).
+    PanelElect {
+        /// Panel step.
+        k: usize,
+        /// Tile row whose candidates are elected (`k ≤ ti < rb`).
+        ti: usize,
+    },
+    /// Internal node of the tile-resident panel's deterministic binary
+    /// tournament tree: fold the candidate sets of two subtrees with
+    /// `reduce_pair` (lower tile range first, so the winner set is
+    /// execution-order-independent).
+    PanelReduce {
+        /// Panel step.
+        k: usize,
+        /// Tree level (`≥ 1`; leaves are level 0).
+        level: usize,
+        /// Lowest tile row of the left (lower) subtree being folded.
+        ti: usize,
+        /// Lowest tile row of the right (upper) subtree being folded.
+        tj: usize,
+    },
+    /// Root of the tile-resident panel subgraph: publish the tournament's
+    /// pivot sequence, apply the winner swaps across the panel's block
+    /// column, and factor the diagonal tile's rows (`L₁₁\U₁₁`) — the step
+    /// where a genuinely singular panel surfaces.
+    PanelFinish {
+        /// Panel step.
+        k: usize,
+    },
+    /// Per-tile `L₂₁` formation of the tile-resident panel: scale and
+    /// rank-1-update tile `(ti, k)`'s rows against the finished `U₁₁` —
+    /// the restriction of the unpivoted panel elimination to that tile,
+    /// running concurrently across tiles.
+    PanelApply {
+        /// Panel step.
+        k: usize,
+        /// Tile row whose `L₂₁` rows are formed (`ti > k`).
+        ti: usize,
     },
     /// Apply panel `k`'s pivot swaps to rows `k·nb..m` of block column `j`.
     Swap {
@@ -216,6 +272,10 @@ impl Task {
     pub fn step(&self) -> usize {
         match *self {
             Task::Panel { k }
+            | Task::PanelElect { k, .. }
+            | Task::PanelReduce { k, .. }
+            | Task::PanelFinish { k }
+            | Task::PanelApply { k, .. }
             | Task::Swap { k, .. }
             | Task::Trsm { k, .. }
             | Task::Gemm { k, .. } => k,
@@ -239,6 +299,10 @@ impl Task {
     pub fn cat(&self) -> &'static str {
         match *self {
             Task::Panel { .. } => "panel",
+            Task::PanelElect { .. } => "panel_elect",
+            Task::PanelReduce { .. } => "panel_reduce",
+            Task::PanelFinish { .. } => "panel_finish",
+            Task::PanelApply { .. } => "panel_apply",
             Task::Swap { .. } => "swap",
             Task::Trsm { .. } => "trsm",
             Task::Gemm { .. } => "gemm",
@@ -273,6 +337,12 @@ impl std::fmt::Display for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             Task::Panel { k } => write!(f, "Panel({k})"),
+            Task::PanelElect { k, ti } => write!(f, "PanelElect({k},{ti})"),
+            Task::PanelReduce { k, level, ti, tj } => {
+                write!(f, "PanelReduce({k},l{level},{ti}+{tj})")
+            }
+            Task::PanelFinish { k } => write!(f, "PanelFinish({k})"),
+            Task::PanelApply { k, ti } => write!(f, "PanelApply({k},{ti})"),
             Task::Swap { k, j } => write!(f, "Swap({k},{j})"),
             Task::Trsm { k, j } => write!(f, "Trsm({k},{j})"),
             Task::Gemm { k, i, j } => write!(f, "Gemm({k},{i},{j})"),
@@ -356,6 +426,14 @@ fn priority(shape: &LuShape, t: Task) -> Prio {
     let cb = shape.col_blocks() as u32;
     match t {
         Task::Panel { k } => (k as u32, 0, 0, 0),
+        // The resident panel subgraph shares the gathered panel's slot
+        // (first among step-k work); within it the reduction spine drains
+        // root-ward first: finish, then reduces (deeper level = closer to
+        // the root = smaller), then elects, then the L₂₁ applies.
+        Task::PanelFinish { k } => (k as u32, 0, 0, 0),
+        Task::PanelReduce { k, level, .. } => (k as u32, 0, 1, u32::MAX - level as u32),
+        Task::PanelElect { k, ti } => (k as u32, 0, 2, ti as u32),
+        Task::PanelApply { k, ti } => (k as u32, 0, 3, ti as u32),
         Task::Swap { k, j } if j >= k => (j as u32, 1, k as u32, 0),
         Task::Trsm { k, j } => (j as u32, 2, k as u32, 0),
         Task::Gemm { k, i, j } => (j as u32, 3, k as u32, i as u32),
@@ -411,6 +489,78 @@ fn dist_priority(cb: u32, d: DistTask) -> Prio {
     }
 }
 
+/// How the shared-memory DAG factors a panel — the knob selecting between
+/// the monolithic gathered panel task and the per-tile tournament subgraph.
+///
+/// Both modes are deterministic; they are *different* deterministic
+/// algorithms. `Gathered` partitions the panel into `opts.p` row blocks
+/// and is bitwise identical to the sequential `calu_inplace` sweep.
+/// `Resident` uses tile-height blocks as tournament leaves (a different
+/// but equally deterministic tree), elects candidates per resident tile —
+/// no gather/scatter copy of the panel — and forms `L₂₁` tile-parallel,
+/// so its factors are bitwise reproducible across executors, lookahead
+/// depths, and runs, but not bitwise equal to `Gathered`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PanelMode {
+    /// One monolithic `Panel(k)` task: gather the tile column into a
+    /// contiguous scratch panel, run sequential TSLU, scatter back.
+    /// The bitwise reference (identical to `calu_inplace`).
+    #[default]
+    Gathered,
+    /// Per-tile tournament subgraph
+    /// `PanelElect → PanelReduce* → PanelFinish → PanelApply*`: candidates
+    /// elected on resident tiles, folded up a deterministic binary tree,
+    /// `L₂₁` formed tile-parallel in place. No panel gather/scatter.
+    Resident,
+}
+
+/// Per-level node counts of the resident panel's tournament tree over `t`
+/// leaf tiles: `counts[0] == t` leaves, each higher level pairing nodes
+/// (`⌈·/2⌉`) until a single root. `counts.len() - 1` is the root level.
+/// Empty input (`t == 0`) yields `[0]` — a degenerate tree with no root.
+pub fn panel_tree_levels(t: usize) -> Vec<usize> {
+    let mut counts = vec![t];
+    while *counts.last().expect("non-empty") > 1 {
+        let up = counts.last().expect("non-empty").div_ceil(2);
+        counts.push(up);
+    }
+    counts
+}
+
+/// Resolves tree node `(level, i)` over `t` leaves to the node whose task
+/// actually produces its candidate set: a node with two non-empty children
+/// stores its own `reduce_pair` result, while a single-child node is a
+/// pass-through that collapses to its lone descendant (ultimately a leaf).
+/// Returns the storing node's `(level, i)`.
+///
+/// Shared between the DAG builder (edge endpoints) and the runtime's
+/// candidate-slot store so both sides agree on where every subtree's
+/// winners live.
+pub fn panel_tree_resolve(t: usize, mut level: usize, mut i: usize) -> (usize, usize) {
+    loop {
+        if level == 0 {
+            return (0, i);
+        }
+        let right_lo = (2 * i + 1) << (level - 1);
+        if right_lo < t {
+            return (level, i);
+        }
+        level -= 1;
+        i *= 2;
+    }
+}
+
+/// The [`Task`] producing tree node `(level, i)`'s candidate set for step
+/// `k` over `t` leaf tiles (see [`panel_tree_resolve`]).
+fn panel_tree_task(k: usize, t: usize, level: usize, i: usize) -> Task {
+    let (l, i) = panel_tree_resolve(t, level, i);
+    if l == 0 {
+        Task::PanelElect { k, ti: k + i }
+    } else {
+        Task::PanelReduce { k, level: l, ti: k + (i << l), tj: k + ((2 * i + 1) << (l - 1)) }
+    }
+}
+
 /// The dependency DAG of one blocked LU factorization — shared-memory
 /// ([`LuDag::build`]) or distributed over a 2D block-cyclic grid
 /// ([`LuDag::build_dist`]), where tasks are partitioned per rank and
@@ -432,11 +582,29 @@ pub struct LuDag {
 impl LuDag {
     /// Builds the DAG for an `m × n` factorization with panel width `nb`
     /// and the given panel lookahead depth (`≥ 1`; depths beyond the step
-    /// count leave panels unthrottled).
+    /// count leave panels unthrottled), in the default
+    /// [`PanelMode::Gathered`].
     ///
     /// # Panics
     /// If `nb == 0` or `lookahead == 0`.
     pub fn build(shape: LuShape, lookahead: usize) -> Self {
+        Self::build_with(shape, lookahead, PanelMode::Gathered)
+    }
+
+    /// [`LuDag::build`] with an explicit [`PanelMode`]. Under
+    /// [`PanelMode::Resident`] each `Panel(k)` is replaced by the per-tile
+    /// tournament subgraph: one `PanelElect(k, ti)` per resident tile of
+    /// the panel (each gated only on *its own tile's* step-`k-1` update,
+    /// so elections start as the column drains tile by tile), the
+    /// `PanelReduce` binary tree folding candidate sets root-ward,
+    /// `PanelFinish(k)` as the panel boundary (trailing and left swaps
+    /// hang off it, and the lookahead throttle gates the elects), and one
+    /// `PanelApply(k, ti)` per trailing tile feeding that tile row's
+    /// `Gemm`s.
+    ///
+    /// # Panics
+    /// If `nb == 0` or `lookahead == 0`.
+    pub fn build_with(shape: LuShape, lookahead: usize, mode: PanelMode) -> Self {
         assert!(shape.nb > 0, "panel width nb must be positive");
         assert!(lookahead > 0, "lookahead depth must be at least 1");
         let steps = shape.steps();
@@ -455,7 +623,39 @@ impl LuDag {
         };
 
         for k in 0..steps {
-            push(Task::Panel { k }, &mut tasks, &mut by_step);
+            match mode {
+                PanelMode::Gathered => {
+                    push(Task::Panel { k }, &mut tasks, &mut by_step);
+                }
+                PanelMode::Resident => {
+                    for ti in k..rb {
+                        push(Task::PanelElect { k, ti }, &mut tasks, &mut by_step);
+                    }
+                    let t = rb - k;
+                    let counts = panel_tree_levels(t);
+                    for (level, &n_nodes) in counts.iter().enumerate().skip(1) {
+                        for i in 0..n_nodes {
+                            let right_lo = (2 * i + 1) << (level - 1);
+                            if right_lo < t {
+                                push(
+                                    Task::PanelReduce {
+                                        k,
+                                        level,
+                                        ti: k + (i << level),
+                                        tj: k + right_lo,
+                                    },
+                                    &mut tasks,
+                                    &mut by_step,
+                                );
+                            }
+                        }
+                    }
+                    push(Task::PanelFinish { k }, &mut tasks, &mut by_step);
+                    for ti in k + 1..rb {
+                        push(Task::PanelApply { k, ti }, &mut tasks, &mut by_step);
+                    }
+                }
+            }
             for j in 0..k {
                 push(Task::Swap { k, j }, &mut tasks, &mut by_step);
             }
@@ -485,6 +685,14 @@ impl LuDag {
 
         // Edges as (from, to) pairs; deduped below.
         let id = |t: Task| -> TaskId { *id_of.get(&t).expect("edge endpoint exists") };
+        // The task whose completion means "panel k is factored and its
+        // pivots published" — what swaps of step k hang off.
+        let panel_done = |k: usize| -> Task {
+            match mode {
+                PanelMode::Gathered => Task::Panel { k },
+                PanelMode::Resident => Task::PanelFinish { k },
+            }
+        };
         let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
         for (tid, &t) in tasks.iter().enumerate() {
             match t {
@@ -504,8 +712,43 @@ impl LuDag {
                         }
                     }
                 }
+                Task::PanelElect { k, ti } => {
+                    // Only this tile's slice of the panel column must be
+                    // updated through step k-1 — the per-tile refinement of
+                    // the gathered panel's all-tiles gate.
+                    if k > 0 {
+                        edges.push((id(Task::Gemm { k: k - 1, i: ti, j: k }), tid));
+                    }
+                    // Lookahead throttle on the subgraph's entry tasks.
+                    if k > lookahead {
+                        for &p in &by_step[k - lookahead - 1] {
+                            edges.push((p, tid));
+                        }
+                    }
+                }
+                Task::PanelReduce { k, level, ti, .. } => {
+                    // Fold the two child subtrees' candidate producers
+                    // (pass-through single-child nodes resolve downward).
+                    let t = rb - k;
+                    let i = (ti - k) >> level;
+                    edges.push((id(panel_tree_task(k, t, level - 1, 2 * i)), tid));
+                    edges.push((id(panel_tree_task(k, t, level - 1, 2 * i + 1)), tid));
+                }
+                Task::PanelFinish { k } => {
+                    // The tournament root; every elect reaches it through
+                    // the reduce tree, so the cross-tile winner swaps and
+                    // the diagonal-tile factorization are exclusive.
+                    let t = rb - k;
+                    let top = panel_tree_levels(t).len() - 1;
+                    edges.push((id(panel_tree_task(k, t, top, 0)), tid));
+                }
+                Task::PanelApply { k, .. } => {
+                    // Needs the published pivots, the swapped panel column,
+                    // and the finished U₁₁ diagonal.
+                    edges.push((id(Task::PanelFinish { k }), tid));
+                }
                 Task::Swap { k, j } if j >= k => {
-                    edges.push((id(Task::Panel { k }), tid));
+                    edges.push((id(panel_done(k)), tid));
                     if k > 0 {
                         // Column j fully updated through step k-1 first.
                         for i in k..rb {
@@ -515,29 +758,35 @@ impl LuDag {
                 }
                 Task::Swap { k, j } => {
                     // j < k: pivot fix-up of a finished L column.
-                    edges.push((id(Task::Panel { k }), tid));
+                    edges.push((id(panel_done(k)), tid));
                     if j < k - 1 {
                         // Swaps on the same column do not commute.
                         edges.push((id(Task::Swap { k: k - 1, j }), tid));
                     } else {
                         // First left-swap of column j = k-1: anti-dependence
-                        // on every reader of the unswapped L₂₁ of step k-1.
+                        // on every reader of the unswapped L₂₁ of step k-1
+                        // (and, resident mode, on its per-tile writers).
                         for &gid in &by_step[k - 1] {
-                            if matches!(tasks[gid], Task::Gemm { .. }) {
+                            if matches!(tasks[gid], Task::Gemm { .. } | Task::PanelApply { .. }) {
                                 edges.push((gid, tid));
                             }
                         }
                     }
                 }
                 Task::Trsm { k, j } => {
-                    // The swap wrote the same rows; Panel(k) is covered
-                    // transitively (Swap ← Panel).
+                    // The swap wrote the same rows; the panel root is
+                    // covered transitively (Swap ← Panel/PanelFinish).
                     edges.push((id(Task::Swap { k, j }), tid));
                 }
-                Task::Gemm { k, j, .. } => {
+                Task::Gemm { k, i, j } => {
                     // Trsm(k,j) produced U₁₂; Swap(k,j) (last writer of the
-                    // tile) and Panel(k) (producer of L₂₁) are transitive.
+                    // tile) is transitive. L₂₁ of tile row i comes from the
+                    // panel root (transitive) in gathered mode, or from
+                    // this tile's PanelApply in resident mode.
                     edges.push((id(Task::Trsm { k, j }), tid));
+                    if mode == PanelMode::Resident {
+                        edges.push((id(Task::PanelApply { k, ti: i }), tid));
+                    }
                 }
                 Task::Dist(_) | Task::Solve(_) => {
                     unreachable!("factorization builder emits no dist/solve tasks")
@@ -763,6 +1012,25 @@ pub fn modeled_cache_traffic(
                 TileLocality::Flat => kernel,
             }
         }
+        // The resident panel subgraph charges its *main-matrix* operand
+        // sweeps only, at the same idealization level as the gathered
+        // kernel above (which charges 2 panel sweeps for the whole TSLU,
+        // its internal election copies and tournament folds uncharged as
+        // cache-resident scratch): the elect reads its tile once, the
+        // finish read+writes the diagonal tile, the apply read+writes its
+        // tile in place. jb-scale scratch — election copies, candidate
+        // payloads folded by the reduces, the U₁₁ block every apply
+        // re-reads — stays uncharged on both sides. Net: 3 panel sweeps
+        // instead of the gathered tile panel's 4 — the eliminated
+        // gather/scatter copy, minus the cross-task re-read of each tile.
+        Task::PanelElect { k, ti } => {
+            block_bytes(shape.row_range(ti).len(), shape.panel_width(k), 1.0)
+        }
+        Task::PanelReduce { .. } => 0.0,
+        Task::PanelFinish { k } => block_bytes(shape.row_range(k).len(), shape.panel_width(k), 2.0),
+        Task::PanelApply { k, ti } => {
+            block_bytes(shape.row_range(ti).len(), shape.panel_width(k), 2.0)
+        }
         Task::Swap { k, j } => {
             let jb = shape.panel_width(k);
             let w = shape.update_col_range(k, j).len();
@@ -812,6 +1080,22 @@ pub fn modeled_time(shape: &LuShape, task: Task, mch: &MachineConfig) -> f64 {
             let jb = shape.panel_width(k);
             mch.t_getf2(rows, jb) + mch.t_lu_nopiv(rows, jb)
         }
+        // Resident panel subgraph: the monolithic panel cost split across
+        // its tasks — per-tile elections, jb-scale tree folds, the
+        // diagonal-tile finish, and per-tile L₂₁ formation (triangular
+        // solve flops: jb²·h).
+        Task::PanelElect { k, ti } => mch.t_getf2(shape.row_range(ti).len(), shape.panel_width(k)),
+        Task::PanelReduce { k, .. } => {
+            let jb = shape.panel_width(k);
+            mch.t_getf2(2 * jb, jb)
+        }
+        Task::PanelFinish { k } => {
+            let jb = shape.panel_width(k);
+            mch.t_laswp(jb, jb) + mch.t_lu_nopiv(shape.row_range(k).len(), jb)
+        }
+        Task::PanelApply { k, ti } => {
+            mch.t_trsm_left(shape.panel_width(k), shape.row_range(ti).len())
+        }
         Task::Swap { k, j } => {
             let jb = shape.panel_width(k);
             mch.t_laswp(jb, shape.update_col_range(k, j).len())
@@ -849,8 +1133,13 @@ mod tests {
                 Task::Swap { .. } => swaps += 1,
                 Task::Trsm { .. } => trsms += 1,
                 Task::Gemm { .. } => gemms += 1,
-                Task::Dist(_) | Task::Solve(_) => {
-                    unreachable!("factorization DAGs emit no dist/solve tasks")
+                Task::PanelElect { .. }
+                | Task::PanelReduce { .. }
+                | Task::PanelFinish { .. }
+                | Task::PanelApply { .. }
+                | Task::Dist(_)
+                | Task::Solve(_) => {
+                    unreachable!("gathered factorization DAGs emit no resident/dist/solve tasks")
                 }
             }
         }
@@ -1014,6 +1303,185 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn rdag(m: usize, n: usize, nb: usize, d: usize) -> LuDag {
+        LuDag::build_with(LuShape { m, n, nb }, d, PanelMode::Resident)
+    }
+
+    #[test]
+    fn resident_counts_match_closed_form_square() {
+        // 4x4 blocks: per step k there are t = 4-k elect leaves, t-1
+        // reduces (any binary tree over t leaves folds t-1 pairs), one
+        // finish, and 4-k-1 applies; swaps/trsms/gemms are unchanged.
+        let d = rdag(128, 128, 32, 1);
+        let (mut elects, mut reduces, mut finishes, mut applies) = (0, 0, 0, 0);
+        let (mut swaps, mut trsms, mut gemms) = (0, 0, 0);
+        for t in d.tasks() {
+            match t {
+                Task::PanelElect { .. } => elects += 1,
+                Task::PanelReduce { .. } => reduces += 1,
+                Task::PanelFinish { .. } => finishes += 1,
+                Task::PanelApply { .. } => applies += 1,
+                Task::Swap { .. } => swaps += 1,
+                Task::Trsm { .. } => trsms += 1,
+                Task::Gemm { .. } => gemms += 1,
+                other => unreachable!("unexpected {other} in a resident DAG"),
+            }
+        }
+        assert_eq!(elects, 4 + 3 + 2 + 1);
+        assert_eq!(reduces, 3 + 2 + 1);
+        assert_eq!(finishes, 4);
+        assert_eq!(applies, 3 + 2 + 1);
+        // Trailing structure identical to the gathered DAG.
+        assert_eq!(trsms, 3 + 2 + 1);
+        assert_eq!(swaps, (3 + 2 + 1) + (1 + 2 + 3));
+        assert_eq!(gemms, 9 + 4 + 1);
+    }
+
+    #[test]
+    fn resident_tree_edges_fold_candidates_to_the_finish() {
+        // 5 leaf tiles at step 0: levels [5, 3, 2, 1]. Node (1,2) is a
+        // pass-through (leaf 4 has no partner), so the level-2 reduce
+        // folds (1,0)'s winner with leaf 4 directly.
+        let g = rdag(5 * 32, 4 * 32, 32, 1);
+        let find = |t: Task| g.tasks().iter().position(|&x| x == t).unwrap();
+        let r10 = find(Task::PanelReduce { k: 0, level: 1, ti: 0, tj: 1 });
+        let r11 = find(Task::PanelReduce { k: 0, level: 1, ti: 2, tj: 3 });
+        let r20 = find(Task::PanelReduce { k: 0, level: 2, ti: 0, tj: 2 });
+        let r30 = find(Task::PanelReduce { k: 0, level: 3, ti: 0, tj: 4 });
+        let fin = find(Task::PanelFinish { k: 0 });
+        assert!(g.successors(r10).contains(&r20));
+        assert!(g.successors(r11).contains(&r20));
+        assert!(g.successors(r20).contains(&r30));
+        assert!(g.successors(find(Task::PanelElect { k: 0, ti: 4 })).contains(&r30));
+        assert!(g.successors(r30).contains(&fin));
+        // Every elect reaches the finish transitively; leaves 0..4 feed
+        // their level-1 parents (or the root, for the odd leaf).
+        assert!(g.successors(find(Task::PanelElect { k: 0, ti: 0 })).contains(&r10));
+        assert!(g.successors(find(Task::PanelElect { k: 0, ti: 3 })).contains(&r11));
+        // Applies hang off the finish and feed their tile row's gemms.
+        let a2 = find(Task::PanelApply { k: 0, ti: 2 });
+        assert!(g.successors(fin).contains(&a2));
+        assert!(g.successors(a2).contains(&find(Task::Gemm { k: 0, i: 2, j: 1 })));
+    }
+
+    #[test]
+    fn resident_elects_gate_per_tile_and_throttle_like_panels() {
+        let g = rdag(160, 160, 32, 1);
+        let find = |t: Task| g.tasks().iter().position(|&x| x == t).unwrap();
+        // Per-tile refinement: Elect(1, ti) waits on Gemm(0, ti, 1) only.
+        let e13 = find(Task::PanelElect { k: 1, ti: 3 });
+        assert!(g.successors(find(Task::Gemm { k: 0, i: 3, j: 1 })).contains(&e13));
+        assert!(!g.successors(find(Task::Gemm { k: 0, i: 2, j: 1 })).contains(&e13));
+        // Depth-1 throttle: step-1 tasks gate the elects of step 3.
+        let e3 = find(Task::PanelElect { k: 3, ti: 4 });
+        let throttled =
+            (0..g.len()).any(|id| g.tasks()[id].step() == 1 && g.successors(id).contains(&e3));
+        assert!(throttled, "depth-1 throttle edge missing on resident elect");
+        // Finish is the panel boundary: the trailing swap hangs off it.
+        let fin = find(Task::PanelFinish { k: 1 });
+        assert!(g.successors(fin).contains(&find(Task::Swap { k: 1, j: 2 })));
+        assert!(g.successors(fin).contains(&find(Task::Swap { k: 1, j: 0 })));
+    }
+
+    #[test]
+    fn resident_first_left_swap_waits_for_applies_too() {
+        let g = rdag(96, 96, 32, 1);
+        let target = g.tasks().iter().position(|t| matches!(t, Task::Swap { k: 1, j: 0 })).unwrap();
+        for id in 0..g.len() {
+            if matches!(g.tasks()[id], Task::Gemm { k: 0, .. } | Task::PanelApply { k: 0, .. }) {
+                assert!(
+                    g.successors(id).contains(&target),
+                    "{} must precede Swap(1,0)",
+                    g.tasks()[id]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resident_schedule_is_topological_on_ragged_shapes() {
+        for &(m, n, nb, d) in &[
+            (96, 96, 16, 1),
+            (96, 96, 16, 3),
+            (130, 70, 32, 2),
+            (70, 130, 32, 9),
+            (100, 60, 16, 2),
+        ] {
+            let g = LuDag::build_with(LuShape { m, n, nb }, d, PanelMode::Resident);
+            let order = g.serial_schedule();
+            assert_eq!(order.len(), g.len());
+            let mut pos = vec![0usize; g.len()];
+            for (p, &id) in order.iter().enumerate() {
+                pos[id] = p;
+            }
+            for id in 0..g.len() {
+                for &s in g.successors(id) {
+                    assert!(pos[id] < pos[s], "{} must precede {}", g.tasks()[id], g.tasks()[s]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_panel_charges_no_gather_scatter_traffic() {
+        // Same spilled TileMajor setup as the gathered test above: the
+        // gathered panel pays a doubled sweep; the resident subgraph's
+        // total panel-step traffic stays strictly below it.
+        let shape = LuShape { m: 1024, n: 1024, nb: 64 };
+        let mch = MachineConfig::xt4();
+        let gathered =
+            modeled_cache_traffic(&shape, Task::Panel { k: 0 }, &mch, TileLocality::TileMajor);
+        let g = LuDag::build_with(shape, 1, PanelMode::Resident);
+        let resident: f64 = g
+            .tasks()
+            .iter()
+            .filter(|t| {
+                t.step() == 0
+                    && matches!(
+                        t,
+                        Task::PanelElect { .. }
+                            | Task::PanelReduce { .. }
+                            | Task::PanelFinish { .. }
+                            | Task::PanelApply { .. }
+                    )
+            })
+            .map(|&t| modeled_cache_traffic(&shape, t, &mch, TileLocality::TileMajor))
+            .sum();
+        assert!(
+            resident < gathered,
+            "resident panel traffic {resident} must beat gathered {gathered}"
+        );
+        // And the resident critical path is shorter: elections fold in
+        // log(t) tree depth instead of one serial full-height panel.
+        let cp = |mode: PanelMode| {
+            LuDag::build_with(shape, 2, mode).critical_path(|t| modeled_time(&shape, t, &mch))
+        };
+        assert!(cp(PanelMode::Resident) < cp(PanelMode::Gathered));
+    }
+
+    #[test]
+    fn resident_single_tile_panel_degenerates_to_elect_finish() {
+        let g = rdag(40, 40, 64, 1);
+        assert_eq!(g.len(), 2);
+        assert!(matches!(g.tasks()[0], Task::PanelElect { k: 0, ti: 0 }));
+        assert!(matches!(g.tasks()[1], Task::PanelFinish { k: 0 }));
+        assert!(g.successors(0).contains(&1));
+    }
+
+    #[test]
+    fn panel_tree_helpers_agree_on_pass_throughs() {
+        assert_eq!(panel_tree_levels(1), vec![1]);
+        assert_eq!(panel_tree_levels(5), vec![5, 3, 2, 1]);
+        assert_eq!(panel_tree_levels(0), vec![0]);
+        // Node (1,2) over 5 leaves has only leaf 4 → resolves to the leaf.
+        assert_eq!(panel_tree_resolve(5, 1, 2), (0, 4));
+        // Node (2,1) covers leaves {4} only → same leaf.
+        assert_eq!(panel_tree_resolve(5, 2, 1), (0, 4));
+        // Two-child nodes store themselves.
+        assert_eq!(panel_tree_resolve(5, 1, 0), (1, 0));
+        assert_eq!(panel_tree_resolve(5, 3, 0), (3, 0));
     }
 
     #[test]

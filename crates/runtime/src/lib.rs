@@ -34,8 +34,9 @@ pub mod exec;
 pub mod solve;
 
 pub use dag::{
-    modeled_cache_traffic, modeled_time, modeled_time_layout, DistKind, DistTask, LuDag, LuShape,
-    SolveKind, SolveTask, Task, TaskId, TileLocality,
+    modeled_cache_traffic, modeled_time, modeled_time_layout, panel_tree_levels,
+    panel_tree_resolve, DistKind, DistTask, LuDag, LuShape, PanelMode, SolveKind, SolveTask, Task,
+    TaskId, TileLocality,
 };
 pub use dist::{
     dist_comm_term, expected_mailbox_comm, expected_threaded_getf2_comm, modeled_comm_terms,

@@ -3,7 +3,10 @@
 //! HPL-style system, and report one table row.
 
 use crate::residuals::{componentwise_backward_error, hpl_tests, HplReport};
-use calu_core::{calu_inplace, gepp_inplace, CaluOpts, LuFactors, PivotStats};
+use calu_core::{
+    calu_inplace, gepp_inplace, rt::runtime_calu_inplace, rt::RuntimeOpts, CaluOpts, LuFactors,
+    PanelMode, PivotStats,
+};
 use calu_matrix::gen;
 use calu_matrix::Matrix;
 use rand::rngs::StdRng;
@@ -214,6 +217,36 @@ pub fn run_gepp_ensemble_case(
     row
 }
 
+/// Like [`run_calu_ensemble_case`] but factoring on the task-graph
+/// runtime with the tile-resident panel subgraph
+/// ([`PanelMode::Resident`]). The resident tournament folds tile-height
+/// leaves (`n.div_ceil(b)` of them, recorded as the row's `p`) instead of
+/// `Pr` blocks — a *different* deterministic tree — so its rows are held
+/// to the same CALU stability gates as the gathered rows, not compared
+/// bit-for-bit.
+pub fn run_resident_ensemble_case(
+    ens: Ensemble,
+    n: usize,
+    b: usize,
+    samples: usize,
+    seed0: u64,
+) -> StabilityRow {
+    let factor = move |a: &Matrix, stats: &mut PivotStats| {
+        let mut lu = a.clone();
+        let (ipiv, _report) = runtime_calu_inplace(
+            lu.view_mut(),
+            CaluOpts { block: b, panel_mode: PanelMode::Resident, ..Default::default() },
+            RuntimeOpts::default(),
+            stats,
+        )
+        .expect("nonsingular");
+        LuFactors { lu, ipiv }
+    };
+    let mut row = aggregate_ens(ens, n, n.div_ceil(b), b, samples, seed0, factor);
+    row.g_t /= ens.sigma();
+    row
+}
+
 fn aggregate_ens(
     ens: Ensemble,
     n: usize,
@@ -349,6 +382,39 @@ mod tests {
             let row = run_gepp_ensemble_case(ens, 64, 16, 2, 61);
             assert!((row.tau_min - 1.0).abs() < 1e-14, "{ens:?}");
             assert!(row.max_l <= 1.0 + 1e-14, "{ens:?}");
+        }
+    }
+
+    #[test]
+    fn resident_panel_growth_within_calu_gates_on_adversarial_ensembles() {
+        // The tile-resident panel subgraph elects through a different
+        // deterministic tree; its pivot quality must stay within the same
+        // stability envelope as the gathered CALU rows on the adversarial
+        // ensembles — thresholds bounded away from zero, growth and
+        // backward error the same order of magnitude.
+        let n = 96;
+        for ens in [Ensemble::Uniform, Ensemble::Toeplitz, Ensemble::Hadamard] {
+            let g = run_calu_ensemble_case(ens, n, 4, 16, 2, 71);
+            let r = run_resident_ensemble_case(ens, n, 16, 2, 71);
+            assert!(r.tau_min > 0.05, "{ens:?}: resident tau_min {}", r.tau_min);
+            assert!(
+                r.g_t <= 8.0 * g.g_t.max(1.0),
+                "{ens:?}: resident gT {} vs gathered {}",
+                r.g_t,
+                g.g_t
+            );
+            assert!(
+                r.wb <= 50.0 * g.wb.max(1e-16),
+                "{ens:?}: resident wb {} vs gathered {}",
+                r.wb,
+                g.wb
+            );
+            assert!(r.hpl.hpl2 < 16.0, "{ens:?}: resident HPL2 {:?}", r.hpl);
+            // The gathered identity |L| <= 1/tau_min does not transfer:
+            // resident thresholds are measured within the diagonal tile
+            // while multipliers span every tile. The practical gate is the
+            // same modest |L| ceiling the gathered ensembles satisfy.
+            assert!(r.max_l < 10.0, "{ens:?}: resident |L| {}", r.max_l);
         }
     }
 

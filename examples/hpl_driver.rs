@@ -64,7 +64,13 @@ fn main() {
     acceptance("CALU (ca-pivoting, 8-way tournament)", &a, &rhs, || {
         calu_factor(
             &a,
-            CaluOpts { block: b, p: 8, local: LocalLu::Recursive, parallel_update: true },
+            CaluOpts {
+                block: b,
+                p: 8,
+                local: LocalLu::Recursive,
+                parallel_update: true,
+                ..Default::default()
+            },
         )
         .unwrap()
     });

@@ -9,7 +9,7 @@
 use calu_repro::core::{calu_factor, runtime_calu_factor, CaluOpts, RuntimeOpts};
 use calu_repro::matrix::{gen, Matrix};
 use calu_repro::netsim::{render_gantt, MachineConfig};
-use calu_repro::runtime::{modeled_time, ExecutorKind, LuDag, LuShape, Task};
+use calu_repro::runtime::{modeled_time, ExecutorKind, LuDag, LuShape, PanelMode, Task};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,13 +26,32 @@ fn main() {
             Task::Swap { .. } => swaps += 1,
             Task::Trsm { .. } => trsms += 1,
             Task::Gemm { .. } => gemms += 1,
+            Task::PanelElect { .. }
+            | Task::PanelReduce { .. }
+            | Task::PanelFinish { .. }
+            | Task::PanelApply { .. } => {
+                unreachable!("gathered DAGs emit no panel-subgraph tasks")
+            }
             Task::Dist(_) | Task::Solve(_) => {
                 unreachable!("factorization DAGs emit no dist/solve tasks")
             }
         }
     }
     println!("LU task DAG for {m}x{n}, nb={nb}, lookahead depth 2");
-    println!("  {} tasks: {panels} Panel, {swaps} Swap, {trsms} Trsm, {gemms} Gemm\n", dag.len());
+    println!("  {} tasks: {panels} Panel, {swaps} Swap, {trsms} Trsm, {gemms} Gemm", dag.len());
+
+    // Resident mode replaces each Panel(k) with a per-tile tournament
+    // subgraph (elect / reduce / finish / apply) — same Swap/Trsm/Gemm.
+    let resident = LuDag::build_with(shape, 2, PanelMode::Resident);
+    let count = |pfx: &str| resident.tasks().iter().filter(|t| t.cat() == pfx).count();
+    println!(
+        "  resident panel subgraph: {} tasks ({} elect, {} reduce, {} finish, {} apply)\n",
+        resident.len(),
+        count("panel_elect"),
+        count("panel_reduce"),
+        count("panel_finish"),
+        count("panel_apply")
+    );
 
     // --- 2. The deterministic serial schedule (what SerialExecutor replays).
     println!("serial critical-path-first schedule:");

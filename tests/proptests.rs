@@ -327,6 +327,71 @@ proptest! {
     }
 
     #[test]
+    fn prop_resident_panel_bitwise_across_schedules(
+        seed in 0u64..1_000_000,
+        m in 8usize..72,
+        n in 8usize..72,
+        b in 2usize..20,
+        depth in 1usize..4,
+    ) {
+        // Tile-resident panel mode follows a different deterministic
+        // tournament tree (tile-height leaves), so it is not compared to
+        // the gathered reference — instead its serial depth-1 run is the
+        // reference, and every executor x depth x precision must
+        // reproduce it bitwise on ragged shapes; the f64 factors must
+        // also reconstruct P A = L U.
+        use calu_repro::core::{runtime_calu_factor, PanelMode, RuntimeOpts};
+        use calu_repro::runtime::ExecutorKind;
+        let a64 = randn_mat(seed, m, n);
+        let a32 = a64.cast::<f32>();
+        let opts = CaluOpts { block: b, panel_mode: PanelMode::Resident, ..Default::default() };
+        let rt0 = RuntimeOpts { lookahead: 1, executor: ExecutorKind::Serial, parallel_panel: false };
+        let (want64, _) = runtime_calu_factor(&a64, opts, rt0).unwrap();
+        let (want32, _) = runtime_calu_factor(&a32, opts, rt0).unwrap();
+        let perm = ipiv_to_perm(&want64.ipiv, m);
+        prop_assert!(is_permutation(&perm));
+        let pa = permute_rows(&a64, &perm);
+        let l = want64.lu.unit_lower();
+        let u = want64.lu.upper();
+        let mut prod = Matrix::zeros(m, n);
+        gemm(1.0, l.view(), u.view(), 0.0, prod.view_mut());
+        let err = pa.max_abs_diff(&prod) / a64.max_abs().max(1.0);
+        prop_assert!(err < 1e-9, "resident reconstruction error {err} (m={m} n={n} b={b})");
+        for executor in [ExecutorKind::Serial, ExecutorKind::Threaded { threads: 3 }] {
+            let rt = RuntimeOpts { lookahead: depth, executor, parallel_panel: false };
+            let (f, _) = runtime_calu_factor(&a64, opts, rt).unwrap();
+            prop_assert_eq!(&want64.ipiv, &f.ipiv, "f64 pivots (m={} n={} b={} d={} {:?})", m, n, b, depth, executor);
+            prop_assert_eq!(want64.lu.max_abs_diff(&f.lu), 0.0, "f64 factors (m={} n={} b={} d={} {:?})", m, n, b, depth, executor);
+            let (f, _) = runtime_calu_factor(&a32, opts, rt).unwrap();
+            prop_assert_eq!(&want32.ipiv, &f.ipiv, "f32 pivots (m={} n={} b={} d={} {:?})", m, n, b, depth, executor);
+            prop_assert_eq!(want32.lu.max_abs_diff(&f.lu), 0.0f32, "f32 factors (m={} n={} b={} d={} {:?})", m, n, b, depth, executor);
+        }
+    }
+
+    #[test]
+    fn prop_resident_serial_schedule_run_to_run_deterministic(
+        seed in 0u64..1_000_000,
+        m in 8usize..72,
+        n in 8usize..72,
+        b in 2usize..20,
+        depth in 1usize..4,
+    ) {
+        // Same contract the gathered path proves: the serial executor
+        // replays a fixed priority order, so two resident-mode runs must
+        // execute the identical task sequence and produce identical bits.
+        use calu_repro::core::{runtime_calu_factor, PanelMode, RuntimeOpts};
+        use calu_repro::runtime::ExecutorKind;
+        let a = randn_mat(seed, m, n);
+        let opts = CaluOpts { block: b, panel_mode: PanelMode::Resident, ..Default::default() };
+        let rt = RuntimeOpts { lookahead: depth, executor: ExecutorKind::Serial, parallel_panel: false };
+        let (f1, r1) = runtime_calu_factor(&a, opts, rt).unwrap();
+        let (f2, r2) = runtime_calu_factor(&a, opts, rt).unwrap();
+        prop_assert_eq!(&r1.order, &r2.order, "resident serial schedule must be run-to-run deterministic");
+        prop_assert_eq!(f1.lu.max_abs_diff(&f2.lu), 0.0);
+        prop_assert_eq!(f1.ipiv, f2.ipiv);
+    }
+
+    #[test]
     fn prop_calu_growth_within_inverse_threshold_power(
         seed in 0u64..1_000_000,
         n in 16usize..64,
